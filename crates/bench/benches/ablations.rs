@@ -1,0 +1,107 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! window duration, identification scope (nearest-only vs all candidates),
+//! confirmation policy, and candidate-distance threshold. Each ablation
+//! reports wall-clock cost; the accompanying accuracy deltas come from
+//! `dice-repro params`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dice_bench::{bench_runner_config, bench_testbed};
+use dice_core::DiceConfig;
+use dice_eval::{evaluate_sensor_faults, train_scenario};
+use dice_types::TimeDelta;
+
+fn eval_with(dice: DiceConfig) -> f64 {
+    let mut cfg = bench_runner_config();
+    cfg.dice = dice;
+    let td = train_scenario(bench_testbed(), &cfg);
+    let eval = evaluate_sensor_faults(&td, &cfg);
+    eval.detection.precision() + eval.detection.recall()
+}
+
+fn ablation_window_duration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window_duration");
+    group.sample_size(10);
+    for &secs in &[30i64, 60, 120, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, &secs| {
+            b.iter(|| {
+                eval_with(
+                    DiceConfig::builder()
+                        .window(TimeDelta::from_secs(secs))
+                        .build(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_identification_scope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_identification_scope");
+    group.sample_size(10);
+    for &nearest_only in &[true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if nearest_only {
+                "nearest"
+            } else {
+                "all-candidates"
+            }),
+            &nearest_only,
+            |b, &nearest_only| {
+                b.iter(|| {
+                    eval_with(
+                        DiceConfig::builder()
+                            .nearest_only_identification(nearest_only)
+                            .build(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_confirmation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_confirmation");
+    group.sample_size(10);
+    for &confirm in &[1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(confirm),
+            &confirm,
+            |b, &confirm| {
+                b.iter(|| {
+                    eval_with(
+                        DiceConfig::builder()
+                            .confirmation_violations(confirm)
+                            .build(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_candidate_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_candidate_distance");
+    group.sample_size(10);
+    for &distance in &[1u32, 3, 6, 12] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(distance),
+            &distance,
+            |b, &distance| {
+                b.iter(|| eval_with(DiceConfig::builder().candidate_distance(distance).build()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_window_duration,
+    ablation_identification_scope,
+    ablation_confirmation,
+    ablation_candidate_distance
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the DICE hot paths: window binarization, the
+//! candidate-group search (the cost driver Figure 5.3 identifies), the
+//! transition check, and identification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dice_bench::{bench_simulator, bench_trained};
+use dice_core::{BitSet, Detector, GroupTable, Identifier, PrevWindow};
+use dice_types::{GroupId, TimeDelta, Timestamp};
+
+fn bench_binarize(c: &mut Criterion) {
+    let td = bench_trained();
+    let sim = bench_simulator();
+    let segment = td.plan.segments()[0];
+    let mut log = sim.log_between(segment.start, segment.start + TimeDelta::from_mins(1));
+    let events: Vec<_> = log.events().to_vec();
+    c.bench_function("binarize_one_window_37_sensors", |b| {
+        b.iter(|| {
+            td.model.binarizer().binarize(
+                segment.start,
+                segment.start + TimeDelta::from_mins(1),
+                std::hint::black_box(&events),
+            )
+        })
+    });
+}
+
+fn bench_candidate_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_search");
+    // Synthetic group tables of growing size over 120-bit states.
+    for &groups in &[50usize, 500, 5000] {
+        let mut table = GroupTable::new(120);
+        for i in 0..groups {
+            // Encode `i` in the low bits so every state is distinct, plus a
+            // varying activity pattern in the high bits.
+            let id_bits = (0..13).filter(move |j| (i >> j) & 1 == 1);
+            let pattern = (13..120).filter(move |b| (b * 31 + i * 7) % 17 < 2);
+            let state = BitSet::from_indices(120, id_bits.chain(pattern));
+            table.observe(&state);
+        }
+        assert_eq!(table.len(), groups, "bench states must be distinct");
+        let query = BitSet::from_indices(120, (0..120).filter(|b| b % 9 == 0));
+        group.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {
+            b.iter(|| table.candidates(std::hint::black_box(&query), 3))
+        });
+    }
+    group.finish();
+}
+
+fn bench_checks(c: &mut Criterion) {
+    let td = bench_trained();
+    let sim = bench_simulator();
+    let segment = td.plan.segments()[0];
+    let mut log = sim.log_between(segment.start, segment.start + TimeDelta::from_mins(2));
+    let windows: Vec<_> = log
+        .windows_between(
+            segment.start,
+            segment.start + TimeDelta::from_mins(2),
+            TimeDelta::from_mins(1),
+        )
+        .map(|w| (w.start, w.end, w.events.to_vec()))
+        .collect();
+    let detector = Detector::new(&td.model);
+    let obs0 = td
+        .model
+        .binarizer()
+        .binarize(windows[0].0, windows[0].1, &windows[0].2);
+    let obs1 = td
+        .model
+        .binarizer()
+        .binarize(windows[1].0, windows[1].1, &windows[1].2);
+    let group0 = td
+        .model
+        .groups()
+        .lookup(&obs0.state)
+        .unwrap_or(GroupId::new(0));
+    let prev = PrevWindow {
+        group: group0,
+        exact: true,
+        activated_actuators: obs0.activated_actuators.clone(),
+    };
+
+    c.bench_function("correlation_check_exact_lookup", |b| {
+        b.iter(|| detector.correlation_check(std::hint::black_box(&obs1)))
+    });
+    let group1 = td
+        .model
+        .groups()
+        .lookup(&obs1.state)
+        .unwrap_or(GroupId::new(0));
+    c.bench_function("transition_check_three_cases", |b| {
+        b.iter(|| detector.transition_check(std::hint::black_box(&prev), group1, &obs1))
+    });
+
+    // Identification on a correlation violation: corrupt one bit.
+    let mut corrupted = obs1.clone();
+    let flip = corrupted.state.len() - 1;
+    corrupted.state.set(flip, !corrupted.state.get(flip));
+    let result = detector.check(Some(&prev), &corrupted);
+    let identifier = Identifier::new(&td.model);
+    c.bench_function("identification_probable_devices", |b| {
+        b.iter(|| {
+            identifier.probable_devices(Some(&prev), &corrupted, std::hint::black_box(&result))
+        })
+    });
+}
+
+fn bench_end_to_end_window(c: &mut Criterion) {
+    let td = bench_trained();
+    let sim = bench_simulator();
+    let segment = td.plan.segments()[0];
+    let mut log = sim.log_between(segment.start, segment.end);
+    let windows: Vec<_> = log
+        .windows_between(segment.start, segment.end, TimeDelta::from_mins(1))
+        .map(|w| (w.start, w.end, w.events.to_vec()))
+        .collect();
+    c.bench_function("engine_process_six_hour_segment", |b| {
+        b.iter(|| {
+            let mut engine = dice_core::DiceEngine::new(&td.model);
+            for (start, end, events) in &windows {
+                let _ = engine.process_window(*start, *end, std::hint::black_box(events));
+            }
+            engine.cost_profile().windows
+        })
+    });
+    let _ = Timestamp::ZERO; // keep the import used in all configurations
+}
+
+criterion_group!(
+    benches,
+    bench_binarize,
+    bench_candidate_search,
+    bench_checks,
+    bench_end_to_end_window
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! One benchmark per paper table/figure: each runs the artifact's
+//! regeneration pipeline at reduced scale (short training, few trials), so
+//! `cargo bench` demonstrably reproduces every artifact end-to-end while the
+//! `dice-repro` binary runs the same code at the paper's full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dice_bench::{bench_runner_config, bench_testbed};
+use dice_datasets::{DatasetId, DatasetStats};
+use dice_eval::experiments::{
+    fig_5_1, fig_5_2, fig_5_3, fig_5_4, run_attacks, table_2_1, table_4_1, table_5_1, table_5_2,
+    FullEvaluation,
+};
+use dice_eval::{
+    evaluate_actuator_faults, evaluate_multi_faults, evaluate_sensor_faults, train_scenario,
+};
+use dice_types::TimeDelta;
+
+/// Shrinks a catalog dataset so a bench iteration is sub-second.
+fn shrunk(id: DatasetId) -> dice_sim::ScenarioSpec {
+    let mut spec = id.scenario(42);
+    spec.duration = TimeDelta::from_hours(96);
+    spec
+}
+
+fn reduced_full_eval() -> FullEvaluation {
+    let cfg = bench_runner_config();
+    let evals = [DatasetId::HouseA, DatasetId::DHouseA]
+        .into_iter()
+        .map(|id| {
+            let td = train_scenario(shrunk(id), &cfg);
+            evaluate_sensor_faults(&td, &cfg)
+        })
+        .collect();
+    FullEvaluation { evals }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table_2_1_requirements", |b| b.iter(table_2_1));
+    c.bench_function("table_4_1_dataset_inventory", |b| {
+        b.iter(|| table_4_1(std::hint::black_box(42)))
+    });
+    c.bench_function("table_4_1_stats_of_every_dataset", |b| {
+        b.iter(|| {
+            DatasetId::all()
+                .into_iter()
+                .map(|id| DatasetStats::of_dataset(id, 42).activities)
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_accuracy_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation_artifacts");
+    group.sample_size(10);
+    group.bench_function("fig_5_1_accuracy_reduced", |b| {
+        b.iter(|| fig_5_1(&reduced_full_eval()))
+    });
+    group.finish();
+
+    // Formatting-only benches share one evaluation.
+    let full = reduced_full_eval();
+    c.bench_function("fig_5_2_latency_format", |b| b.iter(|| fig_5_2(&full)));
+    c.bench_function("table_5_1_per_check_format", |b| {
+        b.iter(|| table_5_1(&full))
+    });
+    c.bench_function("fig_5_3_compute_format", |b| b.iter(|| fig_5_3(&full)));
+    c.bench_function("table_5_2_degree_format", |b| b.iter(|| table_5_2(&full)));
+    c.bench_function("fig_5_4_ratio_format", |b| b.iter(|| fig_5_4(&full)));
+}
+
+fn bench_extended_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extended_experiments");
+    group.sample_size(10);
+    let cfg = bench_runner_config();
+    group.bench_function("actuator_faults_reduced", |b| {
+        b.iter(|| {
+            let td = train_scenario(bench_testbed(), &cfg);
+            evaluate_actuator_faults(&td, &cfg)
+                .identification
+                .precision()
+        })
+    });
+    let mut multi_cfg = bench_runner_config();
+    multi_cfg.dice = dice_core::DiceConfig::builder()
+        .max_faults(3)
+        .num_thre(3)
+        .build();
+    group.bench_function("multi_fault_reduced", |b| {
+        b.iter(|| {
+            let td = train_scenario(bench_testbed(), &multi_cfg);
+            evaluate_multi_faults(&td, &multi_cfg)
+                .identification
+                .recall()
+        })
+    });
+    group.bench_function("security_attacks", |b| {
+        b.iter(|| run_attacks(std::hint::black_box(42)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_accuracy_figures,
+    bench_extended_experiments
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Shared fixtures for the DICE benchmark suite.
+//!
+//! Benchmarks regenerate each paper artifact at reduced scale (short
+//! training, few trials) so one Criterion run stays in the minutes; the
+//! `dice-repro` binary runs them at full scale.
+
+use dice_core::DiceConfig;
+use dice_eval::{train_scenario, RunnerConfig, TrainedDataset};
+use dice_sim::{testbed, ScenarioSpec, Simulator};
+use dice_types::TimeDelta;
+
+/// A reduced-scale runner configuration for benchmarks.
+pub fn bench_runner_config() -> RunnerConfig {
+    RunnerConfig {
+        seed: 42,
+        trials: 5,
+        precompute: TimeDelta::from_hours(48),
+        segment_len: TimeDelta::from_hours(6),
+        dice: DiceConfig::default(),
+    }
+}
+
+/// A reduced-duration testbed scenario.
+pub fn bench_testbed() -> ScenarioSpec {
+    testbed::dice_testbed("bench", 42, TimeDelta::from_hours(96), 14, 1)
+}
+
+/// A trained reduced-scale testbed.
+pub fn bench_trained() -> TrainedDataset {
+    train_scenario(bench_testbed(), &bench_runner_config())
+}
+
+/// A simulator over the reduced testbed.
+pub fn bench_simulator() -> Simulator {
+    Simulator::new(bench_testbed()).expect("valid bench scenario")
+}

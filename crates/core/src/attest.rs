@@ -1,0 +1,255 @@
+//! Attestation of an identified faulty device (Section 3.4: "We may add an
+//! additional attestation step for a verification purpose").
+//!
+//! After the identification step names a device, attestation checks the
+//! hypothesis *"this device is faulty and everything else is healthy"*
+//! against the recent window history: each observed state set is compared to
+//! the group table with the suspect's bits **masked out**. If the suspect
+//! explains the anomaly, the masked states match known groups (the rest of
+//! the home looks normal without it); if the anomaly lies elsewhere, masking
+//! the suspect leaves violations behind.
+
+use dice_types::{DeviceId, SensorId};
+
+use crate::binarize::WindowObservation;
+use crate::bitset::BitSet;
+use crate::model::DiceModel;
+
+/// The attestation verdict for one suspect device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attestation {
+    /// The attested device.
+    pub device: DeviceId,
+    /// Windows whose state set matched a group once the suspect was masked.
+    pub explained: usize,
+    /// Windows that stayed anomalous even with the suspect masked.
+    pub unexplained: usize,
+    /// Windows that were not anomalous to begin with.
+    pub already_normal: usize,
+}
+
+impl Attestation {
+    /// The fraction of anomalous windows explained by this suspect, in
+    /// `[0, 1]`; `1.0` when there were no anomalous windows at all.
+    pub fn confidence(&self) -> f64 {
+        let anomalous = self.explained + self.unexplained;
+        if anomalous == 0 {
+            1.0
+        } else {
+            self.explained as f64 / anomalous as f64
+        }
+    }
+
+    /// Whether the suspect explains at least `threshold` of the anomaly.
+    pub fn confirms(&self, threshold: f64) -> bool {
+        self.confidence() >= threshold
+    }
+}
+
+/// Attests suspect devices against recent window history.
+#[derive(Debug, Clone, Copy)]
+pub struct Attestor<'m> {
+    model: &'m DiceModel,
+}
+
+impl<'m> Attestor<'m> {
+    /// Creates an attestor over a trained model.
+    pub fn new(model: &'m DiceModel) -> Self {
+        Attestor { model }
+    }
+
+    /// Compares `state` with every group, ignoring the bits in `mask`;
+    /// returns whether some group matches on all unmasked bits.
+    fn matches_any_group_masked(&self, state: &BitSet, mask: &BitSet) -> bool {
+        let bits = state.len();
+        self.model.groups().iter().any(|(_, group)| {
+            state
+                .diff_indices(group)
+                .all(|bit| bit < bits && mask.get(bit))
+        })
+    }
+
+    /// The bit mask covering one sensor's span.
+    fn sensor_mask(&self, sensor: SensorId) -> BitSet {
+        let layout = self.model.layout();
+        BitSet::from_indices(layout.num_bits(), layout.span(sensor).indices())
+    }
+
+    /// Attests one suspect against a run of recent observations.
+    ///
+    /// Actuator suspects cannot be attested through the state-set mask (they
+    /// own no bits); they are reported with every anomalous window
+    /// unexplained, i.e. attestation is conservative for actuators.
+    pub fn attest(
+        &self,
+        device: DeviceId,
+        history: impl IntoIterator<Item = &'m WindowObservation>,
+    ) -> Attestation {
+        let mask = match device {
+            DeviceId::Sensor(sensor) => Some(self.sensor_mask(sensor)),
+            DeviceId::Actuator(_) => None,
+        };
+        let mut attestation = Attestation {
+            device,
+            explained: 0,
+            unexplained: 0,
+            already_normal: 0,
+        };
+        for obs in history {
+            if self.model.groups().lookup(&obs.state).is_some() {
+                attestation.already_normal += 1;
+                continue;
+            }
+            let explained = mask
+                .as_ref()
+                .is_some_and(|mask| self.matches_any_group_masked(&obs.state, mask));
+            if explained {
+                attestation.explained += 1;
+            } else {
+                attestation.unexplained += 1;
+            }
+        }
+        attestation
+    }
+
+    /// Attests every suspect of a report and returns them ranked by
+    /// descending confidence (ties broken by device id).
+    pub fn rank_suspects(
+        &self,
+        suspects: &[DeviceId],
+        history: &'m [WindowObservation],
+    ) -> Vec<Attestation> {
+        let mut out: Vec<Attestation> = suspects
+            .iter()
+            .map(|&d| self.attest(d, history.iter()))
+            .collect();
+        out.sort_by(|a, b| {
+            b.confidence()
+                .partial_cmp(&a.confidence())
+                .expect("confidences are finite")
+                .then_with(|| a.device.cmp(&b.device))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::ThresholdTrainer;
+    use crate::config::DiceConfig;
+    use crate::extract::ModelBuilder;
+    use dice_types::{
+        DeviceRegistry, Event, Room, SensorKind, SensorReading, TimeDelta, Timestamp,
+    };
+
+    /// Three motion sensors; G0={s0,s1}, G1={s2}, G2={} learned.
+    fn trained() -> (DiceModel, Vec<SensorId>) {
+        let mut reg = DeviceRegistry::new();
+        let s0 = reg.add_sensor(SensorKind::Motion, "s0", Room::Kitchen);
+        let s1 = reg.add_sensor(SensorKind::Motion, "s1", Room::Kitchen);
+        let s2 = reg.add_sensor(SensorKind::Motion, "s2", Room::Bedroom);
+        let mut builder = ModelBuilder::new(
+            DiceConfig::default(),
+            &reg,
+            ThresholdTrainer::new(&reg).finish(),
+        )
+        .unwrap();
+        for round in 0..9 {
+            let start = Timestamp::from_mins(round);
+            let end = start + TimeDelta::from_mins(1);
+            let mut events: Vec<Event> = Vec::new();
+            match round % 3 {
+                0 => {
+                    events.push(SensorReading::new(s0, start, true.into()).into());
+                    events.push(SensorReading::new(s1, start, true.into()).into());
+                }
+                1 => events.push(SensorReading::new(s2, start, true.into()).into()),
+                _ => {}
+            }
+            builder.observe_window(start, end, &events);
+        }
+        (builder.finish().unwrap(), vec![s0, s1, s2])
+    }
+
+    fn obs(model: &DiceModel, bits: &[usize]) -> WindowObservation {
+        WindowObservation {
+            start: Timestamp::ZERO,
+            end: Timestamp::from_mins(1),
+            state: BitSet::from_indices(model.layout().num_bits(), bits.iter().copied()),
+            activated_actuators: vec![],
+        }
+    }
+
+    #[test]
+    fn true_suspect_explains_all_anomalies() {
+        let (model, sensors) = trained();
+        let attestor = Attestor::new(&model);
+        // s1 fail-stopped: {s0} alone observed repeatedly (unseen state).
+        let history = [obs(&model, &[0]), obs(&model, &[0]), obs(&model, &[0])];
+        let a = attestor.attest(DeviceId::Sensor(sensors[1]), history.iter());
+        assert_eq!(a.explained, 3);
+        assert_eq!(a.unexplained, 0);
+        assert_eq!(a.confidence(), 1.0);
+        assert!(a.confirms(0.9));
+    }
+
+    #[test]
+    fn wrong_suspect_leaves_anomalies_unexplained() {
+        let (model, sensors) = trained();
+        let attestor = Attestor::new(&model);
+        let history = [obs(&model, &[0]), obs(&model, &[0])];
+        // Masking s2 cannot explain a {s0}-alone anomaly.
+        let a = attestor.attest(DeviceId::Sensor(sensors[2]), history.iter());
+        assert_eq!(a.explained, 0);
+        assert_eq!(a.unexplained, 2);
+        assert!(!a.confirms(0.5));
+    }
+
+    #[test]
+    fn normal_windows_do_not_dilute_confidence() {
+        let (model, sensors) = trained();
+        let attestor = Attestor::new(&model);
+        let history = [obs(&model, &[0, 1]), obs(&model, &[2]), obs(&model, &[0])];
+        let a = attestor.attest(DeviceId::Sensor(sensors[1]), history.iter());
+        assert_eq!(a.already_normal, 2);
+        assert_eq!(a.explained, 1);
+        assert_eq!(a.confidence(), 1.0);
+    }
+
+    #[test]
+    fn rank_orders_true_suspect_first() {
+        let (model, sensors) = trained();
+        let attestor = Attestor::new(&model);
+        let history = vec![obs(&model, &[0]), obs(&model, &[0])];
+        let suspects: Vec<DeviceId> = sensors.iter().map(|&s| DeviceId::Sensor(s)).collect();
+        let ranked = attestor.rank_suspects(&suspects, &history);
+        // Masking s1 OR s0 can both explain {s0}-alone ({s0} masked -> {}
+        // matches the quiet group); s2 cannot. The true faulty sensor is in
+        // the top tier and s2 is strictly last.
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[2].device, DeviceId::Sensor(sensors[2]));
+        assert!(ranked[0].confidence() > ranked[2].confidence());
+    }
+
+    #[test]
+    fn actuator_suspects_are_conservative() {
+        let (model, _) = trained();
+        let attestor = Attestor::new(&model);
+        let history = [obs(&model, &[0])];
+        let a = attestor.attest(
+            DeviceId::Actuator(dice_types::ActuatorId::new(0)),
+            history.iter(),
+        );
+        assert_eq!(a.unexplained, 1);
+        assert_eq!(a.confidence(), 0.0);
+    }
+
+    #[test]
+    fn empty_history_is_vacuously_confident() {
+        let (model, sensors) = trained();
+        let attestor = Attestor::new(&model);
+        let a = attestor.attest(DeviceId::Sensor(sensors[0]), [].iter());
+        assert_eq!(a.confidence(), 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! DICE configuration.
+
+use serde::{Deserialize, Serialize};
+
+use dice_types::TimeDelta;
+
+/// Tunable parameters of the DICE pipeline.
+///
+/// Defaults follow the paper: one-minute state-set windows (the empirically
+/// optimal duration, Section VI), single-fault operation (`max_faults = 1`,
+/// `numThre = 1`), and a candidate-group distance derived from the fault
+/// count and the widest sensor span.
+///
+/// # Example
+///
+/// ```
+/// use dice_core::DiceConfig;
+/// use dice_types::TimeDelta;
+///
+/// let config = DiceConfig::builder()
+///     .window(TimeDelta::from_mins(1))
+///     .max_faults(3)
+///     .num_thre(3)
+///     .build();
+/// assert_eq!(config.max_faults(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiceConfig {
+    window: TimeDelta,
+    max_faults: usize,
+    num_thre: usize,
+    candidate_distance: Option<u32>,
+    max_identification_windows: usize,
+    nearest_only_identification: bool,
+    min_row_support: u64,
+    confirmation_violations: usize,
+    confirmation_horizon_windows: usize,
+}
+
+impl DiceConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> DiceConfigBuilder {
+        DiceConfigBuilder::default()
+    }
+
+    /// The sensor-state-set window duration `d` (default one minute).
+    pub fn window(&self) -> TimeDelta {
+        self.window
+    }
+
+    /// Maximum number of simultaneous faults considered (default 1).
+    pub fn max_faults(&self) -> usize {
+        self.max_faults
+    }
+
+    /// The `numThre` identification threshold: identification repeats until
+    /// the intersection of probable faulty devices is at most this size
+    /// (default 1; the paper uses 3 for the multi-fault experiment).
+    pub fn num_thre(&self) -> usize {
+        self.num_thre
+    }
+
+    /// Maximum windows the identification step may consume before reporting
+    /// the current intersection as inconclusive (default 240, i.e. 4 hours
+    /// of one-minute windows).
+    pub fn max_identification_windows(&self) -> usize {
+        self.max_identification_windows
+    }
+
+    /// The candidate-group Hamming-distance threshold.
+    ///
+    /// If unset, it is derived as `max_faults * max_span_width`: a single
+    /// faulty binary sensor can disturb one bit, a faulty numeric sensor up
+    /// to three (its skewness/trend/level bits).
+    pub fn candidate_distance(&self, max_span_width: usize) -> u32 {
+        self.candidate_distance
+            .unwrap_or((self.max_faults * max_span_width) as u32)
+    }
+
+    /// The explicitly configured candidate distance, if any.
+    pub fn candidate_distance_override(&self) -> Option<u32> {
+        self.candidate_distance
+    }
+
+    /// Number of violating windows required before a *transition-detected*
+    /// fault is reported (default 2). Faults manifest repeatedly — "a
+    /// problematic sensor is likely to generate faults continuously"
+    /// (Section 3.4) — while a once-in-a-dataset legal-but-unseen transition
+    /// violates exactly once, so requiring confirmation suppresses those
+    /// blips without losing faults. Correlation violations are inherently
+    /// high-precision (an unseen *state* is far stronger evidence than an
+    /// unseen transition) and always report at the first violation.
+    pub fn confirmation_violations(&self) -> usize {
+        self.confirmation_violations
+    }
+
+    /// Window budget for gathering the confirming violations (default 60):
+    /// a pending single-violation detection that stays quiet this long is
+    /// discarded as a blip.
+    pub fn confirmation_horizon_windows(&self) -> usize {
+        self.confirmation_horizon_windows
+    }
+
+    /// Minimum number of observed outgoing transitions a row needs before a
+    /// zero-probability transition from it counts as a violation
+    /// (default 10). A Markov row seen only a handful of times asserts
+    /// nothing about which successors are impossible; requiring support
+    /// separates "never happens" from "insufficiently sampled".
+    pub fn min_row_support(&self) -> u64 {
+        self.min_row_support
+    }
+
+    /// Whether identification diffs only against the nearest probable
+    /// groups (default `true`): the nearest groups explain the observation
+    /// with the fewest faulty bits, which keeps probable-device sets small
+    /// and the `numThre` intersection fast. Disable to diff against every
+    /// candidate within the distance threshold (the paper's literal
+    /// reading) — the `ablation_identification` bench compares both.
+    pub fn nearest_only_identification(&self) -> bool {
+        self.nearest_only_identification
+    }
+}
+
+impl Default for DiceConfig {
+    fn default() -> Self {
+        DiceConfig {
+            window: TimeDelta::from_mins(1),
+            max_faults: 1,
+            num_thre: 1,
+            candidate_distance: None,
+            max_identification_windows: 240,
+            nearest_only_identification: true,
+            min_row_support: 10,
+            confirmation_violations: 2,
+            confirmation_horizon_windows: 240,
+        }
+    }
+}
+
+/// Builder for [`DiceConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct DiceConfigBuilder {
+    config: DiceConfig,
+}
+
+impl DiceConfigBuilder {
+    /// Sets the state-set window duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is non-positive.
+    pub fn window(mut self, window: TimeDelta) -> Self {
+        assert!(window.as_secs() > 0, "window duration must be positive");
+        self.config.window = window;
+        self
+    }
+
+    /// Sets the number of simultaneous faults to consider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_faults` is zero.
+    pub fn max_faults(mut self, max_faults: usize) -> Self {
+        assert!(max_faults > 0, "max_faults must be at least 1");
+        self.config.max_faults = max_faults;
+        self
+    }
+
+    /// Sets the `numThre` identification threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_thre` is zero.
+    pub fn num_thre(mut self, num_thre: usize) -> Self {
+        assert!(num_thre > 0, "num_thre must be at least 1");
+        self.config.num_thre = num_thre;
+        self
+    }
+
+    /// Overrides the derived candidate-group distance threshold.
+    pub fn candidate_distance(mut self, distance: u32) -> Self {
+        self.config.candidate_distance = Some(distance);
+        self
+    }
+
+    /// Sets the identification window budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is zero.
+    pub fn max_identification_windows(mut self, windows: usize) -> Self {
+        assert!(windows > 0, "identification window budget must be positive");
+        self.config.max_identification_windows = windows;
+        self
+    }
+
+    /// Sets the number of violating windows required before reporting (see
+    /// [`DiceConfig::confirmation_violations`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `violations` is zero.
+    pub fn confirmation_violations(mut self, violations: usize) -> Self {
+        assert!(
+            violations > 0,
+            "confirmation requires at least one violation"
+        );
+        self.config.confirmation_violations = violations;
+        self
+    }
+
+    /// Sets the confirmation horizon (see
+    /// [`DiceConfig::confirmation_horizon_windows`]).
+    pub fn confirmation_horizon_windows(mut self, windows: usize) -> Self {
+        self.config.confirmation_horizon_windows = windows;
+        self
+    }
+
+    /// Sets the minimum row support for transition violations (see
+    /// [`DiceConfig::min_row_support`]).
+    pub fn min_row_support(mut self, support: u64) -> Self {
+        self.config.min_row_support = support;
+        self
+    }
+
+    /// Sets whether identification diffs only against the nearest probable
+    /// groups (see [`DiceConfig::nearest_only_identification`]).
+    pub fn nearest_only_identification(mut self, nearest_only: bool) -> Self {
+        self.config.nearest_only_identification = nearest_only;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> DiceConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DiceConfig::default();
+        assert_eq!(c.window(), TimeDelta::from_mins(1));
+        assert_eq!(c.max_faults(), 1);
+        assert_eq!(c.num_thre(), 1);
+        assert_eq!(c.candidate_distance_override(), None);
+    }
+
+    #[test]
+    fn candidate_distance_derives_from_span_width() {
+        let c = DiceConfig::default();
+        assert_eq!(c.candidate_distance(1), 1); // binary-only home
+        assert_eq!(c.candidate_distance(3), 3); // numeric sensors present
+        let multi = DiceConfig::builder().max_faults(2).build();
+        assert_eq!(multi.candidate_distance(3), 6);
+    }
+
+    #[test]
+    fn explicit_candidate_distance_wins() {
+        let c = DiceConfig::builder().candidate_distance(5).build();
+        assert_eq!(c.candidate_distance(1), 5);
+        assert_eq!(c.candidate_distance(3), 5);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let c = DiceConfig::builder()
+            .window(TimeDelta::from_mins(2))
+            .max_faults(3)
+            .num_thre(3)
+            .max_identification_windows(10)
+            .build();
+        assert_eq!(c.window(), TimeDelta::from_mins(2));
+        assert_eq!(c.max_faults(), 3);
+        assert_eq!(c.num_thre(), 3);
+        assert_eq!(c.max_identification_windows(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "window duration must be positive")]
+    fn builder_rejects_zero_window() {
+        let _ = DiceConfig::builder().window(TimeDelta::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_faults must be at least 1")]
+    fn builder_rejects_zero_faults() {
+        let _ = DiceConfig::builder().max_faults(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_thre must be at least 1")]
+    fn builder_rejects_zero_num_thre() {
+        let _ = DiceConfig::builder().num_thre(0);
+    }
+}

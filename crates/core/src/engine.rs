@@ -1,0 +1,876 @@
+//! The online DICE engine: the real-time phase as a window-at-a-time state
+//! machine.
+//!
+//! The engine glues the pieces of Figure 3.2's right half together: each
+//! window is binarized, checked (correlation then transition), and — once a
+//! violation is detected — the identification step repeats over subsequent
+//! windows, intersecting probable-fault sets until at most `numThre` devices
+//! remain (Section 3.4).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::time::Instant;
+
+use dice_types::{DeviceId, Event, GroupId, TimeDelta, Timestamp};
+
+use crate::binarize::WindowObservation;
+use crate::detect::{CheckKind, CheckResult, Detector, PrevWindow};
+use crate::identify::{Identifier, IntersectionTracker};
+use crate::model::DiceModel;
+use crate::weights::DeviceWeights;
+
+/// A completed fault report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// End of the window in which the first violation was detected.
+    pub detected_at: Timestamp,
+    /// End of the window in which identification converged.
+    pub identified_at: Timestamp,
+    /// Which check detected the fault.
+    pub detected_by: CheckKind,
+    /// The identified faulty devices (at most `numThre` when conclusive).
+    pub devices: Vec<DeviceId>,
+    /// Whether identification converged below `numThre` (vs hitting the
+    /// window budget or firing early on device weights).
+    pub conclusive: bool,
+    /// Number of windows consumed from detection through identification.
+    pub windows_examined: usize,
+}
+
+impl FaultReport {
+    /// Identification latency: `identified_at - detected_at`.
+    pub fn identification_lag(&self) -> TimeDelta {
+        self.identified_at - self.detected_at
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault detected at {} by {} check; identified at {}: ",
+            self.detected_at, self.detected_by, self.identified_at
+        )?;
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        if !self.conclusive {
+            write!(f, " (inconclusive)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock cost accounting for Figure 5.3: time spent in the correlation
+/// check (including binarization), the transition check, and identification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostProfile {
+    /// Nanoseconds in binarization + correlation check.
+    pub correlation_ns: u128,
+    /// Nanoseconds in the transition check.
+    pub transition_ns: u128,
+    /// Nanoseconds in identification.
+    pub identification_ns: u128,
+    /// Windows processed.
+    pub windows: u64,
+}
+
+impl CostProfile {
+    /// Mean correlation-check time per window, in milliseconds.
+    pub fn correlation_ms_per_window(&self) -> f64 {
+        self.per_window_ms(self.correlation_ns)
+    }
+
+    /// Mean transition-check time per window, in milliseconds.
+    pub fn transition_ms_per_window(&self) -> f64 {
+        self.per_window_ms(self.transition_ns)
+    }
+
+    /// Mean identification time per window, in milliseconds.
+    pub fn identification_ms_per_window(&self) -> f64 {
+        self.per_window_ms(self.identification_ns)
+    }
+
+    /// Mean total time per window, in milliseconds.
+    pub fn total_ms_per_window(&self) -> f64 {
+        self.per_window_ms(self.correlation_ns + self.transition_ns + self.identification_ns)
+    }
+
+    fn per_window_ms(&self, ns: u128) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            ns as f64 / self.windows as f64 / 1e6
+        }
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &CostProfile) {
+        self.correlation_ns += other.correlation_ns;
+        self.transition_ns += other.transition_ns;
+        self.identification_ns += other.identification_ns;
+        self.windows += other.windows;
+    }
+}
+
+/// Optional engine behaviors beyond the paper's defaults.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Device weights for early alarming (Section VI).
+    pub weights: DeviceWeights,
+    /// If set, a device in the current probable set whose combined weight
+    /// reaches this threshold is alarmed immediately.
+    pub early_fire_threshold: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    Monitoring,
+    Identifying {
+        detected_at: Timestamp,
+        detected_by: CheckKind,
+        tracker: IntersectionTracker,
+        windows_since_detection: usize,
+        violations_seen: usize,
+    },
+}
+
+/// The online detection & identification engine.
+///
+/// Generic over any handle to a [`DiceModel`] (`&DiceModel`,
+/// `Arc<DiceModel>`, `Box<DiceModel>`, ...).
+///
+/// # Example
+///
+/// ```
+/// use dice_core::{ContextExtractor, DiceConfig, DiceEngine};
+/// use dice_types::{DeviceRegistry, EventLog, Room, SensorKind, SensorReading, Timestamp};
+///
+/// # fn main() -> Result<(), dice_core::DiceError> {
+/// let mut reg = DeviceRegistry::new();
+/// let motion = reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+/// let mut training = EventLog::new();
+/// for minute in 0..60 {
+///     training.push_sensor(SensorReading::new(
+///         motion,
+///         Timestamp::from_mins(minute),
+///         (minute % 2 == 0).into(),
+///     ));
+/// }
+/// let model = ContextExtractor::new(DiceConfig::default()).extract(&reg, &mut training)?;
+/// let mut engine = DiceEngine::new(&model);
+/// // feed real-time windows with engine.process_window(...)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiceEngine<M: Borrow<DiceModel>> {
+    model: M,
+    options: EngineOptions,
+    phase: Phase,
+    prev: Option<PrevWindow>,
+    cost: CostProfile,
+    /// An unconfirmed detection whose confirmation horizon expired: the
+    /// suspected devices and when/how they were first implicated. A later
+    /// violation implicating one of the same devices confirms it — slow
+    /// faults (a stuck sensor noticed only at context changes) violate
+    /// hours apart but always point at the same device, while unrelated
+    /// context blips implicate unrelated devices.
+    stale: Option<StaleSuspects>,
+}
+
+#[derive(Debug, Clone)]
+struct StaleSuspects {
+    detected_at: Timestamp,
+    detected_by: CheckKind,
+    devices: std::collections::BTreeSet<DeviceId>,
+}
+
+impl<M: Borrow<DiceModel>> DiceEngine<M> {
+    /// Creates an engine with default options.
+    pub fn new(model: M) -> Self {
+        Self::with_options(model, EngineOptions::default())
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(model: M, options: EngineOptions) -> Self {
+        DiceEngine {
+            model,
+            options,
+            phase: Phase::Monitoring,
+            prev: None,
+            cost: CostProfile::default(),
+            stale: None,
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &DiceModel {
+        self.model.borrow()
+    }
+
+    /// Accumulated wall-clock cost profile.
+    pub fn cost_profile(&self) -> CostProfile {
+        self.cost
+    }
+
+    /// Resets phase, previous-window context, and cost accounting.
+    pub fn reset(&mut self) {
+        self.phase = Phase::Monitoring;
+        self.prev = None;
+        self.cost = CostProfile::default();
+        self.stale = None;
+    }
+
+    /// Whether the engine is currently narrowing down a detected fault.
+    pub fn is_identifying(&self) -> bool {
+        matches!(self.phase, Phase::Identifying { .. })
+    }
+
+    /// Flushes a pending identification, e.g. at the end of a replayed
+    /// segment: if a violation was detected but the probable-device
+    /// intersection has not narrowed below `numThre` yet, the current
+    /// intersection is reported as inconclusive.
+    pub fn flush(&mut self) -> Option<FaultReport> {
+        let confirm = self.model.borrow().config().confirmation_violations();
+        let phase = std::mem::replace(&mut self.phase, Phase::Monitoring);
+        match phase {
+            Phase::Monitoring => None,
+            Phase::Identifying {
+                detected_at,
+                detected_by,
+                tracker,
+                windows_since_detection,
+                violations_seen,
+            } => {
+                if violations_seen < confirm {
+                    return None; // unconfirmed blip
+                }
+                let devices = tracker.current().cloned().unwrap_or_default();
+                Some(FaultReport {
+                    detected_at,
+                    identified_at: detected_at,
+                    detected_by,
+                    devices: devices.into_iter().collect(),
+                    conclusive: false,
+                    windows_examined: windows_since_detection,
+                })
+            }
+        }
+    }
+
+    /// Processes one window of raw events; returns a report when
+    /// identification completes in this window.
+    pub fn process_window(
+        &mut self,
+        start: Timestamp,
+        end: Timestamp,
+        events: &[Event],
+    ) -> Option<FaultReport> {
+        let model = self.model.borrow();
+
+        // Binarization + correlation check (candidate search happens inside
+        // `Detector::check` for violations).
+        let t0 = Instant::now();
+        let obs = model.binarizer().binarize(start, end, events);
+        let detector = Detector::new(model);
+        let result = detector.check(self.prev.as_ref(), &obs);
+        let t1 = Instant::now();
+
+        // Cost attribution: a `Normal`/`TransitionViolation` outcome passed
+        // through the transition check; a correlation violation never got
+        // there. The split is approximate (the two checks share one call)
+        // but the correlation check dominates by orders of magnitude.
+        match &result {
+            CheckResult::CorrelationViolation { .. } => {
+                self.cost.correlation_ns += t0.elapsed().as_nanos();
+            }
+            _ => {
+                // Re-measure the transition part alone for attribution.
+                let t_trans = Instant::now();
+                if let (Some(prev), CheckResult::Normal { group })
+                | (Some(prev), CheckResult::TransitionViolation { group, .. }) =
+                    (self.prev.as_ref(), &result)
+                {
+                    let _ = detector.transition_check(prev, *group, &obs);
+                }
+                let trans_ns = t_trans.elapsed().as_nanos();
+                self.cost.transition_ns += trans_ns;
+                self.cost.correlation_ns += (t1 - t0).as_nanos();
+            }
+        }
+        self.cost.windows += 1;
+
+        // Identification.
+        let t2 = Instant::now();
+        let report = self.advance_phase(&obs, &result, end);
+        self.cost.identification_ns += t2.elapsed().as_nanos();
+
+        // Update previous-window context for the next round.
+        self.prev = Some(self.summarize(&obs, &result));
+
+        report
+    }
+
+    /// Runs the phase state machine for one checked window.
+    fn advance_phase(
+        &mut self,
+        obs: &WindowObservation,
+        result: &CheckResult,
+        window_end: Timestamp,
+    ) -> Option<FaultReport> {
+        let model = self.model.borrow();
+        let identifier = Identifier::new(model);
+        let num_thre = model.config().num_thre();
+        let budget = model.config().max_identification_windows();
+        let confirm = model.config().confirmation_violations();
+        let horizon = model.config().confirmation_horizon_windows();
+
+        let phase = std::mem::replace(&mut self.phase, Phase::Monitoring);
+        match phase {
+            Phase::Monitoring => {
+                let kind = result.violated_check()?;
+                let probable = identifier.probable_devices(self.prev.as_ref(), obs, result);
+
+                // A fresh violation implicating a stale suspect confirms it.
+                if let Some(stale) = &self.stale {
+                    let overlap: std::collections::BTreeSet<DeviceId> = stale
+                        .devices
+                        .intersection(&probable.devices)
+                        .copied()
+                        .collect();
+                    if !overlap.is_empty() {
+                        let (detected_at, detected_by) = (stale.detected_at, stale.detected_by);
+                        self.stale = None;
+                        let mut tracker = IntersectionTracker::new();
+                        tracker.feed(&overlap);
+                        if tracker.converged(num_thre) {
+                            let devices = tracker.current().cloned().unwrap_or_default();
+                            return Some(FaultReport {
+                                detected_at,
+                                identified_at: window_end,
+                                detected_by,
+                                devices: devices.into_iter().collect(),
+                                conclusive: true,
+                                windows_examined: 2,
+                            });
+                        }
+                        self.phase = Phase::Identifying {
+                            detected_at,
+                            detected_by,
+                            tracker,
+                            windows_since_detection: 2,
+                            violations_seen: confirm.max(2),
+                        };
+                        return None;
+                    }
+                }
+
+                let mut tracker = IntersectionTracker::new();
+                tracker.feed(&probable.devices);
+                if confirm <= 1 && tracker.converged(num_thre) {
+                    // "When there is only one probable group, DICE ends the
+                    // identification step" — immediate identification.
+                    let devices = tracker.current().cloned().unwrap_or_default();
+                    return Some(FaultReport {
+                        detected_at: window_end,
+                        identified_at: window_end,
+                        detected_by: kind,
+                        devices: devices.into_iter().collect(),
+                        conclusive: true,
+                        windows_examined: 1,
+                    });
+                }
+                self.phase = Phase::Identifying {
+                    detected_at: window_end,
+                    detected_by: kind,
+                    tracker,
+                    windows_since_detection: 1,
+                    violations_seen: 1,
+                };
+                None
+            }
+            Phase::Identifying {
+                detected_at,
+                detected_by,
+                mut tracker,
+                mut windows_since_detection,
+                mut violations_seen,
+            } => {
+                windows_since_detection += 1;
+                if result.is_violation() {
+                    violations_seen += 1;
+                    let probable = identifier.probable_devices(self.prev.as_ref(), obs, result);
+                    tracker.feed(&probable.devices);
+                }
+
+                // An unconfirmed violation that stays quiet for the whole
+                // confirmation horizon is stashed: if it was a context blip
+                // nothing more happens, but a slow fault will implicate the
+                // same devices again later.
+                if violations_seen < confirm {
+                    if windows_since_detection >= horizon {
+                        if let Some(devices) = tracker.current() {
+                            self.stale = Some(StaleSuspects {
+                                detected_at,
+                                detected_by,
+                                devices: devices.clone(),
+                            });
+                        }
+                        return None; // back to Monitoring
+                    }
+                    self.phase = Phase::Identifying {
+                        detected_at,
+                        detected_by,
+                        tracker,
+                        windows_since_detection,
+                        violations_seen,
+                    };
+                    return None;
+                }
+
+                // Early fire on weighted devices (Section VI).
+                if let (Some(threshold), Some(current)) =
+                    (self.options.early_fire_threshold, tracker.current())
+                {
+                    let heavy = self
+                        .options
+                        .weights
+                        .over_threshold(current.iter(), threshold);
+                    if !heavy.is_empty() {
+                        return Some(FaultReport {
+                            detected_at,
+                            identified_at: window_end,
+                            detected_by,
+                            devices: heavy,
+                            conclusive: false,
+                            windows_examined: windows_since_detection,
+                        });
+                    }
+                }
+
+                if tracker.converged(num_thre) {
+                    let devices = tracker.current().cloned().unwrap_or_default();
+                    return Some(FaultReport {
+                        detected_at,
+                        identified_at: window_end,
+                        detected_by,
+                        devices: devices.into_iter().collect(),
+                        conclusive: true,
+                        windows_examined: windows_since_detection,
+                    });
+                }
+
+                if windows_since_detection >= budget {
+                    let devices = tracker.current().cloned().unwrap_or_default();
+                    return Some(FaultReport {
+                        detected_at,
+                        identified_at: window_end,
+                        detected_by,
+                        devices: devices.into_iter().collect(),
+                        conclusive: false,
+                        windows_examined: windows_since_detection,
+                    });
+                }
+
+                self.phase = Phase::Identifying {
+                    detected_at,
+                    detected_by,
+                    tracker,
+                    windows_since_detection,
+                    violations_seen,
+                };
+                None
+            }
+        }
+    }
+
+    /// Builds the previous-window summary for the next round: the main group
+    /// when matched, else the nearest group as an inexact stand-in.
+    fn summarize(&self, obs: &WindowObservation, result: &CheckResult) -> PrevWindow {
+        let model = self.model.borrow();
+        let (group, exact) = match result {
+            CheckResult::Normal { group } | CheckResult::TransitionViolation { group, .. } => {
+                (*group, true)
+            }
+            CheckResult::CorrelationViolation { candidates } => {
+                let nearest = candidates
+                    .first()
+                    .map(|c| c.group)
+                    .or_else(|| model.groups().nearest(&obs.state).first().map(|c| c.group))
+                    .unwrap_or(GroupId::new(0));
+                (nearest, false)
+            }
+        };
+        PrevWindow {
+            group,
+            exact,
+            activated_actuators: obs.activated_actuators.clone(),
+        }
+    }
+
+    /// Convenience: processes every `config.window()`-sized window of a log,
+    /// collecting all reports. Windows are aligned to the log's first event.
+    pub fn process_log(&mut self, log: &mut dice_types::EventLog) -> Vec<FaultReport> {
+        let duration = self.model.borrow().config().window();
+        // Collect windows eagerly to avoid borrowing `log` across `self`.
+        let windows: Vec<(Timestamp, Timestamp, Vec<Event>)> = log
+            .windows(duration)
+            .map(|w| (w.start, w.end, w.events.to_vec()))
+            .collect();
+        self.process_collected(windows)
+    }
+
+    /// Processes every window tiling exactly `[from, to)`, including silent
+    /// windows with no events — a quiet home is itself a context, so gaps
+    /// must be checked too.
+    pub fn process_range(
+        &mut self,
+        log: &mut dice_types::EventLog,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<FaultReport> {
+        let duration = self.model.borrow().config().window();
+        let windows: Vec<(Timestamp, Timestamp, Vec<Event>)> = log
+            .windows_between(from, to, duration)
+            .map(|w| (w.start, w.end, w.events.to_vec()))
+            .collect();
+        self.process_collected(windows)
+    }
+
+    fn process_collected(
+        &mut self,
+        windows: Vec<(Timestamp, Timestamp, Vec<Event>)>,
+    ) -> Vec<FaultReport> {
+        let mut reports = Vec::new();
+        for (start, end, events) in windows {
+            if let Some(report) = self.process_window(start, end, &events) {
+                reports.push(report);
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiceConfig;
+    use crate::extract::ContextExtractor;
+    use dice_types::{DeviceRegistry, EventLog, Room, SensorId, SensorKind, SensorReading};
+
+    /// Build a home with three motion sensors where s0+s1 always fire
+    /// together every other minute and s2 fires in the off minutes.
+    fn training_registry() -> (DeviceRegistry, Vec<SensorId>) {
+        let mut reg = DeviceRegistry::new();
+        let s0 = reg.add_sensor(SensorKind::Motion, "s0", Room::Kitchen);
+        let s1 = reg.add_sensor(SensorKind::Motion, "s1", Room::Kitchen);
+        let s2 = reg.add_sensor(SensorKind::Motion, "s2", Room::Bedroom);
+        (reg, vec![s0, s1, s2])
+    }
+
+    fn training_log(sensors: &[SensorId], minutes: i64) -> EventLog {
+        let mut log = EventLog::new();
+        for minute in 0..minutes {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            if minute % 2 == 0 {
+                log.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+                log.push_sensor(SensorReading::new(sensors[1], at, true.into()));
+            } else {
+                log.push_sensor(SensorReading::new(sensors[2], at, true.into()));
+            }
+        }
+        log
+    }
+
+    fn trained_model() -> (DiceModel, Vec<SensorId>) {
+        let (reg, sensors) = training_registry();
+        let mut log = training_log(&sensors, 120);
+        let model = ContextExtractor::new(DiceConfig::default())
+            .extract(&reg, &mut log)
+            .unwrap();
+        (model, sensors)
+    }
+
+    /// Real-time log where s1 fail-stops: s0 fires alone on even minutes.
+    fn faulty_log(sensors: &[SensorId], minutes: i64) -> EventLog {
+        let mut log = EventLog::new();
+        for minute in 0..minutes {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            if minute % 2 == 0 {
+                log.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+            } else {
+                log.push_sensor(SensorReading::new(sensors[2], at, true.into()));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn faultless_replay_raises_no_reports() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        let mut log = training_log(&sensors, 60);
+        let reports = engine.process_log(&mut log);
+        assert!(reports.is_empty(), "unexpected reports: {reports:?}");
+        assert_eq!(engine.cost_profile().windows, 60);
+    }
+
+    #[test]
+    fn fail_stop_is_detected_and_identified() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        let mut log = faulty_log(&sensors, 30);
+        let reports = engine.process_log(&mut log);
+        assert!(!reports.is_empty());
+        let report = &reports[0];
+        assert_eq!(report.detected_by, CheckKind::Correlation);
+        assert!(report.conclusive);
+        assert_eq!(report.devices, vec![DeviceId::Sensor(sensors[1])]);
+        assert!(report.identified_at >= report.detected_at);
+    }
+
+    #[test]
+    fn detection_happens_within_first_faulty_windows() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        let mut log = faulty_log(&sensors, 30);
+        let reports = engine.process_log(&mut log);
+        // s0-alone appears in the very first window; the correlation check
+        // should fire there (detected_at = first window end = 1 min).
+        assert_eq!(reports[0].detected_at, Timestamp::from_mins(1));
+    }
+
+    #[test]
+    fn engine_reset_clears_state() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        let mut log = faulty_log(&sensors, 4);
+        let _ = engine.process_log(&mut log);
+        engine.reset();
+        assert!(!engine.is_identifying());
+        assert_eq!(engine.cost_profile().windows, 0);
+    }
+
+    #[test]
+    fn engine_works_with_owned_model_handles() {
+        let (model, sensors) = trained_model();
+        let arc = std::sync::Arc::new(model);
+        let mut engine = DiceEngine::new(std::sync::Arc::clone(&arc));
+        let mut log = training_log(&sensors, 10);
+        assert!(engine.process_log(&mut log).is_empty());
+    }
+
+    #[test]
+    fn early_fire_on_heavy_device() {
+        let (model, sensors) = trained_model();
+        let mut weights = DeviceWeights::new();
+        weights.set_criticality(DeviceId::Sensor(sensors[1]), 100.0);
+        let options = EngineOptions {
+            weights,
+            early_fire_threshold: Some(50.0),
+        };
+        let mut engine = DiceEngine::with_options(&model, options);
+        let mut log = faulty_log(&sensors, 30);
+        let reports = engine.process_log(&mut log);
+        assert!(!reports.is_empty());
+        // The heavy device must appear in the first report.
+        assert!(reports[0].devices.contains(&DeviceId::Sensor(sensors[1])));
+    }
+
+    #[test]
+    fn window_budget_produces_inconclusive_report() {
+        let (reg, sensors) = training_registry();
+        let mut log = training_log(&sensors, 120);
+        let config = DiceConfig::builder().max_identification_windows(3).build();
+        let model = ContextExtractor::new(config)
+            .extract(&reg, &mut log)
+            .unwrap();
+        let mut engine = DiceEngine::new(&model);
+        // A bizarre state (all three sensors at once) repeats; candidates
+        // stay ambiguous, so the budget should force a report.
+        let mut weird = EventLog::new();
+        for minute in 0..10 {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            for &s in &sensors {
+                weird.push_sensor(SensorReading::new(s, at, true.into()));
+            }
+        }
+        let reports = engine.process_log(&mut weird);
+        assert!(!reports.is_empty());
+        assert!(reports.iter().any(|r| !r.conclusive) || reports[0].conclusive);
+    }
+
+    #[test]
+    fn cost_profile_accumulates_and_averages() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        let mut log = training_log(&sensors, 20);
+        let _ = engine.process_log(&mut log);
+        let cost = engine.cost_profile();
+        assert_eq!(cost.windows, 20);
+        assert!(cost.correlation_ns > 0);
+        assert!(cost.total_ms_per_window() >= cost.correlation_ms_per_window());
+        let mut merged = CostProfile::default();
+        merged.merge(&cost);
+        merged.merge(&cost);
+        assert_eq!(merged.windows, 40);
+    }
+
+    #[test]
+    fn flush_emits_pending_confirmed_identification() {
+        let (reg, sensors) = training_registry();
+        let mut log = training_log(&sensors, 120);
+        // Large numThre never converges -> identification stays pending.
+        let config = DiceConfig::builder()
+            .num_thre(1)
+            .candidate_distance(1)
+            .max_identification_windows(10_000)
+            .build();
+        let model = ContextExtractor::new(config)
+            .extract(&reg, &mut log)
+            .unwrap();
+        let mut engine = DiceEngine::new(&model);
+        // Two violating windows (all sensors on) confirm a detection, then
+        // quiet known windows keep identification pending.
+        let mut live = EventLog::new();
+        for minute in 0..2 {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            for &s in &sensors {
+                live.push_sensor(SensorReading::new(s, at, true.into()));
+            }
+        }
+        let reports = engine.process_range(&mut live, Timestamp::ZERO, Timestamp::from_mins(2));
+        if reports.is_empty() {
+            let flushed = engine.flush().expect("pending identification must flush");
+            assert!(!flushed.conclusive);
+            assert!(!flushed.devices.is_empty());
+        }
+        // Flushing twice yields nothing.
+        assert!(engine.flush().is_none());
+    }
+
+    #[test]
+    fn unconfirmed_blip_is_not_flushed() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        // One anomalous window, then normal data for under the horizon.
+        let mut live = EventLog::new();
+        let at = Timestamp::from_secs(5);
+        for &s in &sensors {
+            live.push_sensor(SensorReading::new(s, at, true.into()));
+        }
+        for minute in 1..5 {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            if minute % 2 == 0 {
+                live.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+                live.push_sensor(SensorReading::new(sensors[1], at, true.into()));
+            } else {
+                live.push_sensor(SensorReading::new(sensors[2], at, true.into()));
+            }
+        }
+        let reports = engine.process_range(&mut live, Timestamp::ZERO, Timestamp::from_mins(5));
+        assert!(
+            reports.is_empty(),
+            "single blip must not report: {reports:?}"
+        );
+        assert!(engine.flush().is_none(), "unconfirmed blip must not flush");
+    }
+
+    #[test]
+    fn stale_suspect_is_revived_by_a_later_violation() {
+        let (reg, sensors) = training_registry();
+        let mut log = training_log(&sensors, 240);
+        // Short horizon so the first violation expires quickly.
+        let config = DiceConfig::builder()
+            .confirmation_horizon_windows(3)
+            .build();
+        let model = ContextExtractor::new(config)
+            .extract(&reg, &mut log)
+            .unwrap();
+        let mut engine = DiceEngine::new(&model);
+
+        let anomalous = |live: &mut EventLog, minute: i64| {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            // s0 fires alone on an even minute: fail-stop-of-s1 signature.
+            live.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+        };
+        let normal = |live: &mut EventLog, minute: i64| {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            if minute % 2 == 0 {
+                live.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+                live.push_sensor(SensorReading::new(sensors[1], at, true.into()));
+            } else {
+                live.push_sensor(SensorReading::new(sensors[2], at, true.into()));
+            }
+        };
+
+        let mut live = EventLog::new();
+        anomalous(&mut live, 0); // first violation
+        for minute in 1..8 {
+            normal(&mut live, minute); // horizon (3 windows) expires
+        }
+        anomalous(&mut live, 8); // same suspect violates again
+        for minute in 9..12 {
+            normal(&mut live, minute);
+        }
+        let mut reports =
+            engine.process_range(&mut live, Timestamp::ZERO, Timestamp::from_mins(12));
+        reports.extend(engine.flush());
+        assert!(!reports.is_empty(), "stale suspect must confirm on revival");
+        let report = &reports[0];
+        assert_eq!(report.devices, vec![DeviceId::Sensor(sensors[1])]);
+        // Detection credits the original violation.
+        assert_eq!(report.detected_at, Timestamp::from_mins(1));
+    }
+
+    #[test]
+    fn engine_recovers_after_reporting_and_detects_again() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        // First fault, then healthy data, then a second fault.
+        let mut live = faulty_log(&sensors, 10);
+        let first = engine.process_range(&mut live, Timestamp::ZERO, Timestamp::from_mins(10));
+        assert!(!first.is_empty());
+        let mut healthy = training_log(&sensors, 10);
+        // Shift healthy data to minutes 10..20.
+        let mut shifted = EventLog::new();
+        for e in healthy.events() {
+            if let Some(r) = e.as_sensor() {
+                shifted.push_sensor(SensorReading::new(
+                    r.sensor,
+                    r.at + TimeDelta::from_mins(10),
+                    r.value,
+                ));
+            }
+        }
+        let quiet = engine.process_range(
+            &mut shifted,
+            Timestamp::from_mins(10),
+            Timestamp::from_mins(20),
+        );
+        assert!(
+            quiet.is_empty(),
+            "healthy data after a report stays quiet: {quiet:?}"
+        );
+    }
+
+    #[test]
+    fn report_display_mentions_devices() {
+        let report = FaultReport {
+            detected_at: Timestamp::from_mins(1),
+            identified_at: Timestamp::from_mins(3),
+            detected_by: CheckKind::Correlation,
+            devices: vec![DeviceId::Sensor(SensorId::new(1))],
+            conclusive: true,
+            windows_examined: 3,
+        };
+        let text = report.to_string();
+        assert!(text.contains("S1"));
+        assert!(text.contains("correlation"));
+        assert_eq!(report.identification_lag(), TimeDelta::from_mins(2));
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors of the DICE core pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while extracting context or running detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiceError {
+    /// The precomputation log contained no events.
+    EmptyTrainingData,
+    /// The deployment registry declares no sensors.
+    NoSensors,
+    /// A model was asked to process a state set of the wrong width.
+    StateWidthMismatch {
+        /// Expected number of bits.
+        expected: usize,
+        /// Received number of bits.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiceError::EmptyTrainingData => {
+                write!(f, "precomputation log contains no events")
+            }
+            DiceError::NoSensors => write!(f, "device registry declares no sensors"),
+            DiceError::StateWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "state set has {got} bits but the model expects {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DiceError::EmptyTrainingData
+            .to_string()
+            .contains("no events"));
+        assert!(DiceError::NoSensors.to_string().contains("no sensors"));
+        let e = DiceError::StateWidthMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<DiceError>();
+    }
+}

@@ -1,0 +1,486 @@
+//! Compact binary persistence for [`DiceModel`].
+//!
+//! The precomputation phase runs once over hundreds of hours of data; a
+//! gateway should persist its result and reload it at boot. The format is a
+//! small hand-rolled little-endian codec (magic + version + sections), so no
+//! serialization-format dependency is needed and models stay portable across
+//! builds of the same major version.
+//!
+//! # Example
+//!
+//! ```
+//! use dice_core::{read_model, write_model, ContextExtractor, DiceConfig};
+//! use dice_types::{DeviceRegistry, EventLog, Room, SensorKind, SensorReading, Timestamp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut reg = DeviceRegistry::new();
+//! # let m = reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+//! # let mut log = EventLog::new();
+//! # for minute in 0..10 {
+//! #     log.push_sensor(SensorReading::new(m, Timestamp::from_mins(minute), (minute % 2 == 0).into()));
+//! # }
+//! let model = ContextExtractor::new(DiceConfig::default()).extract(&reg, &mut log)?;
+//! let mut buffer = Vec::new();
+//! write_model(&model, &mut buffer)?;
+//! let restored = read_model(buffer.as_slice())?;
+//! assert_eq!(restored, model);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use dice_types::TimeDelta;
+
+use crate::binarize::{Binarizer, Thresholds};
+use crate::bitset::BitSet;
+use crate::config::DiceConfig;
+use crate::groups::GroupTable;
+use crate::layout::{BitLayout, NUMERIC_SPAN_WIDTH};
+use crate::model::DiceModel;
+use crate::transition::{TransitionCounts, TransitionModel};
+
+const MAGIC: &[u8; 4] = b"DICE";
+const VERSION: u16 = 1;
+
+/// Errors raised while persisting or loading a model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a DICE model file.
+    BadMagic,
+    /// The file version is not supported by this build.
+    UnsupportedVersion(u16),
+    /// A structural inconsistency in the encoded data.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model i/o error: {e}"),
+            ModelIoError::BadMagic => write!(f, "not a DICE model file"),
+            ModelIoError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            ModelIoError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+// --- primitive helpers -----------------------------------------------------
+
+fn put_u8<W: Write>(w: &mut W, v: u8) -> Result<(), ModelIoError> {
+    Ok(w.write_all(&[v])?)
+}
+fn put_u16<W: Write>(w: &mut W, v: u16) -> Result<(), ModelIoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+fn put_u32<W: Write>(w: &mut W, v: u32) -> Result<(), ModelIoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+fn put_u64<W: Write>(w: &mut W, v: u64) -> Result<(), ModelIoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+fn put_i64<W: Write>(w: &mut W, v: i64) -> Result<(), ModelIoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+fn put_f64<W: Write>(w: &mut W, v: f64) -> Result<(), ModelIoError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+fn get_u8<R: Read>(r: &mut R) -> Result<u8, ModelIoError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+fn get_u16<R: Read>(r: &mut R) -> Result<u16, ModelIoError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn get_u32<R: Read>(r: &mut R) -> Result<u32, ModelIoError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn get_u64<R: Read>(r: &mut R) -> Result<u64, ModelIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn get_i64<R: Read>(r: &mut R) -> Result<i64, ModelIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+fn get_f64<R: Read>(r: &mut R) -> Result<f64, ModelIoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+// --- sections ----------------------------------------------------------------
+
+fn write_config<W: Write>(w: &mut W, config: &DiceConfig) -> Result<(), ModelIoError> {
+    put_i64(w, config.window().as_secs())?;
+    put_u32(w, config.max_faults() as u32)?;
+    put_u32(w, config.num_thre() as u32)?;
+    match config.candidate_distance_override() {
+        Some(d) => {
+            put_u8(w, 1)?;
+            put_u32(w, d)?;
+        }
+        None => put_u8(w, 0)?,
+    }
+    put_u32(w, config.max_identification_windows() as u32)?;
+    put_u8(w, u8::from(config.nearest_only_identification()))?;
+    put_u64(w, config.min_row_support())?;
+    put_u32(w, config.confirmation_violations() as u32)?;
+    put_u32(w, config.confirmation_horizon_windows() as u32)?;
+    Ok(())
+}
+
+fn read_config<R: Read>(r: &mut R) -> Result<DiceConfig, ModelIoError> {
+    let window_secs = get_i64(r)?;
+    if window_secs <= 0 {
+        return Err(ModelIoError::Corrupt("non-positive window"));
+    }
+    let max_faults = get_u32(r)? as usize;
+    let num_thre = get_u32(r)? as usize;
+    if max_faults == 0 || num_thre == 0 {
+        return Err(ModelIoError::Corrupt("zero fault/threshold parameters"));
+    }
+    let mut builder = DiceConfig::builder()
+        .window(TimeDelta::from_secs(window_secs))
+        .max_faults(max_faults)
+        .num_thre(num_thre);
+    if get_u8(r)? == 1 {
+        builder = builder.candidate_distance(get_u32(r)?);
+    }
+    let max_ident = get_u32(r)? as usize;
+    if max_ident == 0 {
+        return Err(ModelIoError::Corrupt("zero identification budget"));
+    }
+    builder = builder.max_identification_windows(max_ident);
+    builder = builder.nearest_only_identification(get_u8(r)? == 1);
+    builder = builder.min_row_support(get_u64(r)?);
+    let confirm = get_u32(r)? as usize;
+    if confirm == 0 {
+        return Err(ModelIoError::Corrupt("zero confirmation count"));
+    }
+    builder = builder.confirmation_violations(confirm);
+    builder = builder.confirmation_horizon_windows(get_u32(r)? as usize);
+    Ok(builder.build())
+}
+
+fn write_counts<W: Write>(w: &mut W, counts: &TransitionCounts) -> Result<(), ModelIoError> {
+    let entries = counts.entries();
+    put_u32(w, entries.len() as u32)?;
+    for (from, to, n) in entries {
+        put_u32(w, from)?;
+        put_u32(w, to)?;
+        put_u64(w, n)?;
+    }
+    Ok(())
+}
+
+fn read_counts<R: Read>(r: &mut R, counts: &mut TransitionCounts) -> Result<(), ModelIoError> {
+    let n = get_u32(r)?;
+    for _ in 0..n {
+        let from = get_u32(r)?;
+        let to = get_u32(r)?;
+        let count = get_u64(r)?;
+        if count == 0 {
+            return Err(ModelIoError::Corrupt("zero transition count entry"));
+        }
+        counts.record_n(from, to, count);
+    }
+    Ok(())
+}
+
+/// Writes a model to `writer` in the compact binary format.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_model<W: Write>(model: &DiceModel, mut writer: W) -> Result<(), ModelIoError> {
+    let w = &mut writer;
+    w.write_all(MAGIC)?;
+    put_u16(w, VERSION)?;
+    write_config(w, model.config())?;
+
+    // Layout: per-sensor span widths.
+    let layout = model.layout();
+    put_u32(w, layout.num_sensors() as u32)?;
+    for sensor in 0..layout.num_sensors() {
+        put_u8(
+            w,
+            layout.span(dice_types::SensorId::new(sensor as u32)).width as u8,
+        )?;
+    }
+
+    // Thresholds.
+    for value in model.binarizer().thresholds().values() {
+        match value {
+            Some(v) => {
+                put_u8(w, 1)?;
+                put_f64(w, *v)?;
+            }
+            None => put_u8(w, 0)?,
+        }
+    }
+
+    // Groups.
+    let groups = model.groups();
+    put_u32(w, groups.num_bits() as u32)?;
+    put_u32(w, groups.len() as u32)?;
+    for (id, state) in groups.iter() {
+        for &word in state.as_words() {
+            put_u64(w, word)?;
+        }
+        put_u64(w, groups.count(id))?;
+    }
+
+    // Transitions.
+    write_counts(w, model.transitions().g2g())?;
+    write_counts(w, model.transitions().g2a())?;
+    write_counts(w, model.transitions().a2g())?;
+
+    put_u32(w, model.num_actuators() as u32)?;
+    put_u64(w, model.training_windows())?;
+    Ok(())
+}
+
+/// Reads a model previously written by [`write_model`].
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ModelIoError::BadMagic`] / [`ModelIoError::UnsupportedVersion`]
+/// for foreign data and [`ModelIoError::Corrupt`] for structural damage.
+pub fn read_model<R: Read>(mut reader: R) -> Result<DiceModel, ModelIoError> {
+    let r = &mut reader;
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ModelIoError::BadMagic);
+    }
+    let version = get_u16(r)?;
+    if version != VERSION {
+        return Err(ModelIoError::UnsupportedVersion(version));
+    }
+    let config = read_config(r)?;
+
+    // Counts come from untrusted bytes: cap eager allocation so a corrupted
+    // length field cannot request gigabytes before the stream runs dry.
+    const PREALLOC_CAP: usize = 65_536;
+
+    let num_sensors = get_u32(r)? as usize;
+    let mut widths = Vec::with_capacity(num_sensors.min(PREALLOC_CAP));
+    for _ in 0..num_sensors {
+        let width = get_u8(r)? as usize;
+        if width != 1 && width != NUMERIC_SPAN_WIDTH {
+            return Err(ModelIoError::Corrupt("invalid span width"));
+        }
+        widths.push(width);
+    }
+    let layout = BitLayout::from_widths(&widths);
+
+    let mut thresholds = Vec::with_capacity(num_sensors.min(PREALLOC_CAP));
+    for _ in 0..num_sensors {
+        thresholds.push(match get_u8(r)? {
+            0 => None,
+            1 => Some(get_f64(r)?),
+            _ => return Err(ModelIoError::Corrupt("invalid threshold flag")),
+        });
+    }
+    let binarizer = Binarizer::new(layout.clone(), Thresholds::from_values(thresholds));
+
+    let num_bits = get_u32(r)? as usize;
+    if num_bits != layout.num_bits() {
+        return Err(ModelIoError::Corrupt("bit count disagrees with layout"));
+    }
+    let num_groups = get_u32(r)? as usize;
+    let words_per_state = num_bits.div_ceil(64);
+    let mut groups = GroupTable::new(num_bits);
+    for _ in 0..num_groups {
+        let mut words = Vec::with_capacity(words_per_state.min(PREALLOC_CAP));
+        for _ in 0..words_per_state {
+            words.push(get_u64(r)?);
+        }
+        if !num_bits.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (num_bits % 64) != 0 {
+                    return Err(ModelIoError::Corrupt("state bits beyond layout width"));
+                }
+            }
+        }
+        let count = get_u64(r)?;
+        if count == 0 {
+            return Err(ModelIoError::Corrupt("zero group count"));
+        }
+        let state = BitSet::from_words(num_bits, words);
+        if groups.lookup(&state).is_some() {
+            return Err(ModelIoError::Corrupt("duplicate group state"));
+        }
+        groups.insert_with_count(state, count);
+    }
+
+    let mut transitions = TransitionModel::new();
+    read_counts(r, transitions.g2g_mut())?;
+    read_counts(r, transitions.g2a_mut())?;
+    read_counts(r, transitions.a2g_mut())?;
+
+    let num_actuators = get_u32(r)? as usize;
+    let training_windows = get_u64(r)?;
+
+    Ok(DiceModel::from_parts(
+        config,
+        binarizer,
+        groups,
+        transitions,
+        num_actuators,
+        training_windows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::ThresholdTrainer;
+    use crate::extract::ModelBuilder;
+    use dice_types::{
+        ActuatorEvent, ActuatorKind, DeviceRegistry, Event, Room, SensorKind, SensorReading,
+        Timestamp,
+    };
+
+    fn sample_model() -> DiceModel {
+        let mut reg = DeviceRegistry::new();
+        let m = reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+        let t = reg.add_sensor(SensorKind::Temperature, "t", Room::Kitchen);
+        let b = reg.add_actuator(ActuatorKind::SmartBulb, "hue", Room::Kitchen);
+        let mut trainer = ThresholdTrainer::new(&reg);
+        for i in 0..10 {
+            trainer.observe(&Event::from(SensorReading::new(
+                t,
+                Timestamp::from_secs(i),
+                (20.0 + i as f64).into(),
+            )));
+        }
+        let config = DiceConfig::builder()
+            .max_faults(2)
+            .num_thre(2)
+            .candidate_distance(4)
+            .min_row_support(3)
+            .build();
+        let mut builder = ModelBuilder::new(config, &reg, trainer.finish()).unwrap();
+        for minute in 0..30 {
+            let start = Timestamp::from_mins(minute);
+            let end = Timestamp::from_mins(minute + 1);
+            let mut events: Vec<Event> = Vec::new();
+            if minute % 2 == 0 {
+                events.push(SensorReading::new(m, start, true.into()).into());
+                events.push(ActuatorEvent::new(b, start, true).into());
+            }
+            events.push(SensorReading::new(t, start, (18.0 + (minute % 5) as f64).into()).into());
+            builder.observe_window(start, end, &events);
+        }
+        builder.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let model = sample_model();
+        let mut buffer = Vec::new();
+        write_model(&model, &mut buffer).unwrap();
+        let restored = read_model(buffer.as_slice()).unwrap();
+        assert_eq!(restored, model);
+        assert_eq!(restored.config(), model.config());
+        assert_eq!(restored.correlation_degree(), model.correlation_degree());
+        // The exact-match index must be functional without rebuild_index.
+        for (id, state) in model.groups().iter() {
+            assert_eq!(restored.groups().lookup(state), Some(id));
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_model(&b"NOPE...."[..]).unwrap_err();
+        assert!(matches!(err, ModelIoError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut buffer = Vec::new();
+        write_model(&sample_model(), &mut buffer).unwrap();
+        buffer[4] = 0xFF; // clobber version
+        let err = read_model(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ModelIoError::UnsupportedVersion(_)));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut buffer = Vec::new();
+        write_model(&sample_model(), &mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        let err = read_model(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, ModelIoError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn corrupt_span_width_is_detected() {
+        let mut buffer = Vec::new();
+        write_model(&sample_model(), &mut buffer).unwrap();
+        // The first span-width byte sits right after magic(4) + version(2) +
+        // config block + sensor count(4). Find it by writing a model with a
+        // known prefix length instead: easier to corrupt the whole tail.
+        // Corrupt every byte after the header until decoding fails with a
+        // structured error at least once.
+        let mut structured_failure = false;
+        for i in 6..buffer.len().min(80) {
+            let mut bad = buffer.clone();
+            bad[i] ^= 0x5A;
+            match read_model(bad.as_slice()) {
+                Err(ModelIoError::Corrupt(_)) => {
+                    structured_failure = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        assert!(
+            structured_failure,
+            "no corruption was detected structurally"
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ModelIoError::BadMagic.to_string().contains("DICE"));
+        assert!(ModelIoError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(ModelIoError::Corrupt("x").to_string().contains('x'));
+    }
+}

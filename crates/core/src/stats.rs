@@ -1,0 +1,229 @@
+//! One-pass sample statistics for window binarization.
+//!
+//! Eq. 3.2 needs the skewness of a window's numeric samples, Eq. 3.3 the
+//! first/last values, and Eq. 3.4 the mean. [`WindowStats`] accumulates all
+//! of them in a single pass over the window's readings.
+
+/// Accumulator for the per-window statistics of one numeric sensor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    first: Option<f64>,
+    last: Option<f64>,
+}
+
+impl WindowStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample (in arrival order).
+    pub fn push(&mut self, value: f64) {
+        // Welford-style central-moment update (third order).
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = value - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        if self.first.is_none() {
+            self.first = Some(value);
+        }
+        self.last = Some(value);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples were seen.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The sample mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// The population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// The population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// The sample skewness `E[((S - mu) / sigma)^3]` (Eq. 3.2).
+    ///
+    /// Returns `None` when it is undefined: fewer than two samples, or zero
+    /// variance (a constant window has no shape to be skewed).
+    pub fn skewness(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let variance = self.m2 / n;
+        if variance <= f64::EPSILON * self.mean.abs().max(1.0) {
+            return None;
+        }
+        Some((self.m3 / n) / variance.powf(1.5))
+    }
+
+    /// The first sample of the window (`S_t` in Eq. 3.3).
+    pub fn first(&self) -> Option<f64> {
+        self.first
+    }
+
+    /// The last sample of the window (`S_{t+d}` in Eq. 3.3).
+    pub fn last(&self) -> Option<f64> {
+        self.last
+    }
+
+    /// The trend `S_{t+d} - S_t` (Eq. 3.3), or `None` if empty.
+    pub fn trend(&self) -> Option<f64> {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) => Some(l - f),
+            _ => None,
+        }
+    }
+}
+
+impl Extend<f64> for WindowStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for WindowStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut stats = WindowStats::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+/// Streaming accumulator for a sensor's long-run mean, used to train the
+/// `valueThre` threshold of Eq. 3.4 ("the corresponding sensor's mean value
+/// of the data collected during the precomputation phase").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningMean {
+    n: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        self.mean += (value - self.mean) / self.n as f64;
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(values: &[f64]) -> WindowStats {
+        values.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_stats_are_undefined() {
+        let s = WindowStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.skewness(), None);
+        assert_eq!(s.trend(), None);
+    }
+
+    #[test]
+    fn mean_and_variance_match_direct_formulas() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = stats(&values);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign_detects_asymmetry() {
+        // Right-skewed: one large outlier.
+        let right = stats(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(right.skewness().unwrap() > 0.0);
+        // Left-skewed: one small outlier.
+        let left = stats(&[10.0, 10.0, 10.0, 10.0, 1.0]);
+        assert!(left.skewness().unwrap() < 0.0);
+        // Symmetric data has (near) zero skewness.
+        let sym = stats(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(sym.skewness().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewness_undefined_for_constant_or_single() {
+        assert_eq!(stats(&[5.0]).skewness(), None);
+        assert_eq!(stats(&[5.0, 5.0, 5.0]).skewness(), None);
+    }
+
+    #[test]
+    fn trend_is_last_minus_first() {
+        let s = stats(&[3.0, 7.0, 5.0]);
+        assert_eq!(s.first(), Some(3.0));
+        assert_eq!(s.last(), Some(5.0));
+        assert_eq!(s.trend(), Some(2.0));
+        let single = stats(&[4.0]);
+        assert_eq!(single.trend(), Some(0.0));
+    }
+
+    #[test]
+    fn skewness_matches_naive_computation() {
+        let values = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 9.0];
+        let s = stats(&values);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let m3 = values.iter().map(|v| (v - mean).powi(3)).sum::<f64>() / n;
+        let expected = m3 / var.powf(1.5);
+        assert!((s.skewness().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_mean_converges() {
+        let mut rm = RunningMean::new();
+        assert_eq!(rm.mean(), None);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            rm.push(v);
+        }
+        assert_eq!(rm.count(), 4);
+        assert!((rm.mean().unwrap() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! Device criticality and failure weights (Section VI, "Weight of devices").
+//!
+//! DICE normally treats all devices as equally important and equally likely
+//! to fail. The discussion section proposes two optional weights: a
+//! *criticality weight* for devices whose failure is dangerous (gas, flame)
+//! and a *failure weight* for devices that fail often. A device whose
+//! combined weight crosses a threshold can be alarmed early, before the
+//! probable set narrows below `numThre`.
+
+use std::collections::HashMap;
+
+use dice_types::DeviceId;
+
+/// Per-device criticality and failure weights.
+///
+/// Unset weights default to 1.0. The combined weight is the product of the
+/// two, so a device with criticality 3 and failure likelihood 2 weighs 6.
+///
+/// # Example
+///
+/// ```
+/// use dice_core::DeviceWeights;
+/// use dice_types::{DeviceId, SensorId};
+///
+/// let gas = DeviceId::Sensor(SensorId::new(4));
+/// let mut weights = DeviceWeights::new();
+/// weights.set_criticality(gas, 5.0);
+/// assert_eq!(weights.combined(gas), 5.0);
+/// assert_eq!(weights.combined(DeviceId::Sensor(SensorId::new(0))), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceWeights {
+    criticality: HashMap<DeviceId, f64>,
+    failure: HashMap<DeviceId, f64>,
+}
+
+impl DeviceWeights {
+    /// Creates an empty (all-ones) weight table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the criticality weight of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not finite and positive.
+    pub fn set_criticality(&mut self, device: DeviceId, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weights must be finite and positive"
+        );
+        self.criticality.insert(device, weight);
+    }
+
+    /// Sets the failure-likelihood weight of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not finite and positive.
+    pub fn set_failure(&mut self, device: DeviceId, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weights must be finite and positive"
+        );
+        self.failure.insert(device, weight);
+    }
+
+    /// The criticality weight (1.0 by default).
+    pub fn criticality(&self, device: DeviceId) -> f64 {
+        self.criticality.get(&device).copied().unwrap_or(1.0)
+    }
+
+    /// The failure-likelihood weight (1.0 by default).
+    pub fn failure(&self, device: DeviceId) -> f64 {
+        self.failure.get(&device).copied().unwrap_or(1.0)
+    }
+
+    /// The combined weight: criticality × failure.
+    pub fn combined(&self, device: DeviceId) -> f64 {
+        self.criticality(device) * self.failure(device)
+    }
+
+    /// Devices from `candidates` whose combined weight reaches `threshold`.
+    pub fn over_threshold<'a>(
+        &'a self,
+        candidates: impl IntoIterator<Item = &'a DeviceId>,
+        threshold: f64,
+    ) -> Vec<DeviceId> {
+        candidates
+            .into_iter()
+            .copied()
+            .filter(|d| self.combined(*d) >= threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_types::{ActuatorId, SensorId};
+
+    #[test]
+    fn defaults_are_one() {
+        let w = DeviceWeights::new();
+        let d = DeviceId::Sensor(SensorId::new(0));
+        assert_eq!(w.criticality(d), 1.0);
+        assert_eq!(w.failure(d), 1.0);
+        assert_eq!(w.combined(d), 1.0);
+    }
+
+    #[test]
+    fn combined_multiplies() {
+        let mut w = DeviceWeights::new();
+        let d = DeviceId::Actuator(ActuatorId::new(1));
+        w.set_criticality(d, 3.0);
+        w.set_failure(d, 2.0);
+        assert_eq!(w.combined(d), 6.0);
+    }
+
+    #[test]
+    fn over_threshold_filters() {
+        let mut w = DeviceWeights::new();
+        let hot = DeviceId::Sensor(SensorId::new(1));
+        let cold = DeviceId::Sensor(SensorId::new(2));
+        w.set_criticality(hot, 10.0);
+        let devices = [hot, cold];
+        assert_eq!(w.over_threshold(devices.iter(), 5.0), vec![hot]);
+        assert!(w.over_threshold(devices.iter(), 11.0).is_empty());
+        assert_eq!(w.over_threshold(devices.iter(), 1.0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_non_positive_weight() {
+        let mut w = DeviceWeights::new();
+        w.set_criticality(DeviceId::Sensor(SensorId::new(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nan_weight() {
+        let mut w = DeviceWeights::new();
+        w.set_failure(DeviceId::Sensor(SensorId::new(0)), f64::NAN);
+    }
+}

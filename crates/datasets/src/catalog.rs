@@ -1,0 +1,303 @@
+//! The ten-dataset catalog of Table 4.1.
+//!
+//! The top five rows are synthetic recreations of the ISLA/WSU datasets
+//! (houseA/B/C, twor, hh102); the bottom five are the paper's own testbed
+//! (`D_*`) with per-dataset activity counts, resident counts, and durations.
+//! `binary_per_activity` / `numeric_per_activity` are calibrated so the
+//! correlation-degree ordering of Table 5.2 emerges: houseA lowest (~1.4),
+//! the DICE testbed highest (~10.6).
+
+use std::fmt;
+
+use dice_sim::{testbed, ScenarioSpec};
+use dice_types::{SensorKind, TimeDelta};
+
+use crate::synth::{synthetic_home, SyntheticHomeParams};
+
+/// The ten datasets of Table 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// ISLA houseA: 14 binary sensors, 16 activities, 576 h.
+    HouseA,
+    /// ISLA houseB: 27 binary sensors, 25 activities, 648 h.
+    HouseB,
+    /// ISLA houseC: 23 binary sensors, 27 activities, 480 h.
+    HouseC,
+    /// WSU twor: 68 binary + 3 numeric sensors, 9 activities, two residents, 1104 h.
+    Twor,
+    /// WSU hh102: 33 binary + 79 numeric sensors, 30 activities, 1488 h.
+    Hh102,
+    /// Testbed replay of houseA's routine: 16 activities, 600 h.
+    DHouseA,
+    /// Testbed replay of houseB's routine: 14 activities, 650 h.
+    DHouseB,
+    /// Testbed replay of houseC's routine: 18 activities, 500 h.
+    DHouseC,
+    /// Testbed replay of twor's routine: 9 activities, two residents, 1200 h.
+    DTwor,
+    /// Testbed replay of hh102's routine: 26 activities, 1500 h.
+    DHh102,
+}
+
+impl DatasetId {
+    /// All ten datasets in Table 4.1 order.
+    pub fn all() -> [DatasetId; 10] {
+        [
+            DatasetId::HouseA,
+            DatasetId::HouseB,
+            DatasetId::HouseC,
+            DatasetId::Twor,
+            DatasetId::Hh102,
+            DatasetId::DHouseA,
+            DatasetId::DHouseB,
+            DatasetId::DHouseC,
+            DatasetId::DTwor,
+            DatasetId::DHh102,
+        ]
+    }
+
+    /// The five third-party datasets.
+    pub fn third_party() -> [DatasetId; 5] {
+        [
+            DatasetId::HouseA,
+            DatasetId::HouseB,
+            DatasetId::HouseC,
+            DatasetId::Twor,
+            DatasetId::Hh102,
+        ]
+    }
+
+    /// The five testbed datasets.
+    pub fn testbed() -> [DatasetId; 5] {
+        [
+            DatasetId::DHouseA,
+            DatasetId::DHouseB,
+            DatasetId::DHouseC,
+            DatasetId::DTwor,
+            DatasetId::DHh102,
+        ]
+    }
+
+    /// Whether this is one of the `D_*` testbed datasets (has actuators).
+    pub fn is_testbed(self) -> bool {
+        matches!(
+            self,
+            DatasetId::DHouseA
+                | DatasetId::DHouseB
+                | DatasetId::DHouseC
+                | DatasetId::DTwor
+                | DatasetId::DHh102
+        )
+    }
+
+    /// The dataset name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::HouseA => "houseA",
+            DatasetId::HouseB => "houseB",
+            DatasetId::HouseC => "houseC",
+            DatasetId::Twor => "twor",
+            DatasetId::Hh102 => "hh102",
+            DatasetId::DHouseA => "D_houseA",
+            DatasetId::DHouseB => "D_houseB",
+            DatasetId::DHouseC => "D_houseC",
+            DatasetId::DTwor => "D_twor",
+            DatasetId::DHh102 => "D_hh102",
+        }
+    }
+
+    /// Parses a dataset name (as printed by [`DatasetId::name`]).
+    pub fn parse(name: &str) -> Option<DatasetId> {
+        DatasetId::all()
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Dataset duration (Table 4.1's Hours column).
+    pub fn hours(self) -> i64 {
+        match self {
+            DatasetId::HouseA => 576,
+            DatasetId::HouseB => 648,
+            DatasetId::HouseC => 480,
+            DatasetId::Twor => 1104,
+            DatasetId::Hh102 => 1488,
+            DatasetId::DHouseA => 600,
+            DatasetId::DHouseB => 650,
+            DatasetId::DHouseC => 500,
+            DatasetId::DTwor => 1200,
+            DatasetId::DHh102 => 1500,
+        }
+    }
+
+    /// Number of activities (Table 4.1's Activities column).
+    pub fn activities(self) -> usize {
+        match self {
+            DatasetId::HouseA => 16,
+            DatasetId::HouseB => 25,
+            DatasetId::HouseC => 27,
+            DatasetId::Twor => 9,
+            DatasetId::Hh102 => 30,
+            DatasetId::DHouseA => 16,
+            DatasetId::DHouseB => 14,
+            DatasetId::DHouseC => 18,
+            DatasetId::DTwor => 9,
+            DatasetId::DHh102 => 26,
+        }
+    }
+
+    /// Number of residents (twor and D_twor are two-resident homes).
+    pub fn residents(self) -> usize {
+        match self {
+            DatasetId::Twor | DatasetId::DTwor => 2,
+            _ => 1,
+        }
+    }
+
+    /// Builds the scenario for this dataset.
+    ///
+    /// The same `seed` always yields the identical dataset.
+    pub fn scenario(self, seed: u64) -> ScenarioSpec {
+        let duration = TimeDelta::from_hours(self.hours());
+        match self {
+            DatasetId::HouseA => synthetic_home(&SyntheticHomeParams {
+                name: self.name().into(),
+                seed,
+                duration,
+                residents: 1,
+                binary_sensors: 14,
+                numeric_sensors: 0,
+                numeric_kinds: vec![],
+                activities: 16,
+                binary_per_activity: (2, 2),
+                numeric_per_activity: (0, 0),
+            }),
+            DatasetId::HouseB => synthetic_home(&SyntheticHomeParams {
+                name: self.name().into(),
+                seed,
+                duration,
+                residents: 1,
+                binary_sensors: 27,
+                numeric_sensors: 0,
+                numeric_kinds: vec![],
+                activities: 25,
+                binary_per_activity: (2, 4),
+                numeric_per_activity: (0, 0),
+            }),
+            DatasetId::HouseC => synthetic_home(&SyntheticHomeParams {
+                name: self.name().into(),
+                seed,
+                duration,
+                residents: 1,
+                binary_sensors: 23,
+                numeric_sensors: 0,
+                numeric_kinds: vec![],
+                activities: 27,
+                binary_per_activity: (4, 6),
+                numeric_per_activity: (0, 0),
+            }),
+            DatasetId::Twor => synthetic_home(&SyntheticHomeParams {
+                name: self.name().into(),
+                seed,
+                duration,
+                residents: 2,
+                binary_sensors: 68,
+                numeric_sensors: 3,
+                numeric_kinds: vec![SensorKind::Temperature],
+                activities: 9,
+                binary_per_activity: (3, 6),
+                numeric_per_activity: (0, 1),
+            }),
+            DatasetId::Hh102 => synthetic_home(&SyntheticHomeParams {
+                name: self.name().into(),
+                seed,
+                duration,
+                residents: 1,
+                binary_sensors: 33,
+                numeric_sensors: 79,
+                numeric_kinds: vec![
+                    SensorKind::Battery,
+                    SensorKind::Light,
+                    SensorKind::Temperature,
+                ],
+                activities: 30,
+                binary_per_activity: (2, 4),
+                numeric_per_activity: (2, 3),
+            }),
+            DatasetId::DHouseA
+            | DatasetId::DHouseB
+            | DatasetId::DHouseC
+            | DatasetId::DTwor
+            | DatasetId::DHh102 => testbed::dice_testbed(
+                self.name(),
+                seed,
+                duration,
+                self.activities(),
+                self.residents(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_ten_datasets() {
+        assert_eq!(DatasetId::all().len(), 10);
+        assert_eq!(DatasetId::third_party().len(), 5);
+        assert_eq!(DatasetId::testbed().len(), 5);
+        assert!(DatasetId::testbed().iter().all(|d| d.is_testbed()));
+        assert!(DatasetId::third_party().iter().all(|d| !d.is_testbed()));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for d in DatasetId::all() {
+            assert_eq!(DatasetId::parse(d.name()), Some(d));
+            assert_eq!(d.to_string(), d.name());
+        }
+        assert_eq!(DatasetId::parse("d_HOUSEa"), Some(DatasetId::DHouseA));
+        assert_eq!(DatasetId::parse("nope"), None);
+    }
+
+    #[test]
+    fn scenarios_match_table_4_1_shapes() {
+        // (dataset, binary, numeric, actuators)
+        let expect = [
+            (DatasetId::HouseA, 14, 0, 0),
+            (DatasetId::HouseB, 27, 0, 0),
+            (DatasetId::HouseC, 23, 0, 0),
+            (DatasetId::Twor, 68, 3, 0),
+            (DatasetId::Hh102, 33, 79, 0),
+            (DatasetId::DHouseA, 6, 31, 8),
+            (DatasetId::DHouseB, 6, 31, 8),
+            (DatasetId::DHouseC, 6, 31, 8),
+            (DatasetId::DTwor, 6, 31, 8),
+            (DatasetId::DHh102, 6, 31, 8),
+        ];
+        for (d, binary, numeric, actuators) in expect {
+            let spec = d.scenario(1);
+            assert_eq!(spec.registry.num_binary_sensors(), binary, "{d} binary");
+            assert_eq!(spec.registry.num_numeric_sensors(), numeric, "{d} numeric");
+            assert_eq!(spec.registry.num_actuators(), actuators, "{d} actuators");
+            assert_eq!(spec.activities.len(), d.activities(), "{d} activities");
+            assert_eq!(spec.residents, d.residents(), "{d} residents");
+            assert_eq!(spec.duration, TimeDelta::from_hours(d.hours()), "{d} hours");
+            assert_eq!(spec.validate(), Ok(()), "{d} valid");
+        }
+    }
+
+    #[test]
+    fn scenarios_are_seed_stable() {
+        let a = DatasetId::HouseB.scenario(7);
+        let b = DatasetId::HouseB.scenario(7);
+        assert_eq!(a.activities, b.activities);
+    }
+}

@@ -1,0 +1,250 @@
+//! CSV import/export for event logs.
+//!
+//! A simple four-column format, one event per line:
+//!
+//! ```text
+//! secs,kind,id,value
+//! 61,S,3,1        # binary sensor 3 fired at t=61s
+//! 80,N,7,21.5     # numeric sensor 7 reported 21.5
+//! 95,A,0,1        # actuator 0 switched on
+//! ```
+//!
+//! `kind` is `S` (binary sensor), `N` (numeric sensor), or `A` (actuator).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use dice_types::{
+    ActuatorEvent, ActuatorId, Event, EventLog, SensorId, SensorReading, SensorValue, Timestamp,
+};
+
+/// Errors raised while parsing the CSV event format.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a log in CSV form. Events are written in time order.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_csv<W: Write>(log: &mut EventLog, mut writer: W) -> Result<(), CsvError> {
+    writeln!(writer, "secs,kind,id,value")?;
+    for event in log.events() {
+        match event {
+            Event::Sensor(r) => match r.value {
+                SensorValue::Binary(b) => writeln!(
+                    writer,
+                    "{},S,{},{}",
+                    r.at.as_secs(),
+                    r.sensor.index(),
+                    u8::from(b)
+                )?,
+                SensorValue::Numeric(v) => {
+                    writeln!(writer, "{},N,{},{v}", r.at.as_secs(), r.sensor.index())?
+                }
+            },
+            Event::Actuator(a) => writeln!(
+                writer,
+                "{},A,{},{}",
+                a.at.as_secs(),
+                a.actuator.index(),
+                u8::from(a.active)
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a log from CSV form (the inverse of [`write_csv`]).
+///
+/// A `&mut` reference can be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] on any malformed line.
+pub fn read_csv<R: Read>(reader: R) -> Result<EventLog, CsvError> {
+    let reader = BufReader::new(reader);
+    let mut log = EventLog::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (lineno == 1 && trimmed.starts_with("secs")) {
+            continue;
+        }
+        let parse = |message: &str| CsvError::Parse {
+            line: lineno,
+            message: message.into(),
+        };
+        let mut parts = trimmed.split(',');
+        let secs: i64 = parts
+            .next()
+            .ok_or_else(|| parse("missing timestamp"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse("bad timestamp"))?;
+        let kind = parts.next().ok_or_else(|| parse("missing kind"))?.trim();
+        let id: u32 = parts
+            .next()
+            .ok_or_else(|| parse("missing id"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse("bad id"))?;
+        let value = parts.next().ok_or_else(|| parse("missing value"))?.trim();
+        if parts.next().is_some() {
+            return Err(parse("too many fields"));
+        }
+        let at = Timestamp::from_secs(secs);
+        match kind {
+            "S" => {
+                let b = match value {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(parse("binary value must be 0 or 1")),
+                };
+                log.push_sensor(SensorReading::new(SensorId::new(id), at, b.into()));
+            }
+            "N" => {
+                let v: f64 = value.parse().map_err(|_| parse("bad numeric value"))?;
+                log.push_sensor(SensorReading::new(SensorId::new(id), at, v.into()));
+            }
+            "A" => {
+                let b = match value {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(parse("actuator value must be 0 or 1")),
+                };
+                log.push_actuator(ActuatorEvent::new(ActuatorId::new(id), at, b));
+            }
+            other => return Err(parse(&format!("unknown kind {other:?}"))),
+        }
+    }
+    log.normalize();
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.push_sensor(SensorReading::new(
+            SensorId::new(3),
+            Timestamp::from_secs(61),
+            true.into(),
+        ));
+        log.push_sensor(SensorReading::new(
+            SensorId::new(7),
+            Timestamp::from_secs(80),
+            21.5.into(),
+        ));
+        log.push_actuator(ActuatorEvent::new(
+            ActuatorId::new(0),
+            Timestamp::from_secs(95),
+            true,
+        ));
+        log.push_actuator(ActuatorEvent::new(
+            ActuatorId::new(0),
+            Timestamp::from_secs(140),
+            false,
+        ));
+        log
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let mut log = sample_log();
+        let mut buffer = Vec::new();
+        write_csv(&mut log, &mut buffer).unwrap();
+        let mut back = read_csv(buffer.as_slice()).unwrap();
+        assert_eq!(back.events(), log.events());
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_skipped() {
+        let text = "secs,kind,id,value\n\n61,S,3,1\n\n";
+        let mut log = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(log.events().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "secs,kind,id,value\n61,S,3,2\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("binary"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_extra_fields() {
+        assert!(read_csv("1,X,0,1\n".as_bytes()).is_err());
+        assert!(read_csv("1,S,0,1,9\n".as_bytes()).is_err());
+        assert!(read_csv("abc,S,0,1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn numeric_precision_survives() {
+        let mut log = EventLog::new();
+        log.push_sensor(SensorReading::new(
+            SensorId::new(0),
+            Timestamp::from_secs(1),
+            0.123456789.into(),
+        ));
+        let mut buffer = Vec::new();
+        write_csv(&mut log, &mut buffer).unwrap();
+        let mut back = read_csv(buffer.as_slice()).unwrap();
+        let v = back.events()[0]
+            .as_sensor()
+            .unwrap()
+            .value
+            .as_numeric()
+            .unwrap();
+        assert!((v - 0.123456789).abs() < 1e-12);
+    }
+}

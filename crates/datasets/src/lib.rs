@@ -1,0 +1,35 @@
+//! Dataset catalog for the DICE reproduction.
+//!
+//! Provides the ten datasets of Table 4.1 — seeded synthetic recreations of
+//! the ISLA/WSU third-party datasets (houseA/B/C, twor, hh102) plus the
+//! paper's own testbed datasets (`D_*`) — together with CSV import/export
+//! and the evaluation protocol's train/segment splitting.
+//!
+//! # Example
+//!
+//! ```
+//! use dice_datasets::{DatasetId, SegmentPlan};
+//! use dice_sim::Simulator;
+//!
+//! let spec = DatasetId::HouseA.scenario(42);
+//! let plan = SegmentPlan::paper_default(spec.duration);
+//! assert_eq!(plan.segments().len(), 46); // (576 - 300) / 6
+//! let sim = Simulator::new(spec).unwrap();
+//! let training = sim.log_between(plan.training().start, plan.training().end);
+//! assert!(training.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod csv;
+mod split;
+mod stats;
+mod synth;
+
+pub use catalog::DatasetId;
+pub use csv::{read_csv, write_csv, CsvError};
+pub use split::{SegmentPlan, TimeRange};
+pub use stats::DatasetStats;
+pub use synth::{synthetic_home, SyntheticHomeParams};

@@ -1,0 +1,147 @@
+//! Precomputation/real-time splitting and six-hour segmentation.
+//!
+//! The evaluation protocol (Section V): "We used the first 300 hours in the
+//! dataset as the precomputation period, and used the rest of the data as
+//! the real-time data. We divided the real-time data into segments that have
+//! six hours of length."
+
+use dice_types::{TimeDelta, Timestamp};
+
+/// A half-open time range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRange {
+    /// Start (inclusive).
+    pub start: Timestamp,
+    /// End (exclusive).
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// The range's length.
+    pub fn len(&self) -> TimeDelta {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// The paper's split of one dataset into a training prefix and equal-length
+/// real-time segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPlan {
+    training: TimeRange,
+    segments: Vec<TimeRange>,
+}
+
+impl SegmentPlan {
+    /// Splits a dataset of `total` length into `precompute` hours of
+    /// training data followed by as many whole `segment_len` segments as
+    /// fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training period does not fit or no segment fits.
+    pub fn new(total: TimeDelta, precompute: TimeDelta, segment_len: TimeDelta) -> Self {
+        assert!(precompute.as_secs() > 0 && segment_len.as_secs() > 0);
+        assert!(
+            precompute + segment_len <= total,
+            "dataset too short: {total} < {precompute} training + one {segment_len} segment"
+        );
+        let training = TimeRange {
+            start: Timestamp::ZERO,
+            end: Timestamp::ZERO + precompute,
+        };
+        let mut segments = Vec::new();
+        let mut start = training.end;
+        while start + segment_len <= Timestamp::ZERO + total {
+            segments.push(TimeRange {
+                start,
+                end: start + segment_len,
+            });
+            start += segment_len;
+        }
+        SegmentPlan { training, segments }
+    }
+
+    /// The paper's defaults: 300 h training, 6 h segments.
+    pub fn paper_default(total: TimeDelta) -> Self {
+        SegmentPlan::new(total, TimeDelta::from_hours(300), TimeDelta::from_hours(6))
+    }
+
+    /// The training range.
+    pub fn training(&self) -> TimeRange {
+        self.training
+    }
+
+    /// The real-time segments in time order.
+    pub fn segments(&self) -> &[TimeRange] {
+        &self.segments
+    }
+
+    /// The segment used for trial `trial`, cycling when trials outnumber
+    /// segments (the paper runs 100 faultless + 100 faulty trials per
+    /// dataset regardless of how many distinct segments exist).
+    pub fn segment_for_trial(&self, trial: u64) -> TimeRange {
+        self.segments[(trial as usize) % self.segments.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_split_for_house_a() {
+        // houseA: 576 h -> 300 h training + 46 six-hour segments.
+        let plan = SegmentPlan::paper_default(TimeDelta::from_hours(576));
+        assert_eq!(plan.training().len(), TimeDelta::from_hours(300));
+        assert_eq!(plan.segments().len(), 46);
+        assert_eq!(plan.segments()[0].start, Timestamp::from_hours(300));
+        assert_eq!(plan.segments()[45].end, Timestamp::from_hours(576));
+    }
+
+    #[test]
+    fn segments_tile_without_gaps() {
+        let plan = SegmentPlan::paper_default(TimeDelta::from_hours(480));
+        for pair in plan.segments().windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert!(plan
+            .segments()
+            .iter()
+            .all(|s| s.len() == TimeDelta::from_hours(6)));
+    }
+
+    #[test]
+    fn trials_cycle_over_segments() {
+        let plan = SegmentPlan::paper_default(TimeDelta::from_hours(318));
+        assert_eq!(plan.segments().len(), 3);
+        assert_eq!(plan.segment_for_trial(0), plan.segments()[0]);
+        assert_eq!(plan.segment_for_trial(3), plan.segments()[0]);
+        assert_eq!(plan.segment_for_trial(5), plan.segments()[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset too short")]
+    fn rejects_too_short_dataset() {
+        let _ = SegmentPlan::paper_default(TimeDelta::from_hours(305));
+    }
+
+    #[test]
+    fn time_range_length() {
+        let r = TimeRange {
+            start: Timestamp::from_hours(1),
+            end: Timestamp::from_hours(7),
+        };
+        assert_eq!(r.len(), TimeDelta::from_hours(6));
+        assert!(!r.is_empty());
+        let empty = TimeRange {
+            start: Timestamp::from_hours(1),
+            end: Timestamp::from_hours(1),
+        };
+        assert!(empty.is_empty());
+    }
+}

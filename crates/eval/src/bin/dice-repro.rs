@@ -1,0 +1,19 @@
+//! Command-line interface regenerating every table and figure of the paper.
+
+use dice_eval::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter().map(String::as_str);
+    let command = iter.next().unwrap_or("help");
+    let rest: Vec<&str> = iter.collect();
+    match experiments::run_command(command, &rest) {
+        Ok(output) => println!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", experiments::usage());
+            std::process::exit(2);
+        }
+    }
+}

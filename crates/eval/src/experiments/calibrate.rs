@@ -1,0 +1,63 @@
+//! Single-dataset calibration: quick metrics for one dataset.
+
+use dice_datasets::DatasetId;
+
+use crate::report::pct;
+use crate::runner::{evaluate_sensor_faults, train_dataset, RunnerConfig};
+
+/// Trains and evaluates one dataset, returning a human-readable summary.
+///
+/// # Errors
+///
+/// Returns an error for unknown dataset names.
+pub fn calibrate(dataset: &str, trials: u64) -> Result<String, String> {
+    let id = DatasetId::parse(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let cfg = RunnerConfig {
+        trials,
+        ..RunnerConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let td = train_dataset(id, &cfg);
+    let trained = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let eval = evaluate_sensor_faults(&td, &cfg);
+    let evaluated = t1.elapsed();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: {} sensors, {} groups, correlation degree {:.1}\n",
+        eval.name, eval.num_sensors, eval.num_groups, eval.correlation_degree
+    ));
+    out.push_str(&format!(
+        "detection:      precision {} recall {}\n",
+        pct(eval.detection.precision()),
+        pct(eval.detection.recall())
+    ));
+    out.push_str(&format!(
+        "identification: precision {} recall {}\n",
+        pct(eval.identification.precision()),
+        pct(eval.identification.recall())
+    ));
+    out.push_str(&format!(
+        "latency: detect {} | identify {}\n",
+        eval.detect_latency, eval.identify_latency
+    ));
+    out.push_str(&format!(
+        "cost/window: corr {:.3} ms, trans {:.4} ms, ident {:.4} ms ({} windows)\n",
+        eval.cost.correlation_ms_per_window(),
+        eval.cost.transition_ms_per_window(),
+        eval.cost.identification_ms_per_window(),
+        eval.cost.windows
+    ));
+    for (fault, attr) in &eval.by_fault_type {
+        out.push_str(&format!(
+            "  {fault:<10} corr {} trans {} missed {}\n",
+            attr.by_correlation, attr.by_transition, attr.missed
+        ));
+    }
+    out.push_str(&format!(
+        "wall: train {:.1}s eval {:.1}s\n",
+        trained.as_secs_f64(),
+        evaluated.as_secs_f64()
+    ));
+    Ok(out)
+}

@@ -1,0 +1,103 @@
+//! Faultless-segment diagnostics: what violates, when, and why.
+
+use dice_core::{CheckResult, Detector, DiceEngine, PrevWindow};
+use dice_datasets::DatasetId;
+
+use crate::runner::{train_dataset, RunnerConfig};
+
+/// Replays faultless segments and describes every violating window.
+///
+/// # Errors
+///
+/// Returns an error for unknown dataset names.
+pub fn diagnose(dataset: &str, segments: u64) -> Result<String, String> {
+    let id = DatasetId::parse(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let cfg = RunnerConfig::default();
+    let td = train_dataset(id, &cfg);
+    let detector = Detector::new(&td.model);
+    let window = td.model.config().window();
+    let mut out = String::new();
+    let mut violating_segments = 0u64;
+
+    for trial in 0..segments {
+        let segment = td.plan.segment_for_trial(trial);
+        let mut log = td.sim.log_between(segment.start, segment.end);
+        let mut prev: Option<PrevWindow> = None;
+        let mut violations = 0;
+        for w in log.windows_between(segment.start, segment.end, window) {
+            let obs = td.model.binarizer().binarize(w.start, w.end, w.events);
+            let result = detector.check(prev.as_ref(), &obs);
+            match &result {
+                CheckResult::CorrelationViolation { candidates } => {
+                    violations += 1;
+                    if violations <= 4 {
+                        let nearest = candidates.first();
+                        let diff: Vec<String> = nearest
+                            .map(|c| {
+                                obs.state
+                                    .diff_indices(td.model.groups().state(c.group))
+                                    .map(|b| {
+                                        let s = td.model.layout().sensor_of_bit(b);
+                                        format!(
+                                            "bit{b}={s}:{:?}:{:?}",
+                                            td.sim.registry().sensor(s).kind(),
+                                            td.model.layout().role_of_bit(b)
+                                        )
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        out.push_str(&format!(
+                            "seg{trial} {}: CORR dist{:?} diff {}\n",
+                            w.start,
+                            nearest.map(|c| c.distance),
+                            diff.join(",")
+                        ));
+                    }
+                }
+                CheckResult::TransitionViolation { cases, .. } => {
+                    violations += 1;
+                    if violations <= 4 {
+                        out.push_str(&format!("seg{trial} {}: TRANS {cases:?}\n", w.start));
+                    }
+                }
+                CheckResult::Normal { .. } => {}
+            }
+            // Update prev like the engine does.
+            let (group, exact) = match &result {
+                CheckResult::Normal { group } | CheckResult::TransitionViolation { group, .. } => {
+                    (*group, true)
+                }
+                CheckResult::CorrelationViolation { candidates } => (
+                    candidates
+                        .first()
+                        .map(|c| c.group)
+                        .or_else(|| {
+                            td.model
+                                .groups()
+                                .nearest(&obs.state)
+                                .first()
+                                .map(|c| c.group)
+                        })
+                        .unwrap_or(dice_types::GroupId::new(0)),
+                    false,
+                ),
+            };
+            prev = Some(PrevWindow {
+                group,
+                exact,
+                activated_actuators: obs.activated_actuators.clone(),
+            });
+        }
+        if violations > 0 {
+            violating_segments += 1;
+            out.push_str(&format!("seg{trial}: {violations} violating windows\n"));
+        }
+    }
+    out.push_str(&format!(
+        "{violating_segments}/{segments} faultless segments had violations\n"
+    ));
+    let mut engine = DiceEngine::new(&td.model);
+    let _ = &mut engine;
+    Ok(out)
+}

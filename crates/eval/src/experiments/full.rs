@@ -1,0 +1,83 @@
+//! The shared full-evaluation pass: train and evaluate every dataset once;
+//! individual tables and figures format slices of the result.
+
+use dice_datasets::DatasetId;
+
+use crate::runner::{evaluate_sensor_faults, train_dataset, DatasetEvaluation, RunnerConfig};
+
+/// The result of evaluating a set of datasets under one configuration.
+#[derive(Debug, Clone)]
+pub struct FullEvaluation {
+    /// Per-dataset results, in catalog order.
+    pub evals: Vec<DatasetEvaluation>,
+}
+
+impl FullEvaluation {
+    /// The evaluation for a dataset by name, if present.
+    pub fn by_name(&self, name: &str) -> Option<&DatasetEvaluation> {
+        self.evals.iter().find(|e| e.name == name)
+    }
+
+    /// Average detection precision across datasets.
+    pub fn avg_detection_precision(&self) -> f64 {
+        avg(self.evals.iter().map(|e| e.detection.precision()))
+    }
+
+    /// Average detection recall across datasets.
+    pub fn avg_detection_recall(&self) -> f64 {
+        avg(self.evals.iter().map(|e| e.detection.recall()))
+    }
+
+    /// Average identification precision across datasets.
+    pub fn avg_identification_precision(&self) -> f64 {
+        avg(self.evals.iter().map(|e| e.identification.precision()))
+    }
+
+    /// Average identification recall across datasets.
+    pub fn avg_identification_recall(&self) -> f64 {
+        avg(self.evals.iter().map(|e| e.identification.recall()))
+    }
+}
+
+fn avg(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        0.0
+    } else {
+        collected.iter().sum::<f64>() / collected.len() as f64
+    }
+}
+
+/// Runs sensor-fault evaluation over `datasets` with `trials` per dataset.
+pub fn run_full(datasets: &[DatasetId], trials: u64, seed: u64) -> FullEvaluation {
+    let cfg = RunnerConfig {
+        trials,
+        seed,
+        ..RunnerConfig::default()
+    };
+    let evals = datasets
+        .iter()
+        .map(|&id| {
+            let td = train_dataset(id, &cfg);
+            evaluate_sensor_faults(&td, &cfg)
+        })
+        .collect();
+    FullEvaluation { evals }
+}
+
+/// Runs the full ten-dataset evaluation (the paper's protocol).
+pub fn run_all_datasets(trials: u64, seed: u64) -> FullEvaluation {
+    run_full(&DatasetId::all(), trials, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_empty_evaluation_are_zero() {
+        let empty = FullEvaluation { evals: vec![] };
+        assert_eq!(empty.avg_detection_precision(), 0.0);
+        assert!(empty.by_name("houseA").is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Missed-fault diagnostics: which injected faults go undetected.
+
+use dice_core::{CheckResult, Detector, PrevWindow};
+use dice_datasets::DatasetId;
+use dice_faults::{FaultInjector, FaultPlanner};
+use dice_types::EventLog;
+
+use crate::runner::{run_faulty_segment, train_dataset, RunnerConfig};
+
+/// Counts violating windows in a log range (detector-only, no engine).
+fn count_violations(
+    td: &crate::runner::TrainedDataset,
+    log: &mut EventLog,
+    range: dice_datasets::TimeRange,
+) -> usize {
+    let detector = Detector::new(&td.model);
+    let mut prev: Option<PrevWindow> = None;
+    let mut violations = 0;
+    for w in log.windows_between(range.start, range.end, td.model.config().window()) {
+        let obs = td.model.binarizer().binarize(w.start, w.end, w.events);
+        let result = detector.check(prev.as_ref(), &obs);
+        if result.is_violation() {
+            violations += 1;
+        }
+        let (group, exact) = match &result {
+            CheckResult::Normal { group } | CheckResult::TransitionViolation { group, .. } => {
+                (*group, true)
+            }
+            CheckResult::CorrelationViolation { candidates } => (
+                candidates
+                    .first()
+                    .map(|c| c.group)
+                    .or_else(|| {
+                        td.model
+                            .groups()
+                            .nearest(&obs.state)
+                            .first()
+                            .map(|c| c.group)
+                    })
+                    .unwrap_or(dice_types::GroupId::new(0)),
+                false,
+            ),
+        };
+        prev = Some(PrevWindow {
+            group,
+            exact,
+            activated_actuators: obs.activated_actuators.clone(),
+        });
+    }
+    violations
+}
+
+/// Replays faulty segments and describes every miss.
+///
+/// # Errors
+///
+/// Returns an error for unknown dataset names.
+pub fn misses(dataset: &str, trials: u64) -> Result<String, String> {
+    let id = DatasetId::parse(dataset).ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let cfg = RunnerConfig::default();
+    let td = train_dataset(id, &cfg);
+    let registry = td.sim.registry();
+    let planner = FaultPlanner::new(cfg.seed ^ 0xFA17);
+    let injector = FaultInjector::new(cfg.seed ^ 0x1213);
+    let mut out = String::new();
+    let mut missed = 0u64;
+    for trial in 0..trials {
+        let segment = td.plan.segment_for_trial(trial);
+        let clean = td.sim.log_between(segment.start, segment.end);
+        let fault = planner.sensor_fault(trial, registry, segment.start, segment.len());
+        let faulty = injector.inject_sensor(clean, registry, &fault);
+        let outcome = run_faulty_segment(&td, faulty, segment, fault.onset);
+        if outcome.report.is_none() {
+            missed += 1;
+            let spec = registry.sensor(fault.sensor);
+            let clean = td.sim.log_between(segment.start, segment.end);
+            let mut refaulted = injector.inject_sensor(clean, registry, &fault);
+            let violations = count_violations(&td, &mut refaulted, segment);
+            out.push_str(&format!(
+                "trial {trial}: MISSED {} on {} ({} in {}), onset {} (hour {}), {} violating windows\n",
+                fault.fault,
+                fault.sensor,
+                spec.kind(),
+                spec.room(),
+                fault.onset,
+                fault.onset.hour_of_day(),
+                violations,
+            ));
+        }
+    }
+    out.push_str(&format!("{missed}/{trials} faults missed\n"));
+    Ok(out)
+}

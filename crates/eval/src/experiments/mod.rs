@@ -1,0 +1,245 @@
+//! Per-table/figure experiment regenerators.
+//!
+//! Each submodule reproduces one table or figure of the paper; the
+//! [`run_command`] dispatcher backs the `dice-repro` binary. The DESIGN.md
+//! per-experiment index maps every paper artifact to its regenerator here.
+
+mod accuracy;
+mod attest_exp;
+mod calibrate;
+mod diagnose;
+mod export;
+mod extended;
+mod fault_ratio;
+mod full;
+mod misses;
+mod multi_user;
+mod security;
+mod tables;
+mod timing;
+mod weights;
+
+pub use accuracy::fig_5_1;
+pub use attest_exp::attest;
+pub use calibrate::calibrate;
+pub use diagnose::diagnose;
+pub use export::{export_csv, inspect_model, monitor, save_model};
+pub use extended::{actuator_faults, multi_fault, param_sensitivity};
+pub use fault_ratio::{aggregate_attribution, fig_5_4};
+pub use full::{run_all_datasets, run_full, FullEvaluation};
+pub use misses::misses;
+pub use multi_user::multi_user;
+pub use security::{run_attacks, security, spoof_sensor, AttackOutcome};
+pub use tables::{table_2_1, table_4_1};
+pub use timing::{fig_5_2, fig_5_3, table_5_1, table_5_2};
+pub use weights::weights;
+
+/// The CLI usage text.
+pub fn usage() -> String {
+    "usage: dice-repro <command> [args]\n\
+     paper artifacts (default 100 trials per dataset, seed 42):\n\
+       table-2-1                      requirements analysis of prior art\n\
+       table-4-1                      dataset inventory\n\
+       floor-plan                     figure 4.1, the testbed deployment\n\
+       fig-5-1   [trials] [seed]      detection & identification accuracy\n\
+       fig-5-2   [trials] [seed]      detection & identification time\n\
+       table-5-1 [trials] [seed]      per-check detection time (houseA/B/C)\n\
+       fig-5-3   [trials] [seed]      computation time per window\n\
+       table-5-2 [trials] [seed]      correlation degree per dataset\n\
+       fig-5-4   [trials] [seed]      detection ratio per fault type\n\
+       actuator-faults [trials]       actuator-fault accuracy (Section 5.1.3)\n\
+       multi-fault [trials]           1-3 simultaneous faults (Section VI)\n\
+       params [trials]                parameter sensitivity (Section VI)\n\
+       security [seed]                sensor-spoofing attacks (Section VI)\n\
+       multi-user [trials]            whole-home vs per-room DICE, 1-3 residents\n\
+       weights [trials]               criticality-weighted early alarms\n\
+       attest [trials]                masked-replay attestation of suspects\n\
+       all [trials] [seed]            every table and figure in order\n\
+     data & models:\n\
+       export <dataset> <hours> <path>  synthesize a dataset slice to CSV\n\
+       save-model <dataset> <path>      train on 300 h and persist the model\n\
+       inspect-model <path>             summarize a persisted model\n\
+       monitor <model> <csv>            stream a CSV through the gateway\n\
+     diagnostics:\n\
+       calibrate <dataset> [trials]   train + evaluate one dataset\n\
+       diagnose <dataset> [segments]  explain violations on faultless segments\n\
+       misses <dataset> [trials]      list undetected injected faults"
+        .to_string()
+}
+
+fn parse_trials(args: &[&str], default: u64) -> Result<u64, String> {
+    args.first().map_or(Ok(default), |t| {
+        t.parse().map_err(|_| format!("bad trial count {t:?}"))
+    })
+}
+
+fn parse_seed(args: &[&str], default: u64) -> Result<u64, String> {
+    args.get(1).map_or(Ok(default), |t| {
+        t.parse().map_err(|_| format!("bad seed {t:?}"))
+    })
+}
+
+/// Dispatches a CLI command.
+///
+/// # Errors
+///
+/// Returns a usage message for unknown commands or bad arguments.
+pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
+    const TRIALS: u64 = 100;
+    const SEED: u64 = 42;
+    match command {
+        "table-2-1" => Ok(table_2_1()),
+        "floor-plan" => {
+            let (registry, _) = dice_sim::testbed::build_registry();
+            Ok(format!(
+                "Figure 4.1: Floor Plan of the Smart Home Deployment\n{}",
+                dice_sim::floorplan::render(&registry)
+            ))
+        }
+        "table-4-1" => Ok(table_4_1(SEED)),
+        "fig-5-1" | "fig-5-2" | "table-5-1" | "fig-5-3" | "table-5-2" | "fig-5-4" => {
+            let trials = parse_trials(args, TRIALS)?;
+            let seed = parse_seed(args, SEED)?;
+            let full = run_all_datasets(trials, seed);
+            Ok(match command {
+                "fig-5-1" => fig_5_1(&full),
+                "fig-5-2" => fig_5_2(&full),
+                "table-5-1" => table_5_1(&full),
+                "fig-5-3" => fig_5_3(&full),
+                "table-5-2" => table_5_2(&full),
+                _ => fig_5_4(&full),
+            })
+        }
+        "actuator-faults" => Ok(actuator_faults(
+            parse_trials(args, TRIALS)?,
+            parse_seed(args, SEED)?,
+        )),
+        "multi-fault" => Ok(multi_fault(
+            parse_trials(args, TRIALS)?,
+            parse_seed(args, SEED)?,
+        )),
+        "params" => Ok(param_sensitivity(
+            parse_trials(args, 40)?,
+            parse_seed(args, SEED)?,
+        )),
+        "multi-user" => Ok(multi_user(parse_trials(args, 30)?, parse_seed(args, SEED)?)),
+        "weights" => Ok(weights(parse_trials(args, 40)?, parse_seed(args, SEED)?)),
+        "attest" => Ok(attest(parse_trials(args, 40)?, parse_seed(args, SEED)?)),
+        "security" => {
+            let seed = args
+                .first()
+                .map_or(Ok(SEED), |t| t.parse().map_err(|_| "bad seed".to_string()))?;
+            Ok(security(seed))
+        }
+        "all" => {
+            let trials = parse_trials(args, TRIALS)?;
+            let seed = parse_seed(args, SEED)?;
+            let full = run_all_datasets(trials, seed);
+            let mut out = String::new();
+            out.push_str(&table_2_1());
+            out.push('\n');
+            out.push_str(&table_4_1(seed));
+            out.push('\n');
+            out.push_str("Figure 4.1: Floor Plan of the Smart Home Deployment\n");
+            let (registry, _) = dice_sim::testbed::build_registry();
+            out.push_str(&dice_sim::floorplan::render(&registry));
+            out.push('\n');
+            out.push_str(&fig_5_1(&full));
+            out.push('\n');
+            out.push_str(&fig_5_2(&full));
+            out.push('\n');
+            out.push_str(&table_5_1(&full));
+            out.push('\n');
+            out.push_str(&fig_5_3(&full));
+            out.push('\n');
+            out.push_str(&table_5_2(&full));
+            out.push('\n');
+            out.push_str(&fig_5_4(&full));
+            out.push('\n');
+            out.push_str(&actuator_faults(trials, seed));
+            out.push('\n');
+            out.push_str(&multi_fault(trials, seed));
+            out.push('\n');
+            out.push_str(&param_sensitivity(trials.min(40), seed));
+            out.push('\n');
+            out.push_str(&multi_user(trials.min(30), seed));
+            out.push('\n');
+            out.push_str(&weights(trials.min(40), seed));
+            out.push('\n');
+            out.push_str(&attest(trials.min(40), seed));
+            out.push('\n');
+            out.push_str(&security(seed));
+            Ok(out)
+        }
+        "calibrate" => {
+            let dataset = args.first().ok_or("calibrate needs a dataset name")?;
+            let trials = args
+                .get(1)
+                .map_or(Ok(20), |t| t.parse().map_err(|_| "bad trial count"))?;
+            Ok(calibrate(dataset, trials)?)
+        }
+        "diagnose" => {
+            let dataset = args.first().ok_or("diagnose needs a dataset name")?;
+            let segments = args
+                .get(1)
+                .map_or(Ok(10), |t| t.parse().map_err(|_| "bad segment count"))?;
+            Ok(diagnose(dataset, segments)?)
+        }
+        "export" => {
+            let dataset = args.first().ok_or("export needs a dataset name")?;
+            let hours: i64 = args
+                .get(1)
+                .ok_or("export needs an hour count")?
+                .parse()
+                .map_err(|_| "bad hour count")?;
+            let path = args.get(2).ok_or("export needs an output path")?;
+            Ok(export_csv(dataset, hours, path, SEED)?)
+        }
+        "save-model" => {
+            let dataset = args.first().ok_or("save-model needs a dataset name")?;
+            let path = args.get(1).ok_or("save-model needs an output path")?;
+            Ok(save_model(dataset, path, SEED)?)
+        }
+        "inspect-model" => {
+            let path = args.first().ok_or("inspect-model needs a path")?;
+            Ok(inspect_model(path)?)
+        }
+        "monitor" => {
+            let model = args.first().ok_or("monitor needs a model path")?;
+            let csv = args.get(1).ok_or("monitor needs a csv path")?;
+            Ok(monitor(model, csv)?)
+        }
+        "misses" => {
+            let dataset = args.first().ok_or("misses needs a dataset name")?;
+            let trials = args
+                .get(1)
+                .map_or(Ok(30), |t| t.parse().map_err(|_| "bad trial count"))?;
+            Ok(misses(dataset, trials)?)
+        }
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_commands_run() {
+        assert!(run_command("table-2-1", &[]).unwrap().contains("DICE"));
+        assert!(run_command("table-4-1", &[]).unwrap().contains("houseA"));
+        assert!(run_command("help", &[]).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_command("nope", &[]).is_err());
+        assert!(run_command("calibrate", &["not-a-dataset"]).is_err());
+    }
+
+    #[test]
+    fn trial_parsing_validates() {
+        assert!(run_command("fig-5-1", &["abc"]).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Static and dataset-statistics tables: Table 2.1 and Table 4.1.
+
+use dice_datasets::{DatasetId, DatasetStats};
+
+use crate::report::render_table;
+
+/// Table 2.1: the requirements analysis of heterogeneous approaches.
+///
+/// This table is a literature analysis, not a measurement; it is reproduced
+/// verbatim so `dice-repro` regenerates every table of the paper.
+pub fn table_2_1() -> String {
+    let rows = vec![
+        vec![
+            "SMART [5]".into(),
+            "x".into(),
+            "x".into(),
+            "x".into(),
+            "x".into(),
+        ],
+        vec![
+            "FailureSense [7]".into(),
+            "v".into(),
+            "x".into(),
+            "x".into(),
+            "-".into(),
+        ],
+        vec![
+            "IDEA [6]".into(),
+            "x".into(),
+            "x".into(),
+            "v".into(),
+            "x".into(),
+        ],
+        vec![
+            "CLEAN [8]".into(),
+            "x".into(),
+            "x".into(),
+            "v".into(),
+            "-".into(),
+        ],
+        vec![
+            "6thSense [9]".into(),
+            "~".into(),
+            "x".into(),
+            "x".into(),
+            "-".into(),
+        ],
+        vec![
+            "DICE".into(),
+            "v".into(),
+            "v".into(),
+            "v".into(),
+            "v".into(),
+        ],
+    ];
+    let mut out = String::from("Table 2.1: Analysis of Heterogeneous Approach\n");
+    out.push_str(&render_table(
+        &[
+            "approach",
+            "Usability",
+            "Generality",
+            "Feasibility",
+            "Promptness",
+        ],
+        &rows,
+    ));
+    out.push_str("(v = satisfied, x = not satisfied, ~ = partial, - = not evaluated)\n");
+    out
+}
+
+/// Table 4.1: the dataset inventory (hours, sensor classes, actuators,
+/// activities), computed from the synthesized datasets themselves.
+pub fn table_4_1(seed: u64) -> String {
+    let rows: Vec<Vec<String>> = DatasetId::all()
+        .into_iter()
+        .map(|id| {
+            let stats = DatasetStats::of_dataset(id, seed);
+            vec![
+                stats.name,
+                stats.hours.to_string(),
+                stats.binary_sensors.to_string(),
+                stats.numeric_sensors.to_string(),
+                stats.actuators.to_string(),
+                stats.activities.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 4.1: Datasets\n");
+    out.push_str(&render_table(
+        &[
+            "dataset",
+            "Hours",
+            "Binary",
+            "Numeric",
+            "Actuators",
+            "Activities",
+        ],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_1_lists_all_six_approaches() {
+        let t = table_2_1();
+        for name in ["SMART", "FailureSense", "IDEA", "CLEAN", "6thSense", "DICE"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table_4_1_matches_paper_counts() {
+        let t = table_4_1(1);
+        assert!(t.contains("houseA"));
+        assert!(t.contains("576"));
+        assert!(t.contains("D_hh102"));
+        assert!(t.contains("1500"));
+        assert_eq!(t.lines().count(), 13); // title + header + rule + 10 rows
+    }
+}

@@ -1,0 +1,216 @@
+//! Timing figures and tables: Figure 5.2 (detection & identification time),
+//! Table 5.1 (per-check detection time), and Figure 5.3 (computation time).
+
+use super::full::FullEvaluation;
+use crate::report::render_table;
+
+fn fmt_mins(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.1}"),
+        None => "-".into(),
+    }
+}
+
+/// Figure 5.2: average detection and identification time per dataset, in
+/// simulated minutes since the fault onset.
+pub fn fig_5_2(full: &FullEvaluation) -> String {
+    let rows: Vec<Vec<String>> = full
+        .evals
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                fmt_mins(e.detect_latency.mean()),
+                fmt_mins(e.identify_latency.mean()),
+                fmt_mins(e.detect_latency.max()),
+                fmt_mins(e.identify_latency.max()),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Figure 5.2: Detection and Identification Time (minutes)\n");
+    out.push_str(&render_table(
+        &[
+            "dataset",
+            "detect mean",
+            "identify mean",
+            "detect max",
+            "identify max",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "paper: all datasets detect within ~10 min and identify within ~30 min except houseA\n\
+         (21.9 / 72.8 min); prior art's fastest reported detection was 12 hours\n",
+    );
+    out
+}
+
+/// Table 5.1: detection time split by the check that fired, for the three
+/// ISLA houses — the transition check detects roughly three times slower.
+pub fn table_5_1(full: &FullEvaluation) -> String {
+    let mut rows = Vec::new();
+    for name in ["houseA", "houseB", "houseC"] {
+        if let Some(e) = full.by_name(name) {
+            let corr = e
+                .detect_latency_by_check
+                .get("correlation")
+                .and_then(|s| s.mean());
+            let trans = e
+                .detect_latency_by_check
+                .get("transition")
+                .and_then(|s| s.mean());
+            rows.push(vec![name.to_string(), fmt_mins(corr), fmt_mins(trans)]);
+        }
+    }
+    let mut out = String::from(
+        "Table 5.1: Detection Time of the Correlation Check and Transition Check (minutes)\n",
+    );
+    out.push_str(&render_table(
+        &["dataset", "correlation check", "transition check"],
+        &rows,
+    ));
+    out.push_str(
+        "paper: houseA 10.5/29.0, houseB 2.8/5.3, houseC 3.4/9.9 (transition ~3x slower)\n",
+    );
+    out
+}
+
+/// Figure 5.3: wall-clock computation time per one-minute window, split into
+/// correlation check, transition check, and identification.
+pub fn fig_5_3(full: &FullEvaluation) -> String {
+    let rows: Vec<Vec<String>> = full
+        .evals
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.clone(),
+                format!("{:.4}", e.cost.correlation_ms_per_window()),
+                format!("{:.4}", e.cost.transition_ms_per_window()),
+                format!("{:.4}", e.cost.identification_ms_per_window()),
+                format!("{:.4}", e.cost.total_ms_per_window()),
+                e.num_sensors.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Figure 5.3: Computation Time per Window (milliseconds)\n");
+    out.push_str(&render_table(
+        &[
+            "dataset",
+            "correlation",
+            "transition",
+            "identification",
+            "total",
+            "sensors",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "paper: the correlation check dominates and grows with the number of bits;\n\
+         even hh102 (112 sensors) stays below 50 ms per one-minute window\n",
+    );
+    out
+}
+
+/// Table 5.2: correlation degree and number of sensors per dataset. The five
+/// `D_*` testbed rows share one deployment, so they are reported under the
+/// single `DICE` column like the paper does.
+pub fn table_5_2(full: &FullEvaluation) -> String {
+    let mut rows = Vec::new();
+    for e in &full.evals {
+        if e.name.starts_with("D_") && e.name != "D_houseA" {
+            continue; // paper collapses the testbed rows into one
+        }
+        let label = if e.name == "D_houseA" {
+            "DICE".to_string()
+        } else {
+            e.name.clone()
+        };
+        rows.push(vec![
+            label,
+            format!("{:.1}", e.correlation_degree),
+            e.num_sensors.to_string(),
+            e.num_groups.to_string(),
+        ]);
+    }
+    let mut out =
+        String::from("Table 5.2: Correlation Degree and the Number of Sensors of the Datasets\n");
+    out.push_str(&render_table(
+        &["dataset", "correlation degree", "sensors", "groups"],
+        &rows,
+    ));
+    out.push_str("paper: houseA 1.4, houseB 2.9, houseC 4.6, twor 7.2, hh102 3.8, DICE 10.6\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{DetectionCounts, IdentificationCounts, LatencyStats};
+    use crate::runner::DatasetEvaluation;
+    use dice_core::CostProfile;
+
+    fn dummy(name: &str) -> DatasetEvaluation {
+        let mut detect_latency = LatencyStats::new();
+        detect_latency.push(5.0);
+        let mut identify_latency = LatencyStats::new();
+        identify_latency.push(12.0);
+        let mut by_check = std::collections::BTreeMap::new();
+        let mut corr = LatencyStats::new();
+        corr.push(3.0);
+        by_check.insert("correlation", corr);
+        DatasetEvaluation {
+            name: name.into(),
+            detection: DetectionCounts::default(),
+            identification: IdentificationCounts::default(),
+            detect_latency,
+            identify_latency,
+            detect_latency_by_check: by_check,
+            by_fault_type: Default::default(),
+            cost: CostProfile {
+                correlation_ns: 2_000_000,
+                transition_ns: 0,
+                identification_ns: 0,
+                windows: 2,
+            },
+            correlation_degree: 1.4,
+            num_groups: 10,
+            num_sensors: 14,
+        }
+    }
+
+    fn full() -> FullEvaluation {
+        FullEvaluation {
+            evals: vec![dummy("houseA"), dummy("D_houseA"), dummy("D_twor")],
+        }
+    }
+
+    #[test]
+    fn fig_5_2_formats_latencies() {
+        let text = fig_5_2(&full());
+        assert!(text.contains("houseA"));
+        assert!(text.contains("5.0"));
+        assert!(text.contains("12.0"));
+    }
+
+    #[test]
+    fn table_5_1_reports_per_check_means() {
+        let text = table_5_1(&full());
+        assert!(text.contains("houseA"));
+        assert!(text.contains("3.0"));
+        assert!(text.contains('-'), "missing transition column shows a dash");
+    }
+
+    #[test]
+    fn fig_5_3_reports_cost_in_ms() {
+        let text = fig_5_3(&full());
+        assert!(text.contains("1.0000")); // 2ms over 2 windows
+    }
+
+    #[test]
+    fn table_5_2_collapses_testbed_rows() {
+        let text = table_5_2(&full());
+        assert!(text.contains("DICE"));
+        assert!(!text.contains("D_houseA"));
+        assert!(!text.contains("D_twor"));
+    }
+}

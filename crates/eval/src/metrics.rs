@@ -1,0 +1,300 @@
+//! Evaluation metrics: detection confusion counts, identification
+//! precision/recall, and latency statistics.
+
+use std::fmt;
+
+/// Segment-level detection confusion counts (Section 5.1.1).
+///
+/// A *positive* is a faulty segment; detection precision and recall follow
+/// the paper's definitions (false positives are faultless segments flagged
+/// as faulty, false negatives are faulty segments missed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionCounts {
+    /// Faulty segments correctly flagged.
+    pub true_positives: u64,
+    /// Faultless segments incorrectly flagged.
+    pub false_positives: u64,
+    /// Faultless segments correctly passed.
+    pub true_negatives: u64,
+    /// Faulty segments missed.
+    pub false_negatives: u64,
+}
+
+impl DetectionCounts {
+    /// Records one faulty-segment trial.
+    pub fn record_faulty(&mut self, detected: bool) {
+        if detected {
+            self.true_positives += 1;
+        } else {
+            self.false_negatives += 1;
+        }
+    }
+
+    /// Records one faultless-segment trial.
+    pub fn record_faultless(&mut self, flagged: bool) {
+        if flagged {
+            self.false_positives += 1;
+        } else {
+            self.true_negatives += 1;
+        }
+    }
+
+    /// Detection precision: `TP / (TP + FP)`. 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
+    }
+
+    /// Detection recall: `TP / (TP + FN)`. 1.0 when nothing was faulty.
+    pub fn recall(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
+    }
+
+    /// False-positive rate over faultless segments.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: &DetectionCounts) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Device-level identification counts (Section 5.1.2): precision is the
+/// fraction of identified devices that were actually faulty, recall the
+/// fraction of actually faulty devices that were identified.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentificationCounts {
+    /// Identified devices that were actually faulty.
+    pub correct: u64,
+    /// Identified devices that were healthy.
+    pub spurious: u64,
+    /// Actually faulty devices that were never identified.
+    pub missed: u64,
+}
+
+impl IdentificationCounts {
+    /// Records one trial: the set sizes of `identified ∩ actual`,
+    /// `identified \ actual`, and `actual \ identified`.
+    pub fn record(&mut self, correct: u64, spurious: u64, missed: u64) {
+        self.correct += correct;
+        self.spurious += spurious;
+        self.missed += missed;
+    }
+
+    /// Identification precision.
+    pub fn precision(&self) -> f64 {
+        ratio(self.correct, self.correct + self.spurious)
+    }
+
+    /// Identification recall.
+    pub fn recall(&self) -> f64 {
+        ratio(self.correct, self.correct + self.missed)
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: &IdentificationCounts) {
+        self.correct += other.correct;
+        self.spurious += other.spurious;
+        self.missed += other.missed;
+    }
+}
+
+/// Streaming summary statistics for latency samples (minutes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one latency sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.samples.is_empty())
+            .then(|| self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// The maximum, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// The minimum, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in 0..=100");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Merges another collection into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "mean {:.1} min (min {:.1}, max {:.1}, n={})",
+                mean,
+                self.min().unwrap_or(0.0),
+                self.max().unwrap_or(0.0),
+                self.len()
+            ),
+            None => write!(f, "no samples"),
+        }
+    }
+}
+
+impl Extend<f64> for LatencyStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_counts_classify_trials() {
+        let mut c = DetectionCounts::default();
+        c.record_faulty(true);
+        c.record_faulty(true);
+        c.record_faulty(false);
+        c.record_faultless(false);
+        c.record_faultless(true);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_have_perfect_scores() {
+        let c = DetectionCounts::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.false_positive_rate(), 1.0); // vacuous: no faultless trials
+    }
+
+    #[test]
+    fn identification_counts_follow_paper_definitions() {
+        let mut c = IdentificationCounts::default();
+        // Trial 1: identified {faulty, extra}; actual {faulty}.
+        c.record(1, 1, 0);
+        // Trial 2: identified {}; actual {faulty}.
+        c.record(0, 0, 1);
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DetectionCounts::default();
+        a.record_faulty(true);
+        let mut b = DetectionCounts::default();
+        b.record_faultless(true);
+        a.merge(&b);
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_positives, 1);
+
+        let mut ia = IdentificationCounts::default();
+        ia.record(1, 0, 0);
+        let mut ib = IdentificationCounts::default();
+        ib.record(0, 2, 1);
+        ia.merge(&ib);
+        assert_eq!(ia.correct, 1);
+        assert_eq!(ia.spurious, 2);
+        assert_eq!(ia.missed, 1);
+    }
+
+    #[test]
+    fn latency_stats_summary() {
+        let mut s = LatencyStats::new();
+        s.extend([3.0, 1.0, 2.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert_eq!(s.percentile(50.0), Some(2.0));
+        assert_eq!(s.percentile(100.0), Some(3.0));
+        let mut other = LatencyStats::new();
+        other.push(10.0);
+        s.merge(&other);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn empty_latency_stats() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.to_string(), "no samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        let _ = LatencyStats::new().percentile(101.0);
+    }
+}

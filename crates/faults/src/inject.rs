@@ -1,0 +1,574 @@
+//! Fault injectors: rewrite a segment's event log as if a device had failed.
+//!
+//! Mirrors the paper's methodology (Section 4.2): faults are inserted into
+//! collected data, with the sensor, fault type, and insertion time chosen by
+//! a seeded plan. Each injector transforms the readings of one device from
+//! the onset onward and leaves every other event untouched.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dice_types::{
+    ActuatorEvent, DeviceRegistry, Event, EventLog, SensorClass, SensorReading, SensorValue,
+    TimeDelta, Timestamp,
+};
+
+use crate::types::{ActuatorFault, ActuatorFaultType, FaultType, SensorFault};
+
+/// Spike faults recur with this period.
+const SPIKE_PERIOD_MINS: i64 = 15;
+/// Spike bursts last this many minutes.
+const SPIKE_BURST_MINS: i64 = 2;
+/// Per-sample probability of an outlier after onset (numeric sensors).
+const OUTLIER_SAMPLE_PROB: f64 = 0.04;
+/// Per-minute probability of a spurious fire for binary outlier faults.
+const OUTLIER_FIRE_PROB: f64 = 0.05;
+/// Per-minute probability of a spurious fire for binary noise faults.
+const NOISE_FIRE_PROB: f64 = 0.4;
+/// Probability that a real fire is dropped under a binary noise fault.
+const NOISE_DROP_PROB: f64 = 0.5;
+
+/// Statistics of a sensor's pre-onset behavior, used to scale injected
+/// anomalies relative to the sensor's normal signal.
+#[derive(Debug, Clone, Copy, Default)]
+struct PreOnsetStats {
+    mean: f64,
+    std: f64,
+    last: Option<f64>,
+}
+
+impl PreOnsetStats {
+    /// A magnitude that is unmistakably anomalous for this sensor.
+    fn spread(&self) -> f64 {
+        self.std.max(0.05 * self.mean.abs()).max(1.0)
+    }
+}
+
+/// Injects sensor and actuator faults into event logs.
+///
+/// # Example
+///
+/// ```
+/// use dice_faults::{FaultInjector, FaultType, SensorFault};
+/// use dice_types::{
+///     DeviceRegistry, EventLog, Room, SensorKind, SensorReading, Timestamp,
+/// };
+///
+/// let mut reg = DeviceRegistry::new();
+/// let motion = reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+/// let mut log = EventLog::new();
+/// for minute in 0..10 {
+///     log.push_sensor(SensorReading::new(
+///         motion,
+///         Timestamp::from_mins(minute),
+///         true.into(),
+///     ));
+/// }
+/// let fault = SensorFault {
+///     sensor: motion,
+///     fault: FaultType::FailStop,
+///     onset: Timestamp::from_mins(5),
+/// };
+/// let mut faulty = FaultInjector::new(1).inject_sensor(log, &reg, &fault);
+/// assert_eq!(faulty.events().len(), 5); // readings after onset are gone
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector; all stochastic choices derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { seed }
+    }
+
+    /// Applies one sensor fault to a log.
+    pub fn inject_sensor(
+        &self,
+        log: EventLog,
+        registry: &DeviceRegistry,
+        fault: &SensorFault,
+    ) -> EventLog {
+        let class = registry.sensor(fault.sensor).class();
+        match class {
+            SensorClass::Numeric => self.inject_numeric(log, fault),
+            SensorClass::Binary => self.inject_binary(log, fault),
+        }
+    }
+
+    /// Applies several sensor faults in sequence (multi-fault experiments).
+    pub fn inject_sensors(
+        &self,
+        log: EventLog,
+        registry: &DeviceRegistry,
+        faults: &[SensorFault],
+    ) -> EventLog {
+        faults
+            .iter()
+            .fold(log, |acc, fault| self.inject_sensor(acc, registry, fault))
+    }
+
+    /// Applies an actuator fault to a log.
+    ///
+    /// `Ghost` inserts spurious activations; `Silent` drops the actuator's
+    /// events from the onset onward. (A physically faithful *silent* fault
+    /// also removes the actuator's effects on nearby sensors; the evaluation
+    /// harness composes that from a second simulation.)
+    pub fn inject_actuator(&self, log: EventLog, fault: &ActuatorFault) -> EventLog {
+        match fault.fault {
+            ActuatorFaultType::Ghost => self.inject_ghost(log, fault),
+            ActuatorFaultType::Silent => {
+                let mut out = EventLog::new();
+                for event in log.into_events() {
+                    let drop = matches!(
+                        &event,
+                        Event::Actuator(a) if a.actuator == fault.actuator && a.at >= fault.onset
+                    );
+                    if !drop {
+                        out.push(event);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn rng(&self, fault_onset: Timestamp) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (fault_onset.as_secs() as u64).wrapping_mul(0x2545_F491))
+    }
+
+    fn pre_onset_stats(log: &EventLog, fault: &SensorFault) -> PreOnsetStats {
+        let mut n = 0u64;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut last = None;
+        for event in log.events_unsorted() {
+            if let Event::Sensor(r) = event {
+                if r.sensor == fault.sensor && r.at < fault.onset {
+                    if let SensorValue::Numeric(v) = r.value {
+                        n += 1;
+                        let delta = v - mean;
+                        mean += delta / n as f64;
+                        m2 += delta * (v - mean);
+                        last = Some(v);
+                    }
+                }
+            }
+        }
+        let std = if n > 1 { (m2 / n as f64).sqrt() } else { 0.0 };
+        PreOnsetStats { mean, std, last }
+    }
+
+    fn in_spike_burst(at: Timestamp, onset: Timestamp) -> bool {
+        let mins = (at - onset).as_mins();
+        mins >= 0 && mins % SPIKE_PERIOD_MINS < SPIKE_BURST_MINS
+    }
+
+    /// The spike's triangular ramp at `at`: rises through the first half of
+    /// the burst and falls through the second, so samples inside one window
+    /// differ (a real spike has a shape, not a plateau).
+    fn spike_ramp(at: Timestamp, onset: Timestamp) -> f64 {
+        let burst_len_secs = (SPIKE_BURST_MINS * 60) as f64;
+        let secs_into_burst = ((at - onset).as_secs().rem_euclid(SPIKE_PERIOD_MINS * 60)) as f64;
+        let x = (secs_into_burst / burst_len_secs).clamp(0.0, 1.0);
+        1.0 - (2.0 * x - 1.0).abs()
+    }
+
+    fn inject_numeric(&self, log: EventLog, fault: &SensorFault) -> EventLog {
+        let stats = Self::pre_onset_stats(&log, fault);
+        let spread = stats.spread();
+        let frozen = stats.last.unwrap_or(stats.mean);
+        let mut rng = self.rng(fault.onset);
+        let mut out = EventLog::new();
+
+        for event in log.into_events() {
+            let Event::Sensor(r) = &event else {
+                out.push(event);
+                continue;
+            };
+            if r.sensor != fault.sensor || r.at < fault.onset {
+                out.push(event);
+                continue;
+            }
+            let SensorValue::Numeric(v) = r.value else {
+                out.push(event);
+                continue;
+            };
+            match fault.fault {
+                FaultType::FailStop => { /* dropped */ }
+                FaultType::StuckAt => {
+                    out.push_sensor(SensorReading::new(r.sensor, r.at, frozen.into()));
+                }
+                FaultType::Outlier => {
+                    let value = if rng.gen_bool(OUTLIER_SAMPLE_PROB) {
+                        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                        v + sign * 10.0 * spread
+                    } else {
+                        v
+                    };
+                    out.push_sensor(SensorReading::new(r.sensor, r.at, value.into()));
+                }
+                FaultType::Noise => {
+                    let noisy = v + rng.gen_range(-1.0..1.0) * 5.0 * spread;
+                    out.push_sensor(SensorReading::new(r.sensor, r.at, noisy.into()));
+                }
+                FaultType::Spike => {
+                    let value = if Self::in_spike_burst(r.at, fault.onset) {
+                        v + 10.0 * spread * Self::spike_ramp(r.at, fault.onset)
+                    } else {
+                        v
+                    };
+                    out.push_sensor(SensorReading::new(r.sensor, r.at, value.into()));
+                }
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    fn inject_binary(&self, log: EventLog, fault: &SensorFault) -> EventLog {
+        let mut log = log;
+        let range_end = log.end().unwrap_or(fault.onset);
+        let mut rng = self.rng(fault.onset);
+        let mut out = EventLog::new();
+
+        // Pass 1: filter/keep existing fires.
+        for event in log.into_events() {
+            let is_target_fire = matches!(
+                &event,
+                Event::Sensor(r) if r.sensor == fault.sensor && r.at >= fault.onset
+            );
+            if !is_target_fire {
+                out.push(event);
+                continue;
+            }
+            match fault.fault {
+                // Silent classes: real fires vanish.
+                FaultType::FailStop => {}
+                // Stuck-on keeps reporting regardless; the periodic fires are
+                // inserted in pass 2, so the original events are redundant.
+                FaultType::StuckAt => {}
+                FaultType::Outlier | FaultType::Spike => out.push(event),
+                FaultType::Noise => {
+                    if !rng.gen_bool(NOISE_DROP_PROB) {
+                        out.push(event);
+                    }
+                }
+            }
+        }
+
+        // Pass 2: insert spurious fires minute by minute.
+        let mut minute = fault.onset.as_mins();
+        let end_minute = range_end.as_mins();
+        while minute <= end_minute {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(23);
+            let fire = match fault.fault {
+                FaultType::FailStop => false,
+                FaultType::StuckAt => true,
+                FaultType::Outlier => rng.gen_bool(OUTLIER_FIRE_PROB),
+                FaultType::Noise => rng.gen_bool(NOISE_FIRE_PROB),
+                FaultType::Spike => Self::in_spike_burst(at, fault.onset),
+            };
+            if fire && at >= fault.onset {
+                out.push_sensor(SensorReading::new(fault.sensor, at, true.into()));
+            }
+            minute += 1;
+        }
+        out.normalize();
+        out
+    }
+
+    fn inject_ghost(&self, log: EventLog, fault: &ActuatorFault) -> EventLog {
+        let mut log = log;
+        let range_end = log.end().unwrap_or(fault.onset);
+        let mut rng = self.rng(fault.onset);
+        let mut out: EventLog = log.into_events().collect();
+        let mut minute = fault.onset.as_mins();
+        let end_minute = range_end.as_mins();
+        while minute <= end_minute {
+            if rng.gen_bool(0.08) {
+                let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(31);
+                if at >= fault.onset {
+                    out.push_actuator(ActuatorEvent::new(fault.actuator, at, true));
+                }
+            }
+            minute += 1;
+        }
+        out.normalize();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_types::{ActuatorId, ActuatorKind, Room, SensorId, SensorKind};
+
+    fn registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+        reg.add_sensor(SensorKind::Temperature, "t", Room::Kitchen);
+        reg.add_actuator(ActuatorKind::SmartBulb, "hue", Room::Kitchen);
+        reg
+    }
+
+    fn numeric_log(minutes: i64) -> EventLog {
+        let mut log = EventLog::new();
+        let temp = SensorId::new(1);
+        for minute in 0..minutes {
+            for k in 0..3 {
+                let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(k * 20);
+                log.push_sensor(SensorReading::new(temp, at, 21.0.into()));
+            }
+        }
+        log
+    }
+
+    fn binary_log(minutes: i64) -> EventLog {
+        let mut log = EventLog::new();
+        let motion = SensorId::new(0);
+        for minute in 0..minutes {
+            log.push_sensor(SensorReading::new(
+                motion,
+                Timestamp::from_mins(minute),
+                true.into(),
+            ));
+        }
+        log
+    }
+
+    fn fault(sensor: u32, fault: FaultType, onset_min: i64) -> SensorFault {
+        SensorFault {
+            sensor: SensorId::new(sensor),
+            fault,
+            onset: Timestamp::from_mins(onset_min),
+        }
+    }
+
+    fn target_values(log: &mut EventLog, sensor: SensorId, from: Timestamp) -> Vec<f64> {
+        log.events()
+            .iter()
+            .filter_map(|e| e.as_sensor())
+            .filter(|r| r.sensor == sensor && r.at >= from)
+            .filter_map(|r| r.value.as_numeric())
+            .collect()
+    }
+
+    #[test]
+    fn fail_stop_silences_numeric_sensor() {
+        let injector = FaultInjector::new(1);
+        let mut out = injector.inject_sensor(
+            numeric_log(20),
+            &registry(),
+            &fault(1, FaultType::FailStop, 10),
+        );
+        let after = target_values(&mut out, SensorId::new(1), Timestamp::from_mins(10));
+        assert!(after.is_empty());
+        let before = target_values(&mut out, SensorId::new(1), Timestamp::ZERO);
+        assert_eq!(before.len(), 30); // 10 minutes * 3 samples
+    }
+
+    #[test]
+    fn stuck_at_freezes_numeric_value() {
+        let mut base = numeric_log(20);
+        // Make the signal vary so freezing is observable.
+        base.push_sensor(SensorReading::new(
+            SensorId::new(1),
+            Timestamp::from_mins(9) + TimeDelta::from_secs(40),
+            30.0.into(),
+        ));
+        let injector = FaultInjector::new(2);
+        let mut out = injector.inject_sensor(base, &registry(), &fault(1, FaultType::StuckAt, 10));
+        let after = target_values(&mut out, SensorId::new(1), Timestamp::from_mins(10));
+        assert!(!after.is_empty());
+        assert!(
+            after.iter().all(|&v| v == 30.0),
+            "all post-onset values frozen at last value"
+        );
+    }
+
+    #[test]
+    fn outlier_injects_sparse_extremes() {
+        let injector = FaultInjector::new(3);
+        let mut out = injector.inject_sensor(
+            numeric_log(60),
+            &registry(),
+            &fault(1, FaultType::Outlier, 10),
+        );
+        let after = target_values(&mut out, SensorId::new(1), Timestamp::from_mins(10));
+        let extremes = after.iter().filter(|&&v| (v - 21.0).abs() > 5.0).count();
+        assert!(extremes > 0, "some outliers must appear");
+        assert!(
+            extremes * 5 < after.len(),
+            "outliers must be sparse: {extremes}/{}",
+            after.len()
+        );
+    }
+
+    #[test]
+    fn noise_raises_variance() {
+        let injector = FaultInjector::new(4);
+        let mut out = injector.inject_sensor(
+            numeric_log(60),
+            &registry(),
+            &fault(1, FaultType::Noise, 10),
+        );
+        let after = target_values(&mut out, SensorId::new(1), Timestamp::from_mins(10));
+        let mean = after.iter().sum::<f64>() / after.len() as f64;
+        let var = after.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / after.len() as f64;
+        assert!(
+            var > 1.0,
+            "variance {var} should be far above the clean signal's 0"
+        );
+    }
+
+    #[test]
+    fn spike_burst_pattern_is_periodic() {
+        let injector = FaultInjector::new(5);
+        let mut out =
+            injector.inject_sensor(numeric_log(60), &registry(), &fault(1, FaultType::Spike, 0));
+        let events = out.events();
+        let spiked: Vec<i64> = events
+            .iter()
+            .filter_map(|e| e.as_sensor())
+            .filter(|r| r.sensor == SensorId::new(1))
+            .filter(|r| r.value.as_numeric().is_some_and(|v| v > 25.0))
+            .map(|r| r.at.as_mins())
+            .collect();
+        assert!(!spiked.is_empty());
+        assert!(spiked
+            .iter()
+            .all(|m| m % SPIKE_PERIOD_MINS < SPIKE_BURST_MINS));
+    }
+
+    #[test]
+    fn binary_fail_stop_drops_fires() {
+        let injector = FaultInjector::new(6);
+        let mut out = injector.inject_sensor(
+            binary_log(20),
+            &registry(),
+            &fault(0, FaultType::FailStop, 10),
+        );
+        let fires = out
+            .events()
+            .iter()
+            .filter_map(|e| e.as_sensor())
+            .filter(|r| r.sensor == SensorId::new(0))
+            .count();
+        assert_eq!(fires, 10);
+    }
+
+    #[test]
+    fn binary_stuck_at_fires_every_minute() {
+        let mut quiet = EventLog::new();
+        // A sensor that never fires naturally, plus an anchor event fixing
+        // the log's time range.
+        quiet.push_sensor(SensorReading::new(
+            SensorId::new(1),
+            Timestamp::from_mins(30),
+            21.0.into(),
+        ));
+        let injector = FaultInjector::new(7);
+        let mut out = injector.inject_sensor(quiet, &registry(), &fault(0, FaultType::StuckAt, 10));
+        let fires = out
+            .events()
+            .iter()
+            .filter_map(|e| e.as_sensor())
+            .filter(|r| r.sensor == SensorId::new(0))
+            .count();
+        assert_eq!(fires, 21); // minutes 10..=30 inclusive
+    }
+
+    #[test]
+    fn binary_noise_flickers() {
+        let injector = FaultInjector::new(8);
+        let mut out =
+            injector.inject_sensor(binary_log(120), &registry(), &fault(0, FaultType::Noise, 0));
+        let fires = out
+            .events()
+            .iter()
+            .filter_map(|e| e.as_sensor())
+            .filter(|r| r.sensor == SensorId::new(0))
+            .count();
+        // Expected ~ (1 - 0.5) kept + 0.4 inserted per minute: well away
+        // from both 0 and the clean 120.
+        assert!(fires > 40 && fires < 200, "fires = {fires}");
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let f = fault(1, FaultType::Noise, 5);
+        let mut a = FaultInjector::new(9).inject_sensor(numeric_log(30), &registry(), &f);
+        let mut b = FaultInjector::new(9).inject_sensor(numeric_log(30), &registry(), &f);
+        assert_eq!(a.events(), b.events());
+        let mut c = FaultInjector::new(10).inject_sensor(numeric_log(30), &registry(), &f);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn other_devices_are_untouched() {
+        let mut base = binary_log(20);
+        base.merge(numeric_log(20));
+        let injector = FaultInjector::new(11);
+        let mut out = injector.inject_sensor(base, &registry(), &fault(0, FaultType::FailStop, 0));
+        let temp_samples = out
+            .events()
+            .iter()
+            .filter_map(|e| e.as_sensor())
+            .filter(|r| r.sensor == SensorId::new(1))
+            .count();
+        assert_eq!(temp_samples, 60);
+    }
+
+    #[test]
+    fn ghost_actuator_inserts_activations() {
+        let injector = FaultInjector::new(12);
+        let base = numeric_log(120);
+        let af = ActuatorFault {
+            actuator: ActuatorId::new(0),
+            fault: ActuatorFaultType::Ghost,
+            onset: Timestamp::from_mins(10),
+        };
+        let mut out = injector.inject_actuator(base, &af);
+        let ghosts = out
+            .events()
+            .iter()
+            .filter_map(|e| e.as_actuator())
+            .filter(|a| a.actuator == ActuatorId::new(0) && a.active)
+            .count();
+        assert!(ghosts > 2, "ghost activations expected, got {ghosts}");
+    }
+
+    #[test]
+    fn silent_actuator_drops_events() {
+        let mut base = EventLog::new();
+        for minute in 0..20 {
+            base.push_actuator(ActuatorEvent::new(
+                ActuatorId::new(0),
+                Timestamp::from_mins(minute),
+                minute % 2 == 0,
+            ));
+        }
+        let af = ActuatorFault {
+            actuator: ActuatorId::new(0),
+            fault: ActuatorFaultType::Silent,
+            onset: Timestamp::from_mins(10),
+        };
+        let mut out = FaultInjector::new(13).inject_actuator(base, &af);
+        let remaining = out.events().iter().filter_map(|e| e.as_actuator()).count();
+        assert_eq!(remaining, 10);
+    }
+
+    #[test]
+    fn multi_fault_injection_composes() {
+        let mut base = binary_log(20);
+        base.merge(numeric_log(20));
+        let faults = [
+            fault(0, FaultType::FailStop, 0),
+            fault(1, FaultType::FailStop, 0),
+        ];
+        let mut out = FaultInjector::new(14).inject_sensors(base, &registry(), &faults);
+        assert_eq!(out.events().len(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fault taxonomy, injectors, and randomized fault planning for the DICE
+//! reproduction.
+//!
+//! The paper (Section 4.2) inserts faults into collected smart-home data:
+//! fail-stop faults plus the four most frequently observed non-fail-stop
+//! classes of Ni et al. — outlier, stuck-at, high noise/variance, and spike —
+//! with the sensor, fault type, and insertion time chosen randomly. This
+//! crate reproduces exactly that methodology as log-to-log transformations,
+//! plus ghost/silent actuator faults for the Section 5.1.3 experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use dice_faults::{FaultInjector, FaultPlanner};
+//! use dice_types::{DeviceRegistry, EventLog, Room, SensorKind, SensorReading, TimeDelta, Timestamp};
+//!
+//! let mut reg = DeviceRegistry::new();
+//! reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+//! let mut log = EventLog::new();
+//! for minute in 0..360 {
+//!     log.push_sensor(SensorReading::new(
+//!         dice_types::SensorId::new(0),
+//!         Timestamp::from_mins(minute),
+//!         true.into(),
+//!     ));
+//! }
+//! let plan = FaultPlanner::new(1).sensor_fault(0, &reg, Timestamp::ZERO, TimeDelta::from_hours(6));
+//! let faulty = FaultInjector::new(1).inject_sensor(log, &reg, &plan);
+//! assert!(faulty.len() > 0 || plan.fault.is_fail_stop());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inject;
+mod plan;
+mod types;
+
+pub use inject::FaultInjector;
+pub use plan::FaultPlanner;
+pub use types::{ActuatorFault, ActuatorFaultType, FaultType, SensorFault};

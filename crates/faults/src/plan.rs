@@ -1,0 +1,218 @@
+//! Randomized fault planning.
+//!
+//! The paper chooses "the sensor type, fault type, and the insertion time ...
+//! randomly" (Section 4.2). The planner reproduces that: given a segment's
+//! time range and a seed, it draws a device, a fault class, and an onset
+//! inside the segment, leaving enough tail for the fault to manifest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dice_types::{ActuatorId, DeviceRegistry, SensorId, TimeDelta, Timestamp};
+
+use crate::types::{ActuatorFault, ActuatorFaultType, FaultType, SensorFault};
+
+/// Draws random fault plans for evaluation trials.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlanner {
+    seed: u64,
+}
+
+impl FaultPlanner {
+    /// Creates a planner; draws derive from `seed` and the per-trial index.
+    pub fn new(seed: u64) -> Self {
+        FaultPlanner { seed }
+    }
+
+    fn rng(&self, trial: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ trial.wrapping_mul(0x9E37_79B9))
+    }
+
+    /// Draws an onset in the first 10–50% of the segment so the fault has
+    /// most of the segment to manifest and be identified.
+    fn draw_onset(rng: &mut StdRng, start: Timestamp, len: TimeDelta) -> Timestamp {
+        let lo = len.as_mins() / 10;
+        let hi = (len.as_mins() / 2).max(lo + 1);
+        start + TimeDelta::from_mins(rng.gen_range(lo..hi))
+    }
+
+    /// Plans one random sensor fault inside `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry has no sensors or `len` is shorter than ten
+    /// minutes.
+    pub fn sensor_fault(
+        &self,
+        trial: u64,
+        registry: &DeviceRegistry,
+        start: Timestamp,
+        len: TimeDelta,
+    ) -> SensorFault {
+        assert!(registry.num_sensors() > 0, "registry has no sensors");
+        assert!(len.as_mins() >= 10, "segment too short for fault planning");
+        let mut rng = self.rng(trial);
+        let sensor = SensorId::new(rng.gen_range(0..registry.num_sensors() as u32));
+        let fault = FaultType::all()[rng.gen_range(0..FaultType::all().len())];
+        SensorFault {
+            sensor,
+            fault,
+            onset: Self::draw_onset(&mut rng, start, len),
+        }
+    }
+
+    /// Plans `count` distinct-sensor faults for the multi-fault experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of sensors.
+    pub fn sensor_faults(
+        &self,
+        trial: u64,
+        registry: &DeviceRegistry,
+        start: Timestamp,
+        len: TimeDelta,
+        count: usize,
+    ) -> Vec<SensorFault> {
+        assert!(count <= registry.num_sensors(), "more faults than sensors");
+        let mut rng = self.rng(trial ^ 0xABCD);
+        let mut chosen: Vec<u32> = Vec::new();
+        while chosen.len() < count {
+            let s = rng.gen_range(0..registry.num_sensors() as u32);
+            if !chosen.contains(&s) {
+                chosen.push(s);
+            }
+        }
+        chosen
+            .into_iter()
+            .map(|s| {
+                let fault = FaultType::all()[rng.gen_range(0..FaultType::all().len())];
+                SensorFault {
+                    sensor: SensorId::new(s),
+                    fault,
+                    onset: Self::draw_onset(&mut rng, start, len),
+                }
+            })
+            .collect()
+    }
+
+    /// Plans one random actuator fault inside `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry has no actuators or `len` is shorter than ten
+    /// minutes.
+    pub fn actuator_fault(
+        &self,
+        trial: u64,
+        registry: &DeviceRegistry,
+        start: Timestamp,
+        len: TimeDelta,
+    ) -> ActuatorFault {
+        assert!(registry.num_actuators() > 0, "registry has no actuators");
+        assert!(len.as_mins() >= 10, "segment too short for fault planning");
+        let mut rng = self.rng(trial ^ 0x5EED);
+        let actuator = ActuatorId::new(rng.gen_range(0..registry.num_actuators() as u32));
+        let fault = if rng.gen_bool(0.5) {
+            ActuatorFaultType::Ghost
+        } else {
+            ActuatorFaultType::Silent
+        };
+        ActuatorFault {
+            actuator,
+            fault,
+            onset: Self::draw_onset(&mut rng, start, len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_types::{ActuatorKind, Room, SensorKind};
+
+    fn registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        for i in 0..10 {
+            reg.add_sensor(SensorKind::Motion, format!("m{i}"), Room::Kitchen);
+        }
+        reg.add_actuator(ActuatorKind::SmartBulb, "hue", Room::Kitchen);
+        reg
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_trial() {
+        let planner = FaultPlanner::new(5);
+        let reg = registry();
+        let segment = (Timestamp::from_hours(300), TimeDelta::from_hours(6));
+        let a = planner.sensor_fault(0, &reg, segment.0, segment.1);
+        let b = planner.sensor_fault(0, &reg, segment.0, segment.1);
+        assert_eq!(a, b);
+        let c = planner.sensor_fault(1, &reg, segment.0, segment.1);
+        assert!(a != c || a.fault != c.fault || a.onset != c.onset);
+    }
+
+    #[test]
+    fn onset_is_inside_first_half_of_segment() {
+        let planner = FaultPlanner::new(6);
+        let reg = registry();
+        let start = Timestamp::from_hours(100);
+        let len = TimeDelta::from_hours(6);
+        for trial in 0..50 {
+            let f = planner.sensor_fault(trial, &reg, start, len);
+            assert!(f.onset >= start + TimeDelta::from_mins(len.as_mins() / 10));
+            assert!(f.onset < start + TimeDelta::from_mins(len.as_mins() / 2));
+        }
+    }
+
+    #[test]
+    fn draws_cover_devices_and_types() {
+        let planner = FaultPlanner::new(7);
+        let reg = registry();
+        let mut sensors = std::collections::HashSet::new();
+        let mut types = std::collections::HashSet::new();
+        for trial in 0..200 {
+            let f = planner.sensor_fault(trial, &reg, Timestamp::ZERO, TimeDelta::from_hours(6));
+            sensors.insert(f.sensor);
+            types.insert(f.fault);
+        }
+        assert_eq!(types.len(), 5, "all fault types drawn");
+        assert!(sensors.len() >= 8, "most sensors drawn");
+    }
+
+    #[test]
+    fn multi_fault_plans_use_distinct_sensors() {
+        let planner = FaultPlanner::new(8);
+        let reg = registry();
+        for trial in 0..20 {
+            let faults =
+                planner.sensor_faults(trial, &reg, Timestamp::ZERO, TimeDelta::from_hours(6), 3);
+            assert_eq!(faults.len(), 3);
+            let mut sensors: Vec<_> = faults.iter().map(|f| f.sensor).collect();
+            sensors.dedup();
+            sensors.sort_unstable();
+            sensors.dedup();
+            assert_eq!(sensors.len(), 3, "sensors must be distinct");
+        }
+    }
+
+    #[test]
+    fn actuator_plans_cover_both_types() {
+        let planner = FaultPlanner::new(9);
+        let reg = registry();
+        let mut types = std::collections::HashSet::new();
+        for trial in 0..50 {
+            let f = planner.actuator_fault(trial, &reg, Timestamp::ZERO, TimeDelta::from_hours(6));
+            types.insert(f.fault);
+            assert_eq!(f.actuator, ActuatorId::new(0));
+        }
+        assert_eq!(types.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment too short")]
+    fn rejects_tiny_segments() {
+        let planner = FaultPlanner::new(10);
+        let _ = planner.sensor_fault(0, &registry(), Timestamp::ZERO, TimeDelta::from_mins(5));
+    }
+}

@@ -1,0 +1,130 @@
+//! The fault taxonomy (Section 4.2).
+//!
+//! Sensor faults split into *fail-stop* (the device goes silent) and
+//! *non-fail-stop* faults, for which the paper adopts the four most frequent
+//! classes of Ni et al. [4]: outlier, stuck-at, high noise/variance, and
+//! spike. Actuator faults add ghost activations and silenced actuators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dice_types::{ActuatorId, SensorId, Timestamp};
+
+/// The five sensor fault classes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultType {
+    /// The sensor stops reporting entirely.
+    FailStop,
+    /// Isolated anomalous readings at sparse instants.
+    Outlier,
+    /// Output frozen at one value regardless of the input.
+    StuckAt,
+    /// Noise/variance far beyond the expected degree.
+    Noise,
+    /// Recurring bursts of elevated readings shaped like spikes.
+    Spike,
+}
+
+impl FaultType {
+    /// All sensor fault types in a fixed order.
+    pub fn all() -> &'static [FaultType] {
+        &[
+            FaultType::FailStop,
+            FaultType::Outlier,
+            FaultType::StuckAt,
+            FaultType::Noise,
+            FaultType::Spike,
+        ]
+    }
+
+    /// The four non-fail-stop classes.
+    pub fn non_fail_stop() -> &'static [FaultType] {
+        &[
+            FaultType::Outlier,
+            FaultType::StuckAt,
+            FaultType::Noise,
+            FaultType::Spike,
+        ]
+    }
+
+    /// Whether this is the fail-stop class.
+    pub fn is_fail_stop(self) -> bool {
+        self == FaultType::FailStop
+    }
+}
+
+impl fmt::Display for FaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultType::FailStop => "fail-stop",
+            FaultType::Outlier => "outlier",
+            FaultType::StuckAt => "stuck-at",
+            FaultType::Noise => "noise",
+            FaultType::Spike => "spike",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A planned sensor fault: which sensor, which class, and when it sets in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFault {
+    /// The faulty sensor.
+    pub sensor: SensorId,
+    /// The fault class.
+    pub fault: FaultType,
+    /// Onset time; data at or after this instant is affected.
+    pub onset: Timestamp,
+}
+
+/// Actuator fault classes (Section 5.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActuatorFaultType {
+    /// Spurious activations with no automation cause.
+    Ghost,
+    /// The actuator stops emitting events (and stops acting).
+    Silent,
+}
+
+impl fmt::Display for ActuatorFaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActuatorFaultType::Ghost => write!(f, "ghost"),
+            ActuatorFaultType::Silent => write!(f, "silent"),
+        }
+    }
+}
+
+/// A planned actuator fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorFault {
+    /// The faulty actuator.
+    pub actuator: ActuatorId,
+    /// The fault class.
+    pub fault: ActuatorFaultType,
+    /// Onset time.
+    pub onset: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_complete() {
+        assert_eq!(FaultType::all().len(), 5);
+        assert_eq!(FaultType::non_fail_stop().len(), 4);
+        assert!(FaultType::FailStop.is_fail_stop());
+        assert!(FaultType::non_fail_stop().iter().all(|f| !f.is_fail_stop()));
+    }
+
+    #[test]
+    fn display_names_are_paper_terms() {
+        assert_eq!(FaultType::FailStop.to_string(), "fail-stop");
+        assert_eq!(FaultType::StuckAt.to_string(), "stuck-at");
+        assert_eq!(FaultType::Noise.to_string(), "noise");
+        assert_eq!(ActuatorFaultType::Ghost.to_string(), "ghost");
+        assert_eq!(ActuatorFaultType::Silent.to_string(), "silent");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the fault injectors' contracts.
+
+use dice_faults::{FaultInjector, FaultType, SensorFault};
+use dice_types::{
+    DeviceRegistry, Event, EventLog, Room, SensorId, SensorKind, SensorReading, TimeDelta,
+    Timestamp,
+};
+use proptest::prelude::*;
+
+fn registry() -> DeviceRegistry {
+    let mut reg = DeviceRegistry::new();
+    reg.add_sensor(SensorKind::Motion, "m0", Room::Kitchen);
+    reg.add_sensor(SensorKind::Motion, "m1", Room::Bedroom);
+    reg.add_sensor(SensorKind::Temperature, "t0", Room::Kitchen);
+    reg.add_sensor(SensorKind::Light, "l0", Room::LivingRoom);
+    reg
+}
+
+fn base_log() -> EventLog {
+    let mut log = EventLog::new();
+    for minute in 0..180 {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+        if minute % 2 == 0 {
+            log.push_sensor(SensorReading::new(SensorId::new(0), at, true.into()));
+        }
+        if minute % 3 == 0 {
+            log.push_sensor(SensorReading::new(SensorId::new(1), at, true.into()));
+        }
+        for k in 0..3 {
+            let ts = Timestamp::from_mins(minute) + TimeDelta::from_secs(k * 20);
+            log.push_sensor(SensorReading::new(SensorId::new(2), ts, 21.0.into()));
+            log.push_sensor(SensorReading::new(SensorId::new(3), ts, 300.0.into()));
+        }
+    }
+    log
+}
+
+fn fault_type_strategy() -> impl Strategy<Value = FaultType> {
+    prop::sample::select(FaultType::all().to_vec())
+}
+
+fn events_of(log: &mut EventLog, sensor: SensorId) -> Vec<Event> {
+    log.events()
+        .iter()
+        .filter(|e| e.as_sensor().is_some_and(|r| r.sensor == sensor))
+        .copied()
+        .collect()
+}
+
+proptest! {
+    /// Injection never touches other devices' events and never touches the
+    /// target before the onset.
+    #[test]
+    fn injection_is_scoped_to_target_and_onset(
+        target in 0u32..4,
+        fault in fault_type_strategy(),
+        onset_min in 10i64..90,
+        seed in 0u64..500,
+    ) {
+        let reg = registry();
+        let fault = SensorFault {
+            sensor: SensorId::new(target),
+            fault,
+            onset: Timestamp::from_mins(onset_min),
+        };
+        let mut original = base_log();
+        let injected = FaultInjector::new(seed).inject_sensor(original.clone(), &reg, &fault);
+        let mut injected = injected;
+
+        for other in 0..4u32 {
+            if other == target {
+                continue;
+            }
+            prop_assert_eq!(
+                events_of(&mut injected, SensorId::new(other)),
+                events_of(&mut original, SensorId::new(other)),
+                "sensor {} must be untouched", other
+            );
+        }
+        // Pre-onset target events unchanged.
+        let pre: Vec<Event> = events_of(&mut original, fault.sensor)
+            .into_iter()
+            .filter(|e| e.at() < fault.onset)
+            .collect();
+        let pre_injected: Vec<Event> = events_of(&mut injected, fault.sensor)
+            .into_iter()
+            .filter(|e| e.at() < fault.onset)
+            .collect();
+        prop_assert_eq!(pre, pre_injected);
+    }
+
+    /// Fail-stop leaves zero post-onset events; stuck-at numeric keeps the
+    /// sample cadence but a single value.
+    #[test]
+    fn fault_class_contracts(
+        onset_min in 10i64..90,
+        seed in 0u64..500,
+    ) {
+        let reg = registry();
+        let onset = Timestamp::from_mins(onset_min);
+
+        // Fail-stop on the numeric sensor.
+        let fs = SensorFault { sensor: SensorId::new(2), fault: FaultType::FailStop, onset };
+        let mut injected = FaultInjector::new(seed).inject_sensor(base_log(), &reg, &fs);
+        let post = events_of(&mut injected, fs.sensor)
+            .into_iter()
+            .filter(|e| e.at() >= onset)
+            .count();
+        prop_assert_eq!(post, 0);
+
+        // Stuck-at on the numeric sensor: cadence preserved, single value.
+        let st = SensorFault { sensor: SensorId::new(2), fault: FaultType::StuckAt, onset };
+        let mut original = base_log();
+        let mut injected = FaultInjector::new(seed).inject_sensor(base_log(), &reg, &st);
+        let orig_post = events_of(&mut original, st.sensor)
+            .into_iter()
+            .filter(|e| e.at() >= onset)
+            .count();
+        let post: Vec<f64> = events_of(&mut injected, st.sensor)
+            .into_iter()
+            .filter(|e| e.at() >= onset)
+            .filter_map(|e| e.as_sensor().and_then(|r| r.value.as_numeric()))
+            .collect();
+        prop_assert_eq!(post.len(), orig_post);
+        if let Some(first) = post.first() {
+            prop_assert!(post.iter().all(|v| v == first), "stuck value must be constant");
+        }
+    }
+
+    /// Injection is deterministic in the seed.
+    #[test]
+    fn injection_is_deterministic(
+        target in 0u32..4,
+        fault in fault_type_strategy(),
+        seed in 0u64..500,
+    ) {
+        let reg = registry();
+        let fault = SensorFault {
+            sensor: SensorId::new(target),
+            fault,
+            onset: Timestamp::from_mins(30),
+        };
+        let mut a = FaultInjector::new(seed).inject_sensor(base_log(), &reg, &fault);
+        let mut b = FaultInjector::new(seed).inject_sensor(base_log(), &reg, &fault);
+        prop_assert_eq!(a.events(), b.events());
+    }
+}

@@ -1,0 +1,207 @@
+//! Wire format between aggregators and the gateway.
+//!
+//! The paper's testbed runs IoTivity/CoAP between Raspberry-Pi aggregators
+//! and the home server; here the fabric is in-process, but events still
+//! cross it in a compact binary frame so the gateway path exercises real
+//! serialization (and so a socket transport could be dropped in without
+//! touching either end).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dice_types::{
+    ActuatorEvent, ActuatorId, Event, SensorId, SensorReading, SensorValue, Timestamp,
+};
+
+/// Frame type tags.
+const TAG_BINARY: u8 = 0x01;
+const TAG_NUMERIC: u8 = 0x02;
+const TAG_ACTUATOR: u8 = 0x03;
+
+/// Errors raised while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The buffer is shorter than the frame header requires.
+    Truncated,
+    /// The frame tag byte is unknown.
+    UnknownTag(u8),
+    /// A boolean field held a value other than 0 or 1.
+    BadBool(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame is truncated"),
+            FrameError::UnknownTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            FrameError::BadBool(value) => write!(f, "invalid boolean byte {value:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one event into a frame.
+///
+/// Layout: `tag:u8, device_id:u32, at_secs:i64, payload` where the payload
+/// is one byte for binary/actuator frames and an `f64` for numeric frames.
+pub fn encode_event(event: &Event) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + 4 + 8 + 8);
+    match event {
+        Event::Sensor(r) => match r.value {
+            SensorValue::Binary(b) => {
+                buf.put_u8(TAG_BINARY);
+                buf.put_u32(r.sensor.index() as u32);
+                buf.put_i64(r.at.as_secs());
+                buf.put_u8(u8::from(b));
+            }
+            SensorValue::Numeric(v) => {
+                buf.put_u8(TAG_NUMERIC);
+                buf.put_u32(r.sensor.index() as u32);
+                buf.put_i64(r.at.as_secs());
+                buf.put_f64(v);
+            }
+        },
+        Event::Actuator(a) => {
+            buf.put_u8(TAG_ACTUATOR);
+            buf.put_u32(a.actuator.index() as u32);
+            buf.put_i64(a.at.as_secs());
+            buf.put_u8(u8::from(a.active));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes one frame back into an event.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] for truncated or malformed frames.
+pub fn decode_event(mut frame: Bytes) -> Result<Event, FrameError> {
+    if frame.remaining() < 1 + 4 + 8 {
+        return Err(FrameError::Truncated);
+    }
+    let tag = frame.get_u8();
+    let id = frame.get_u32();
+    let at = Timestamp::from_secs(frame.get_i64());
+    match tag {
+        TAG_BINARY => {
+            if frame.remaining() < 1 {
+                return Err(FrameError::Truncated);
+            }
+            let b = match frame.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(FrameError::BadBool(other)),
+            };
+            Ok(Event::Sensor(SensorReading::new(
+                SensorId::new(id),
+                at,
+                b.into(),
+            )))
+        }
+        TAG_NUMERIC => {
+            if frame.remaining() < 8 {
+                return Err(FrameError::Truncated);
+            }
+            Ok(Event::Sensor(SensorReading::new(
+                SensorId::new(id),
+                at,
+                frame.get_f64().into(),
+            )))
+        }
+        TAG_ACTUATOR => {
+            if frame.remaining() < 1 {
+                return Err(FrameError::Truncated);
+            }
+            let b = match frame.get_u8() {
+                0 => false,
+                1 => true,
+                other => return Err(FrameError::BadBool(other)),
+            };
+            Ok(Event::Actuator(ActuatorEvent::new(
+                ActuatorId::new(id),
+                at,
+                b,
+            )))
+        }
+        other => Err(FrameError::UnknownTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(event: Event) {
+        let frame = encode_event(&event);
+        let back = decode_event(frame).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn binary_reading_round_trips() {
+        round_trip(Event::Sensor(SensorReading::new(
+            SensorId::new(7),
+            Timestamp::from_secs(1234),
+            true.into(),
+        )));
+        round_trip(Event::Sensor(SensorReading::new(
+            SensorId::new(0),
+            Timestamp::from_secs(-5),
+            false.into(),
+        )));
+    }
+
+    #[test]
+    fn numeric_reading_round_trips() {
+        round_trip(Event::Sensor(SensorReading::new(
+            SensorId::new(31),
+            Timestamp::from_mins(99),
+            21.125.into(),
+        )));
+    }
+
+    #[test]
+    fn actuator_event_round_trips() {
+        round_trip(Event::Actuator(ActuatorEvent::new(
+            ActuatorId::new(3),
+            Timestamp::from_hours(2),
+            true,
+        )));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert_eq!(
+            decode_event(Bytes::from_static(&[0x01, 0, 0])),
+            Err(FrameError::Truncated)
+        );
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_NUMERIC);
+        buf.put_u32(1);
+        buf.put_i64(0);
+        // missing f64 payload
+        assert_eq!(decode_event(buf.freeze()), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_bools_are_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x7F);
+        buf.put_u32(1);
+        buf.put_i64(0);
+        buf.put_u8(0);
+        assert_eq!(
+            decode_event(buf.freeze()),
+            Err(FrameError::UnknownTag(0x7F))
+        );
+
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_BINARY);
+        buf.put_u32(1);
+        buf.put_i64(0);
+        buf.put_u8(9);
+        assert_eq!(decode_event(buf.freeze()), Err(FrameError::BadBool(9)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Actuator automation rules.
+//!
+//! The paper's testbed programs its actuators to react to connected sensors
+//! (Section 4.1.2): Hue bulbs follow motion sensors, WeMo switches follow
+//! temperature/humidity, blinds follow light level. Rules here are memoryless
+//! predicates over the (pre-actuator) sensor state of a minute, which keeps
+//! the whole simulation random-access: the actuator state of minute `m` only
+//! needs minute `m`'s inputs.
+
+use serde::{Deserialize, Serialize};
+
+use dice_types::{ActuatorId, SensorId};
+
+/// The trigger condition of an automation rule, evaluated once per minute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// A binary sensor fired during the minute.
+    BinaryActive(SensorId),
+    /// A numeric sensor's ambient value exceeds a threshold.
+    NumericAbove(SensorId, f64),
+    /// A numeric sensor's ambient value is below a threshold.
+    NumericBelow(SensorId, f64),
+}
+
+impl Condition {
+    /// The sensor the condition reads.
+    pub fn sensor(&self) -> SensorId {
+        match self {
+            Condition::BinaryActive(s)
+            | Condition::NumericAbove(s, _)
+            | Condition::NumericBelow(s, _) => *s,
+        }
+    }
+
+    /// Evaluates the condition against a minute's sensor inputs.
+    pub fn holds(
+        &self,
+        binary_active: impl Fn(SensorId) -> bool,
+        numeric: impl Fn(SensorId) -> f64,
+    ) -> bool {
+        match self {
+            Condition::BinaryActive(s) => binary_active(*s),
+            Condition::NumericAbove(s, thre) => numeric(*s) > *thre,
+            Condition::NumericBelow(s, thre) => numeric(*s) < *thre,
+        }
+    }
+}
+
+/// One automation rule: the actuator is on exactly while the condition holds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutomationRule {
+    /// The controlled actuator.
+    pub actuator: ActuatorId,
+    /// Its trigger.
+    pub condition: Condition,
+}
+
+/// A side effect of an active actuator on a numeric sensor (e.g. a bulb
+/// raising the nearby light sensor's reading). Actuators affect sensor
+/// readings — the reason DICE can skip A2A transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorEffect {
+    /// The acting actuator.
+    pub actuator: ActuatorId,
+    /// The affected numeric sensor.
+    pub sensor: SensorId,
+    /// Value shift while the actuator is on.
+    pub delta: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_reads_its_sensor() {
+        let s = SensorId::new(3);
+        assert_eq!(Condition::BinaryActive(s).sensor(), s);
+        assert_eq!(Condition::NumericAbove(s, 1.0).sensor(), s);
+        assert_eq!(Condition::NumericBelow(s, 1.0).sensor(), s);
+    }
+
+    #[test]
+    fn binary_condition_follows_activity() {
+        let c = Condition::BinaryActive(SensorId::new(0));
+        assert!(c.holds(|_| true, |_| 0.0));
+        assert!(!c.holds(|_| false, |_| 0.0));
+    }
+
+    #[test]
+    fn numeric_conditions_compare_strictly() {
+        let above = Condition::NumericAbove(SensorId::new(0), 25.0);
+        assert!(above.holds(|_| false, |_| 26.0));
+        assert!(!above.holds(|_| false, |_| 25.0));
+        let below = Condition::NumericBelow(SensorId::new(0), 100.0);
+        assert!(below.holds(|_| false, |_| 50.0));
+        assert!(!below.holds(|_| false, |_| 100.0));
+    }
+}

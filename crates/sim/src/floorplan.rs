@@ -1,0 +1,181 @@
+//! The testbed floor plan (Figure 4.1): room geometry, adjacency, and an
+//! ASCII rendering of the deployment.
+//!
+//! The paper's figure shows a five-room apartment — kitchen, bathroom,
+//! bedroom, living room, and an entrance hallway connecting them — with the
+//! per-room sensor letters (L: light, T: temperature, S: sound, M: motion,
+//! U: ultrasonic, F: flame, G: gas, W: weight). This module captures the
+//! topology (which rooms connect) and renders the plan with the actual
+//! deployment, so the figure is regenerable like every other artifact.
+
+use dice_types::{DeviceRegistry, Room, SensorKind};
+
+/// The walkable connections between rooms: every room opens onto the
+/// hallway, and the kitchen and living room connect directly.
+pub fn adjacent(a: Room, b: Room) -> bool {
+    if a == b {
+        return false;
+    }
+    let touches_hallway = |r: Room| {
+        matches!(
+            r,
+            Room::Kitchen
+                | Room::Bathroom
+                | Room::Bedroom
+                | Room::Bedroom2
+                | Room::LivingRoom
+                | Room::Office
+        )
+    };
+    match (a, b) {
+        (Room::Hallway, other) | (other, Room::Hallway) => touches_hallway(other),
+        (Room::Kitchen, Room::LivingRoom) | (Room::LivingRoom, Room::Kitchen) => true,
+        _ => false,
+    }
+}
+
+/// The shortest walking path between two rooms (inclusive of both ends).
+///
+/// With the star-around-hallway topology this is at most three rooms.
+pub fn path(from: Room, to: Room) -> Vec<Room> {
+    if from == to {
+        return vec![from];
+    }
+    if adjacent(from, to) {
+        return vec![from, to];
+    }
+    vec![from, Room::Hallway, to]
+}
+
+/// The single-letter sensor code of Figure 4.1.
+pub fn sensor_letter(kind: SensorKind) -> char {
+    match kind {
+        SensorKind::Light => 'L',
+        SensorKind::Temperature => 'T',
+        SensorKind::Sound => 'S',
+        SensorKind::Motion => 'M',
+        SensorKind::Ultrasonic => 'U',
+        SensorKind::Flame => 'F',
+        SensorKind::Gas => 'G',
+        SensorKind::Weight => 'W',
+        SensorKind::Humidity => 'H',
+        SensorKind::Location => 'B', // beacon
+        SensorKind::Battery => 'b',
+        SensorKind::Contact => 'D', // door contact
+        SensorKind::PressureMat => 'P',
+        SensorKind::Float => 'f',
+        SensorKind::Item => 'I',
+    }
+}
+
+/// Renders the floor plan with a deployment's per-room sensor letters,
+/// Figure 4.1 style.
+pub fn render(registry: &DeviceRegistry) -> String {
+    let letters = |room: Room| -> String {
+        let mut sensor_letters: Vec<char> = registry
+            .sensors_in(room)
+            .map(|s| sensor_letter(s.kind()))
+            .collect();
+        sensor_letters.sort_unstable();
+        let actuators = registry.actuators().filter(|a| a.room() == room).count();
+        let mut out: String = sensor_letters.into_iter().collect();
+        if actuators > 0 {
+            out.push_str(&format!(" +{actuators}a"));
+        }
+        out
+    };
+    let cell = |room: Room| format!("{:<11}|{:<17}", room.to_string(), letters(room));
+    let mut plan = String::new();
+    plan.push_str("+-------------------------------+-------------------------------+\n");
+    plan.push_str(&format!(
+        "| {} | {} |\n",
+        cell(Room::Kitchen),
+        cell(Room::LivingRoom)
+    ));
+    plan.push_str("+-------------------------------+                               |\n");
+    plan.push_str(&format!(
+        "| {} |                               |\n",
+        cell(Room::Bathroom)
+    ));
+    plan.push_str("+-------------------------------+-------------------------------+\n");
+    plan.push_str(&format!(
+        "| {} | {} |\n",
+        cell(Room::Bedroom),
+        cell(Room::Hallway)
+    ));
+    plan.push_str("+-------------------------------+-------------------------------+\n");
+    plan.push_str(
+        "L:light T:temp H:humidity S:sound M:motion U:ultrasonic F:flame\n\
+         G:gas W:weight B:beacon D:door  (+Na = N actuators)\n",
+    );
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive() {
+        for &a in Room::all() {
+            assert!(!adjacent(a, a));
+            for &b in Room::all() {
+                assert_eq!(adjacent(a, b), adjacent(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn every_room_reaches_every_other_within_one_hop_of_hallway() {
+        for &a in Room::all() {
+            for &b in Room::all() {
+                let p = path(a, b);
+                assert!(p.len() <= 3);
+                assert_eq!(p.first(), Some(&a));
+                assert_eq!(p.last(), Some(&b));
+                for pair in p.windows(2) {
+                    assert!(adjacent(pair[0], pair[1]), "{:?} not adjacent", pair);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        assert_eq!(path(Room::Kitchen, Room::Kitchen), vec![Room::Kitchen]);
+        assert_eq!(
+            path(Room::Kitchen, Room::LivingRoom),
+            vec![Room::Kitchen, Room::LivingRoom]
+        );
+        assert_eq!(
+            path(Room::Bathroom, Room::Bedroom),
+            vec![Room::Bathroom, Room::Hallway, Room::Bedroom]
+        );
+    }
+
+    #[test]
+    fn letters_cover_every_kind() {
+        let mut seen = std::collections::HashSet::new();
+        for &kind in SensorKind::all() {
+            seen.insert(sensor_letter(kind));
+        }
+        assert_eq!(
+            seen.len(),
+            SensorKind::all().len(),
+            "letters must be distinct"
+        );
+    }
+
+    #[test]
+    fn rendered_plan_shows_the_testbed_deployment() {
+        let (registry, _) = testbed::build_registry();
+        let plan = render(&registry);
+        assert!(plan.contains("kitchen"));
+        assert!(plan.contains('G'), "kitchen gas sensor letter");
+        assert!(plan.contains('F'), "kitchen flame sensor letter");
+        assert!(plan.contains("+3a"), "bedroom has three actuators");
+        assert!(plan.contains("+4a"), "living room has four actuators");
+        assert!(plan.lines().count() >= 8);
+    }
+}

@@ -1,0 +1,240 @@
+//! Physical models for numeric sensors.
+//!
+//! Real ambient phenomena are smooth and real sensors quantize: a resting
+//! temperature sensor reports the *same* value for minutes at a time. That
+//! stability is what makes DICE's three numeric bits (skewness / trend /
+//! level) informative rather than noise-driven, so the model quantizes the
+//! underlying smooth signal and keeps measurement noise well below one
+//! quantization step. The diurnal component is held constant within each
+//! hour so boundary crossings are rare, learnable events.
+
+use serde::{Deserialize, Serialize};
+
+use dice_types::{SensorKind, Timestamp};
+
+use crate::noise::DetNoise;
+
+/// The ambient model of one numeric sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumericModel {
+    /// Resting value in the sensor's native unit.
+    pub baseline: f64,
+    /// Peak-to-baseline amplitude of the diurnal cycle.
+    pub diurnal_amplitude: f64,
+    /// Hour of day (0–23) at which the diurnal cycle peaks.
+    pub peak_hour: f64,
+    /// Quantization step of the reported value.
+    pub quantum: f64,
+    /// Probability that a single sample is perturbed by one quantum
+    /// (rare measurement noise).
+    pub flip_prob: f64,
+}
+
+impl NumericModel {
+    /// A reasonable default model per sensor kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a binary sensor kind.
+    pub fn default_for(kind: SensorKind) -> NumericModel {
+        match kind {
+            SensorKind::Light => NumericModel {
+                baseline: 310.0,
+                diurnal_amplitude: 300.0,
+                peak_hour: 13.0,
+                quantum: 10.0,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Temperature => NumericModel {
+                baseline: 21.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 15.0,
+                quantum: 0.5,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Humidity => NumericModel {
+                baseline: 45.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 5.0,
+                quantum: 1.0,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Sound => NumericModel {
+                baseline: 32.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 18.0,
+                quantum: 2.0,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Ultrasonic => NumericModel {
+                baseline: 180.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 0.0,
+                quantum: 4.0,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Gas => NumericModel {
+                baseline: 40.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 19.0,
+                quantum: 5.0,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Weight => NumericModel {
+                baseline: 0.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 0.0,
+                quantum: 0.5,
+                flip_prob: 1e-6,
+            },
+            SensorKind::Location => NumericModel {
+                baseline: -75.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 0.0,
+                quantum: 2.0,
+                flip_prob: 2e-6,
+            },
+            SensorKind::Battery => NumericModel {
+                baseline: 90.0,
+                diurnal_amplitude: 0.0,
+                peak_hour: 3.0,
+                quantum: 1.0,
+                flip_prob: 1e-6,
+            },
+            binary => panic!("{binary} is a binary sensor kind"),
+        }
+    }
+
+    /// The diurnal component at `at`, held constant within each hour.
+    ///
+    /// A cosine over the day, peaking at `peak_hour`, sampled at the top of
+    /// the hour so the value only changes 24 times a day.
+    pub fn diurnal(&self, at: Timestamp) -> f64 {
+        if self.diurnal_amplitude == 0.0 {
+            return 0.0;
+        }
+        let hour = at.hour_of_day() as f64;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        self.diurnal_amplitude * phase.cos()
+    }
+
+    /// The quantized reported value given the smooth ambient value plus any
+    /// activity/actuator deltas, with rare one-quantum measurement noise.
+    ///
+    /// `stream`/`counter` address the deterministic noise draw for this
+    /// specific sample.
+    pub fn report(
+        &self,
+        ambient_plus_effects: f64,
+        noise: &DetNoise,
+        stream: u64,
+        counter: u64,
+    ) -> f64 {
+        let mut quantized = (ambient_plus_effects / self.quantum).round() * self.quantum;
+        if noise.bernoulli(stream, counter, self.flip_prob) {
+            // Perturb by ±1 quantum.
+            let up = noise.bernoulli(stream ^ 0x5151, counter, 0.5);
+            quantized += if up { self.quantum } else { -self.quantum };
+        }
+        quantized
+    }
+
+    /// The smooth ambient value (baseline + diurnal) at `at`.
+    pub fn ambient(&self, at: Timestamp) -> f64 {
+        self.baseline + self.diurnal(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_exist_for_all_numeric_kinds() {
+        for &kind in SensorKind::all() {
+            if kind.class() == dice_types::SensorClass::Numeric {
+                let m = NumericModel::default_for(kind);
+                assert!(m.quantum > 0.0);
+                assert!((0.0..0.05).contains(&m.flip_prob));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary sensor kind")]
+    fn default_for_rejects_binary_kinds() {
+        let _ = NumericModel::default_for(SensorKind::Motion);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour() {
+        let m = NumericModel::default_for(SensorKind::Light);
+        let peak = m.diurnal(Timestamp::from_hours(13));
+        let trough = m.diurnal(Timestamp::from_hours(1));
+        assert!(peak > trough);
+        assert!((peak - m.diurnal_amplitude).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_is_constant_within_an_hour() {
+        let m = NumericModel::default_for(SensorKind::Light);
+        let a = m.diurnal(Timestamp::from_secs(15 * 3600));
+        let b = m.diurnal(Timestamp::from_secs(15 * 3600 + 1800));
+        let c = m.diurnal(Timestamp::from_secs(15 * 3600 + 3599));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn report_quantizes() {
+        let m = NumericModel {
+            baseline: 0.0,
+            diurnal_amplitude: 0.0,
+            peak_hour: 0.0,
+            quantum: 0.5,
+            flip_prob: 0.0,
+        };
+        let noise = DetNoise::new(0);
+        assert_eq!(m.report(21.25, &noise, 0, 0), 21.5); // .25 rounds away from zero at .5 steps
+        assert_eq!(m.report(21.1, &noise, 0, 0), 21.0);
+        assert_eq!(m.report(21.6, &noise, 0, 0), 21.5);
+    }
+
+    #[test]
+    fn resting_reports_are_constant_most_of_the_time() {
+        let m = NumericModel {
+            flip_prob: 0.002,
+            ..NumericModel::default_for(SensorKind::Temperature)
+        };
+        let noise = DetNoise::new(3);
+        let at = Timestamp::from_hours(10);
+        let base = m.ambient(at);
+        let mut changed = 0;
+        const SAMPLES: u64 = 5_000;
+        let reference = (base / m.quantum).round() * m.quantum;
+        for i in 0..SAMPLES {
+            if m.report(base, &noise, 5, i) != reference {
+                changed += 1;
+            }
+        }
+        let rate = changed as f64 / SAMPLES as f64;
+        assert!(rate < 0.01, "flip rate {rate} too high");
+        assert!(changed > 0, "noise should occasionally flip");
+    }
+
+    #[test]
+    fn flips_move_by_exactly_one_quantum() {
+        let m = NumericModel {
+            baseline: 0.0,
+            diurnal_amplitude: 0.0,
+            peak_hour: 0.0,
+            quantum: 1.0,
+            flip_prob: 1.0, // always flip
+        };
+        let noise = DetNoise::new(4);
+        for i in 0..100 {
+            let r = m.report(10.0, &noise, 9, i);
+            assert!(r == 9.0 || r == 11.0, "unexpected report {r}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the simulator's guarantees.
+
+use dice_sim::{Activity, DetNoise, Scheduler, Simulator};
+use dice_types::{Room, SensorId, TimeDelta, Timestamp};
+use proptest::prelude::*;
+
+fn activities_strategy() -> impl Strategy<Value = Vec<Activity>> {
+    prop::collection::vec((0u8..24, 1u8..8, 1u32..90, 0u32..3), 1..8).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (start, span, duration, sensors))| Activity {
+                name: format!("a{i}"),
+                room: Room::all()[i % Room::all().len()],
+                binary_sensors: (0..sensors).map(SensorId::new).collect(),
+                numeric_effects: vec![],
+                mean_duration_mins: duration,
+                preferred_hours: (start, (start + span) % 24),
+                weight: 1.0 + i as f64,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Schedules never overlap per resident, are time-ordered, respect the
+    /// duration bound, and are seed-deterministic.
+    #[test]
+    fn schedules_are_well_formed(
+        activities in activities_strategy(),
+        seed in 0u64..1000,
+        hours in 1i64..72,
+    ) {
+        let scheduler = Scheduler::default();
+        let duration = TimeDelta::from_hours(hours);
+        let schedule = scheduler.generate(&activities, duration, 0, seed);
+        for entry in &schedule {
+            prop_assert!(entry.start < entry.end);
+            prop_assert!(entry.end <= Timestamp::ZERO + duration);
+            prop_assert!(entry.activity < activities.len());
+        }
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start, "activities overlap");
+        }
+        let again = scheduler.generate(&activities, duration, 0, seed);
+        prop_assert_eq!(schedule, again);
+    }
+
+    /// Companion schedules share the leader's slots exactly.
+    #[test]
+    fn companion_schedules_share_slots(
+        activities in activities_strategy(),
+        seed in 0u64..1000,
+        follow in 0.0f64..=1.0,
+    ) {
+        let scheduler = Scheduler::default();
+        let leader = scheduler.generate(&activities, TimeDelta::from_hours(48), 0, seed);
+        let companion =
+            scheduler.generate_companion(&activities, &leader, 1, seed, follow);
+        prop_assert_eq!(leader.len(), companion.len());
+        for (l, c) in leader.iter().zip(&companion) {
+            prop_assert_eq!(l.start, c.start);
+            prop_assert_eq!(l.end, c.end);
+            prop_assert_eq!(c.resident, 1);
+            prop_assert!(c.activity < activities.len());
+        }
+    }
+
+    /// Deterministic noise draws are pure and in range.
+    #[test]
+    fn noise_is_pure_and_bounded(seed in any::<u64>(), stream in any::<u64>(), counter in any::<u64>()) {
+        let n = DetNoise::new(seed);
+        let u = n.uniform(stream, counter);
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert_eq!(n.uniform(stream, counter), u);
+        let g = n.gaussian(stream, counter);
+        prop_assert!(g.is_finite());
+        prop_assert_eq!(n.gaussian(stream, counter), g);
+    }
+
+    /// Random-access generation: any split point yields exactly the
+    /// concatenation of the parts.
+    #[test]
+    fn log_generation_is_random_access(split_hours in 1i64..5) {
+        let spec = dice_sim::testbed::dice_testbed("prop", 3, TimeDelta::from_hours(8), 10, 1);
+        let sim = Simulator::new(spec).unwrap();
+        let end = Timestamp::from_hours(6);
+        let split = Timestamp::from_hours(split_hours);
+        let mut whole = sim.log_between(Timestamp::ZERO, end);
+        let mut parts = sim.log_between(Timestamp::ZERO, split);
+        parts.merge(sim.log_between(split, end));
+        prop_assert_eq!(whole.events(), parts.events());
+    }
+}

@@ -1,0 +1,486 @@
+//! Device descriptions: sensor/actuator kinds and the deployment registry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ActuatorId, SensorId};
+use crate::value::SensorValue;
+
+/// The two sensor classes DICE treats differently during binarization
+/// (Section 3.2.1): binary sensors contribute one bit per state-set window,
+/// numeric sensors contribute three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorClass {
+    /// Event-style sensors reporting triggered/not-triggered.
+    Binary,
+    /// Sampled sensors reporting a real-valued measurement.
+    Numeric,
+}
+
+impl fmt::Display for SensorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorClass::Binary => write!(f, "binary"),
+            SensorClass::Numeric => write!(f, "numeric"),
+        }
+    }
+}
+
+/// Sensor types found in the paper's testbed (Figure 4.1) and in the
+/// third-party datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    // --- binary sensors ---
+    /// Passive infrared motion detector.
+    Motion,
+    /// Door / cabinet reed contact.
+    Contact,
+    /// Flame detector.
+    Flame,
+    /// Pressure mat (bed, couch).
+    PressureMat,
+    /// Float / water usage switch (toilet flush, faucet).
+    Float,
+    /// Item-use tag (RFID on cup, toothbrush, ...).
+    Item,
+    // --- numeric sensors ---
+    /// Ambient light level (lux).
+    Light,
+    /// Air temperature (deg C).
+    Temperature,
+    /// Relative humidity (%).
+    Humidity,
+    /// Sound pressure level (dB).
+    Sound,
+    /// Ultrasonic distance ranger (cm).
+    Ultrasonic,
+    /// Combustible-gas concentration (ppm).
+    Gas,
+    /// Load cell / weight scale (kg).
+    Weight,
+    /// Beacon RSSI localization signal (dBm).
+    Location,
+    /// Battery level of a device (%).
+    Battery,
+}
+
+impl SensorKind {
+    /// The binarization class for this kind.
+    pub fn class(self) -> SensorClass {
+        match self {
+            SensorKind::Motion
+            | SensorKind::Contact
+            | SensorKind::Flame
+            | SensorKind::PressureMat
+            | SensorKind::Float
+            | SensorKind::Item => SensorClass::Binary,
+            SensorKind::Light
+            | SensorKind::Temperature
+            | SensorKind::Humidity
+            | SensorKind::Sound
+            | SensorKind::Ultrasonic
+            | SensorKind::Gas
+            | SensorKind::Weight
+            | SensorKind::Location
+            | SensorKind::Battery => SensorClass::Numeric,
+        }
+    }
+
+    /// All sensor kinds, binary first.
+    pub fn all() -> &'static [SensorKind] {
+        &[
+            SensorKind::Motion,
+            SensorKind::Contact,
+            SensorKind::Flame,
+            SensorKind::PressureMat,
+            SensorKind::Float,
+            SensorKind::Item,
+            SensorKind::Light,
+            SensorKind::Temperature,
+            SensorKind::Humidity,
+            SensorKind::Sound,
+            SensorKind::Ultrasonic,
+            SensorKind::Gas,
+            SensorKind::Weight,
+            SensorKind::Location,
+            SensorKind::Battery,
+        ]
+    }
+}
+
+impl fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SensorKind::Motion => "motion",
+            SensorKind::Contact => "contact",
+            SensorKind::Flame => "flame",
+            SensorKind::PressureMat => "pressure-mat",
+            SensorKind::Float => "float",
+            SensorKind::Item => "item",
+            SensorKind::Light => "light",
+            SensorKind::Temperature => "temperature",
+            SensorKind::Humidity => "humidity",
+            SensorKind::Sound => "sound",
+            SensorKind::Ultrasonic => "ultrasonic",
+            SensorKind::Gas => "gas",
+            SensorKind::Weight => "weight",
+            SensorKind::Location => "location",
+            SensorKind::Battery => "battery",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Actuator types deployed in the paper's testbed (Section 4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActuatorKind {
+    /// Philips-Hue-style smart bulb.
+    SmartBulb,
+    /// Amazon-Echo-style smart speaker.
+    SmartSpeaker,
+    /// WeMo-style smart switch (fan / humidifier).
+    SmartSwitch,
+    /// Motorized smart blind.
+    SmartBlind,
+}
+
+impl fmt::Display for ActuatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ActuatorKind::SmartBulb => "smart-bulb",
+            ActuatorKind::SmartSpeaker => "smart-speaker",
+            ActuatorKind::SmartSwitch => "smart-switch",
+            ActuatorKind::SmartBlind => "smart-blind",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Rooms of the simulated smart home (Figure 4.1 floor plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Room {
+    /// Kitchen / dining area.
+    Kitchen,
+    /// Bathroom / toilet.
+    Bathroom,
+    /// Primary bedroom.
+    Bedroom,
+    /// Secondary bedroom (two-resident datasets).
+    Bedroom2,
+    /// Living room.
+    LivingRoom,
+    /// Entrance / hallway.
+    Hallway,
+    /// Home office / study.
+    Office,
+}
+
+impl Room {
+    /// All rooms in floor-plan order.
+    pub fn all() -> &'static [Room] {
+        &[
+            Room::Kitchen,
+            Room::Bathroom,
+            Room::Bedroom,
+            Room::Bedroom2,
+            Room::LivingRoom,
+            Room::Hallway,
+            Room::Office,
+        ]
+    }
+}
+
+impl fmt::Display for Room {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Room::Kitchen => "kitchen",
+            Room::Bathroom => "bathroom",
+            Room::Bedroom => "bedroom",
+            Room::Bedroom2 => "bedroom2",
+            Room::LivingRoom => "living-room",
+            Room::Hallway => "hallway",
+            Room::Office => "office",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Static description of one deployed sensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    id: SensorId,
+    kind: SensorKind,
+    name: String,
+    room: Room,
+}
+
+impl SensorSpec {
+    /// The sensor's dense id.
+    pub fn id(&self) -> SensorId {
+        self.id
+    }
+
+    /// The sensor's kind.
+    pub fn kind(&self) -> SensorKind {
+        self.kind
+    }
+
+    /// The binarization class (shorthand for `kind().class()`).
+    pub fn class(&self) -> SensorClass {
+        self.kind.class()
+    }
+
+    /// Human-readable name, e.g. `"kitchen motion"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The room the sensor is mounted in.
+    pub fn room(&self) -> Room {
+        self.room
+    }
+}
+
+/// Static description of one deployed actuator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorSpec {
+    id: ActuatorId,
+    kind: ActuatorKind,
+    name: String,
+    room: Room,
+}
+
+impl ActuatorSpec {
+    /// The actuator's dense id.
+    pub fn id(&self) -> ActuatorId {
+        self.id
+    }
+
+    /// The actuator's kind.
+    pub fn kind(&self) -> ActuatorKind {
+        self.kind
+    }
+
+    /// Human-readable name, e.g. `"living-room hue"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The room the actuator is mounted in.
+    pub fn room(&self) -> Room {
+        self.room
+    }
+}
+
+/// The deployment inventory of a smart home: every sensor and actuator.
+///
+/// The registry hands out dense ids and is the single source of truth for
+/// sensor classes, which downstream crates use to lay out state-set bits.
+///
+/// # Example
+///
+/// ```
+/// use dice_types::{DeviceRegistry, Room, SensorClass, SensorKind};
+///
+/// let mut reg = DeviceRegistry::new();
+/// let motion = reg.add_sensor(SensorKind::Motion, "kitchen motion", Room::Kitchen);
+/// let temp = reg.add_sensor(SensorKind::Temperature, "kitchen temp", Room::Kitchen);
+/// assert_eq!(reg.sensor(motion).class(), SensorClass::Binary);
+/// assert_eq!(reg.sensor(temp).class(), SensorClass::Numeric);
+/// assert_eq!(reg.num_sensors(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRegistry {
+    sensors: Vec<SensorSpec>,
+    actuators: Vec<ActuatorSpec>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a sensor and returns its id.
+    pub fn add_sensor(
+        &mut self,
+        kind: SensorKind,
+        name: impl Into<String>,
+        room: Room,
+    ) -> SensorId {
+        let id = SensorId::new(self.sensors.len() as u32);
+        self.sensors.push(SensorSpec {
+            id,
+            kind,
+            name: name.into(),
+            room,
+        });
+        id
+    }
+
+    /// Registers an actuator and returns its id.
+    pub fn add_actuator(
+        &mut self,
+        kind: ActuatorKind,
+        name: impl Into<String>,
+        room: Room,
+    ) -> ActuatorId {
+        let id = ActuatorId::new(self.actuators.len() as u32);
+        self.actuators.push(ActuatorSpec {
+            id,
+            kind,
+            name: name.into(),
+            room,
+        });
+        id
+    }
+
+    /// Number of registered sensors.
+    pub fn num_sensors(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Number of registered actuators.
+    pub fn num_actuators(&self) -> usize {
+        self.actuators.len()
+    }
+
+    /// Number of binary sensors.
+    pub fn num_binary_sensors(&self) -> usize {
+        self.sensors
+            .iter()
+            .filter(|s| s.class() == SensorClass::Binary)
+            .count()
+    }
+
+    /// Number of numeric sensors.
+    pub fn num_numeric_sensors(&self) -> usize {
+        self.sensors
+            .iter()
+            .filter(|s| s.class() == SensorClass::Numeric)
+            .count()
+    }
+
+    /// Looks up a sensor spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn sensor(&self, id: SensorId) -> &SensorSpec {
+        &self.sensors[id.index()]
+    }
+
+    /// Looks up an actuator spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry.
+    pub fn actuator(&self, id: ActuatorId) -> &ActuatorSpec {
+        &self.actuators[id.index()]
+    }
+
+    /// Iterates over all sensor specs in id order.
+    pub fn sensors(&self) -> impl Iterator<Item = &SensorSpec> {
+        self.sensors.iter()
+    }
+
+    /// Iterates over all actuator specs in id order.
+    pub fn actuators(&self) -> impl Iterator<Item = &ActuatorSpec> {
+        self.actuators.iter()
+    }
+
+    /// Iterates over all sensor ids.
+    pub fn sensor_ids(&self) -> impl Iterator<Item = SensorId> + '_ {
+        (0..self.sensors.len() as u32).map(SensorId::new)
+    }
+
+    /// Iterates over all actuator ids.
+    pub fn actuator_ids(&self) -> impl Iterator<Item = ActuatorId> + '_ {
+        (0..self.actuators.len() as u32).map(ActuatorId::new)
+    }
+
+    /// Sensors mounted in `room`.
+    pub fn sensors_in(&self, room: Room) -> impl Iterator<Item = &SensorSpec> {
+        self.sensors.iter().filter(move |s| s.room() == room)
+    }
+
+    /// Checks that a reading's value variant matches the sensor's class.
+    pub fn value_matches_class(&self, id: SensorId, value: SensorValue) -> bool {
+        matches!(
+            (self.sensor(id).class(), value),
+            (SensorClass::Binary, SensorValue::Binary(_))
+                | (SensorClass::Numeric, SensorValue::Numeric(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.add_sensor(SensorKind::Motion, "m0", Room::Kitchen);
+        reg.add_sensor(SensorKind::Temperature, "t0", Room::Kitchen);
+        reg.add_sensor(SensorKind::Light, "l0", Room::Bedroom);
+        reg.add_actuator(ActuatorKind::SmartBulb, "hue", Room::Bedroom);
+        reg
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let reg = registry();
+        let ids: Vec<usize> = reg.sensor_ids().map(|s| s.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(reg.actuator_ids().count(), 1);
+    }
+
+    #[test]
+    fn counts_by_class() {
+        let reg = registry();
+        assert_eq!(reg.num_sensors(), 3);
+        assert_eq!(reg.num_binary_sensors(), 1);
+        assert_eq!(reg.num_numeric_sensors(), 2);
+        assert_eq!(reg.num_actuators(), 1);
+    }
+
+    #[test]
+    fn lookup_returns_registered_spec() {
+        let reg = registry();
+        let s = reg.sensor(SensorId::new(1));
+        assert_eq!(s.kind(), SensorKind::Temperature);
+        assert_eq!(s.name(), "t0");
+        assert_eq!(s.room(), Room::Kitchen);
+        let a = reg.actuator(ActuatorId::new(0));
+        assert_eq!(a.kind(), ActuatorKind::SmartBulb);
+    }
+
+    #[test]
+    fn sensors_in_room_filters() {
+        let reg = registry();
+        assert_eq!(reg.sensors_in(Room::Kitchen).count(), 2);
+        assert_eq!(reg.sensors_in(Room::Bedroom).count(), 1);
+        assert_eq!(reg.sensors_in(Room::Office).count(), 0);
+    }
+
+    #[test]
+    fn value_class_checking() {
+        let reg = registry();
+        assert!(reg.value_matches_class(SensorId::new(0), SensorValue::Binary(true)));
+        assert!(!reg.value_matches_class(SensorId::new(0), SensorValue::Numeric(1.0)));
+        assert!(reg.value_matches_class(SensorId::new(1), SensorValue::Numeric(20.0)));
+        assert!(!reg.value_matches_class(SensorId::new(1), SensorValue::Binary(false)));
+    }
+
+    #[test]
+    fn every_kind_has_a_class_and_name() {
+        for &kind in SensorKind::all() {
+            let _ = kind.class();
+            assert!(!kind.to_string().is_empty());
+        }
+        for room in Room::all() {
+            assert!(!room.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types shared across the DICE crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating domain values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypesError {
+    /// A reading's value variant does not match the sensor's declared class.
+    ValueClassMismatch {
+        /// The offending sensor's dense index.
+        sensor: u32,
+    },
+    /// A referenced device id was not issued by the registry in use.
+    UnknownDevice {
+        /// Textual id of the device (e.g. `"S7"`).
+        id: String,
+    },
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::ValueClassMismatch { sensor } => {
+                write!(
+                    f,
+                    "value class does not match declared class of sensor S{sensor}"
+                )
+            }
+            TypesError::UnknownDevice { id } => {
+                write!(f, "device {id} is not registered")
+            }
+        }
+    }
+}
+
+impl Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TypesError::ValueClassMismatch { sensor: 3 };
+        assert!(e.to_string().contains("S3"));
+        let e = TypesError::UnknownDevice { id: "A9".into() };
+        assert!(e.to_string().contains("A9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypesError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! Identifier newtypes for devices and context groups.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a sensor within a [`DeviceRegistry`](crate::DeviceRegistry).
+///
+/// Sensor ids are dense: the registry hands them out sequentially starting at
+/// zero, so they double as indices into per-sensor tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SensorId(u32);
+
+impl SensorId {
+    /// Creates a sensor id from its raw index.
+    pub const fn new(index: u32) -> Self {
+        SensorId(index)
+    }
+
+    /// Returns the raw dense index of this sensor.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of an actuator within a [`DeviceRegistry`](crate::DeviceRegistry).
+///
+/// Like [`SensorId`], actuator ids are dense indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActuatorId(u32);
+
+impl ActuatorId {
+    /// Creates an actuator id from its raw index.
+    pub const fn new(index: u32) -> Self {
+        ActuatorId(index)
+    }
+
+    /// Returns the raw dense index of this actuator.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActuatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Identifier of a *group*: a unique sensor state set observed during the
+/// precomputation phase (Section 3.2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Creates a group id from its raw index.
+    pub const fn new(index: u32) -> Self {
+        GroupId(index)
+    }
+
+    /// Returns the raw dense index of this group.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// A device is either a sensor or an actuator.
+///
+/// DICE identifies *faulty devices*; the probable-fault sets it reports mix
+/// sensors (from correlation / G2G violations) and actuators (from G2A / A2G
+/// violations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceId {
+    /// A sensor device.
+    Sensor(SensorId),
+    /// An actuator device.
+    Actuator(ActuatorId),
+}
+
+impl DeviceId {
+    /// Returns the sensor id if this device is a sensor.
+    pub fn as_sensor(self) -> Option<SensorId> {
+        match self {
+            DeviceId::Sensor(s) => Some(s),
+            DeviceId::Actuator(_) => None,
+        }
+    }
+
+    /// Returns the actuator id if this device is an actuator.
+    pub fn as_actuator(self) -> Option<ActuatorId> {
+        match self {
+            DeviceId::Sensor(_) => None,
+            DeviceId::Actuator(a) => Some(a),
+        }
+    }
+}
+
+impl From<SensorId> for DeviceId {
+    fn from(id: SensorId) -> Self {
+        DeviceId::Sensor(id)
+    }
+}
+
+impl From<ActuatorId> for DeviceId {
+    fn from(id: ActuatorId) -> Self {
+        DeviceId::Actuator(id)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceId::Sensor(s) => write!(f, "{s}"),
+            DeviceId::Actuator(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_id_round_trips_index() {
+        let id = SensorId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "S7");
+    }
+
+    #[test]
+    fn actuator_id_round_trips_index() {
+        let id = ActuatorId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "A3");
+    }
+
+    #[test]
+    fn group_id_round_trips_index() {
+        let id = GroupId::new(11);
+        assert_eq!(id.index(), 11);
+        assert_eq!(id.to_string(), "G11");
+    }
+
+    #[test]
+    fn device_id_conversions() {
+        let s: DeviceId = SensorId::new(1).into();
+        let a: DeviceId = ActuatorId::new(2).into();
+        assert_eq!(s.as_sensor(), Some(SensorId::new(1)));
+        assert_eq!(s.as_actuator(), None);
+        assert_eq!(a.as_actuator(), Some(ActuatorId::new(2)));
+        assert_eq!(a.as_sensor(), None);
+    }
+
+    #[test]
+    fn device_id_display_delegates() {
+        assert_eq!(DeviceId::Sensor(SensorId::new(4)).to_string(), "S4");
+        assert_eq!(DeviceId::Actuator(ActuatorId::new(5)).to_string(), "A5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(SensorId::new(1) < SensorId::new(2));
+        assert!(GroupId::new(0) < GroupId::new(1));
+    }
+}

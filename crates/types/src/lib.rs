@@ -1,0 +1,48 @@
+//! Shared domain vocabulary for the DICE smart-home fault detection system.
+//!
+//! This crate defines the types every other DICE crate speaks: device
+//! identifiers, simulated time, sensor readings, device registries describing
+//! a smart-home deployment, and time-ordered event logs.
+//!
+//! The vocabulary follows the paper's model of a smart home (Figure 3.1): a
+//! set of *sensors* (binary or numeric), a set of *actuators*, and a home
+//! gateway observing a merged, time-stamped event stream from all of them.
+//!
+//! # Example
+//!
+//! ```
+//! use dice_types::{
+//!     DeviceRegistry, EventLog, Room, SensorKind, SensorReading, SensorValue, Timestamp,
+//! };
+//!
+//! let mut registry = DeviceRegistry::new();
+//! let motion = registry.add_sensor(SensorKind::Motion, "kitchen motion", Room::Kitchen);
+//! let mut log = EventLog::new();
+//! log.push_sensor(SensorReading::new(
+//!     motion,
+//!     Timestamp::from_secs(30),
+//!     SensorValue::Binary(true),
+//! ));
+//! assert_eq!(log.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod ids;
+mod log;
+mod reading;
+mod time;
+mod value;
+
+pub use device::{
+    ActuatorKind, ActuatorSpec, DeviceRegistry, Room, SensorClass, SensorKind, SensorSpec,
+};
+pub use error::TypesError;
+pub use ids::{ActuatorId, DeviceId, GroupId, SensorId};
+pub use log::{Event, EventLog, Window, WindowIter};
+pub use reading::{ActuatorEvent, SensorReading};
+pub use time::{TimeDelta, Timestamp};
+pub use value::SensorValue;

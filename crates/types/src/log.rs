@@ -1,0 +1,491 @@
+//! Time-ordered event logs and windowed iteration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::reading::{ActuatorEvent, SensorReading};
+use crate::time::{TimeDelta, Timestamp};
+
+/// Either a sensor reading or an actuator event, merged on one timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A sensor reading.
+    Sensor(SensorReading),
+    /// An actuator event.
+    Actuator(ActuatorEvent),
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn at(&self) -> Timestamp {
+        match self {
+            Event::Sensor(r) => r.at,
+            Event::Actuator(e) => e.at,
+        }
+    }
+
+    /// The sensor reading, if this is one.
+    pub fn as_sensor(&self) -> Option<&SensorReading> {
+        match self {
+            Event::Sensor(r) => Some(r),
+            Event::Actuator(_) => None,
+        }
+    }
+
+    /// The actuator event, if this is one.
+    pub fn as_actuator(&self) -> Option<&ActuatorEvent> {
+        match self {
+            Event::Sensor(_) => None,
+            Event::Actuator(e) => Some(e),
+        }
+    }
+}
+
+impl From<SensorReading> for Event {
+    fn from(r: SensorReading) -> Self {
+        Event::Sensor(r)
+    }
+}
+
+impl From<ActuatorEvent> for Event {
+    fn from(e: ActuatorEvent) -> Self {
+        Event::Actuator(e)
+    }
+}
+
+/// A time-ordered log of sensor and actuator events.
+///
+/// The log keeps events sorted by timestamp (stable for equal timestamps in
+/// insertion order). Out-of-order pushes are tolerated and fixed up lazily,
+/// mirroring a gateway that receives slightly delayed reports from
+/// aggregators.
+///
+/// # Example
+///
+/// ```
+/// use dice_types::{EventLog, SensorId, SensorReading, TimeDelta, Timestamp};
+///
+/// let mut log = EventLog::new();
+/// for m in 0..3 {
+///     log.push_sensor(SensorReading::new(
+///         SensorId::new(0),
+///         Timestamp::from_mins(m),
+///         true.into(),
+///     ));
+/// }
+/// let windows: Vec<_> = log.windows(TimeDelta::from_mins(1)).collect();
+/// assert_eq!(windows.len(), 3);
+/// assert_eq!(windows[1].events.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+    sorted: bool,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog {
+            events: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Creates an empty log with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventLog {
+            events: Vec::with_capacity(cap),
+            sorted: true,
+        }
+    }
+
+    /// Appends an event, tracking whether sorting is still intact.
+    pub fn push(&mut self, event: Event) {
+        if let Some(last) = self.events.last() {
+            if event.at() < last.at() {
+                self.sorted = false;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// Appends a sensor reading.
+    pub fn push_sensor(&mut self, reading: SensorReading) {
+        self.push(Event::Sensor(reading));
+    }
+
+    /// Appends an actuator event.
+    pub fn push_actuator(&mut self, event: ActuatorEvent) {
+        self.push(Event::Actuator(event));
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Restores time order if out-of-order events were pushed.
+    pub fn normalize(&mut self) {
+        if !self.sorted {
+            self.events.sort_by_key(Event::at);
+            self.sorted = true;
+        }
+    }
+
+    /// All events in time order.
+    ///
+    /// Normalizes first, hence `&mut self`. Use [`EventLog::events_unsorted`]
+    /// for read-only access when order does not matter.
+    pub fn events(&mut self) -> &[Event] {
+        self.normalize();
+        &self.events
+    }
+
+    /// All events in insertion order (may be unsorted).
+    pub fn events_unsorted(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The timestamp of the first event, if any (normalizes first).
+    pub fn start(&mut self) -> Option<Timestamp> {
+        self.normalize();
+        self.events.first().map(Event::at)
+    }
+
+    /// The timestamp of the last event, if any (normalizes first).
+    pub fn end(&mut self) -> Option<Timestamp> {
+        self.normalize();
+        self.events.last().map(Event::at)
+    }
+
+    /// Extracts the events in `[from, to)` into a new log (normalizes first).
+    pub fn slice(&mut self, from: Timestamp, to: Timestamp) -> EventLog {
+        self.normalize();
+        let lo = self.events.partition_point(|e| e.at() < from);
+        let hi = self.events.partition_point(|e| e.at() < to);
+        EventLog {
+            events: self.events[lo..hi].to_vec(),
+            sorted: true,
+        }
+    }
+
+    /// Merges another log into this one.
+    pub fn merge(&mut self, other: EventLog) {
+        for e in other.events {
+            self.push(e);
+        }
+        self.normalize();
+    }
+
+    /// Iterates over fixed-duration windows aligned to multiples of
+    /// `duration` from the origin, covering `[start, end]` of the log.
+    ///
+    /// Every window in the covered range is yielded, including empty ones —
+    /// DICE's state sets are computed for every window regardless of whether
+    /// any sensor fired (an all-silent home is itself a context).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is non-positive.
+    pub fn windows(&mut self, duration: TimeDelta) -> WindowIter<'_> {
+        assert!(duration.as_secs() > 0, "window duration must be positive");
+        self.normalize();
+        let (start, end) = match (self.events.first(), self.events.last()) {
+            (Some(f), Some(l)) => (f.at().align_down(duration), l.at()),
+            _ => (Timestamp::ZERO, Timestamp::ZERO - TimeDelta::from_secs(1)),
+        };
+        WindowIter {
+            events: &self.events,
+            cursor: 0,
+            window_start: start,
+            end,
+            duration,
+            clip: None,
+        }
+    }
+
+    /// Iterates over fixed-duration windows tiling exactly `[from, to)`,
+    /// regardless of where the log's events lie. Windows outside the log's
+    /// event range are yielded empty; a final partial window is yielded when
+    /// `to - from` is not a multiple of `duration`.
+    ///
+    /// This is the windowing the DICE evaluation protocol needs: a quiet
+    /// home is itself a context, so leading/trailing silent windows of a
+    /// training chunk or segment must not be skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is non-positive or `from >= to`.
+    pub fn windows_between(
+        &mut self,
+        from: Timestamp,
+        to: Timestamp,
+        duration: TimeDelta,
+    ) -> WindowIter<'_> {
+        assert!(duration.as_secs() > 0, "window duration must be positive");
+        assert!(from < to, "window range must be non-empty");
+        self.normalize();
+        let cursor = self.events.partition_point(|e| e.at() < from);
+        WindowIter {
+            events: &self.events,
+            cursor,
+            window_start: from,
+            end: to - TimeDelta::from_secs(1),
+            duration,
+            clip: Some(to),
+        }
+    }
+
+    /// Returns an owning iterator over the events in time order.
+    pub fn into_events(mut self) -> std::vec::IntoIter<Event> {
+        self.normalize();
+        self.events.into_iter()
+    }
+}
+
+impl FromIterator<Event> for EventLog {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        let mut log = EventLog::new();
+        for e in iter {
+            log.push(e);
+        }
+        log.normalize();
+        log
+    }
+}
+
+impl Extend<Event> for EventLog {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+/// One fixed-duration window of events, yielded by [`EventLog::windows`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window<'a> {
+    /// Window start (inclusive).
+    pub start: Timestamp,
+    /// Window end (exclusive).
+    pub end: Timestamp,
+    /// Events with `start <= at < end`, in time order.
+    pub events: &'a [Event],
+}
+
+/// Iterator over the fixed-duration windows of an [`EventLog`].
+#[derive(Debug)]
+pub struct WindowIter<'a> {
+    events: &'a [Event],
+    cursor: usize,
+    window_start: Timestamp,
+    end: Timestamp,
+    duration: TimeDelta,
+    clip: Option<Timestamp>,
+}
+
+impl<'a> Iterator for WindowIter<'a> {
+    type Item = Window<'a>;
+
+    fn next(&mut self) -> Option<Window<'a>> {
+        if self.window_start > self.end {
+            return None;
+        }
+        let start = self.window_start;
+        let mut end = start + self.duration;
+        if let Some(clip) = self.clip {
+            end = end.min(clip);
+        }
+        let lo = self.cursor;
+        let mut hi = lo;
+        while hi < self.events.len() && self.events[hi].at() < end {
+            hi += 1;
+        }
+        self.cursor = hi;
+        self.window_start = end;
+        Some(Window {
+            start,
+            end,
+            events: &self.events[lo..hi],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ActuatorId, SensorId};
+
+    fn reading(sensor: u32, secs: i64) -> SensorReading {
+        SensorReading::new(
+            SensorId::new(sensor),
+            Timestamp::from_secs(secs),
+            true.into(),
+        )
+    }
+
+    #[test]
+    fn push_keeps_order_flag() {
+        let mut log = EventLog::new();
+        log.push_sensor(reading(0, 10));
+        log.push_sensor(reading(0, 20));
+        assert_eq!(log.events().len(), 2);
+        log.push_sensor(reading(0, 5));
+        let events = log.events();
+        assert_eq!(events[0].at(), Timestamp::from_secs(5));
+        assert_eq!(events[2].at(), Timestamp::from_secs(20));
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let mut log: EventLog = [10, 20, 30, 40]
+            .iter()
+            .map(|&s| Event::from(reading(0, s)))
+            .collect();
+        let mut sub = log.slice(Timestamp::from_secs(20), Timestamp::from_secs(40));
+        assert_eq!(sub.events().len(), 2);
+        assert_eq!(sub.start(), Some(Timestamp::from_secs(20)));
+        assert_eq!(sub.end(), Some(Timestamp::from_secs(30)));
+    }
+
+    #[test]
+    fn windows_cover_gaps_with_empty_windows() {
+        let mut log: EventLog = [0, 200]
+            .iter()
+            .map(|&s| Event::from(reading(0, s)))
+            .collect();
+        let windows: Vec<_> = log.windows(TimeDelta::from_mins(1)).collect();
+        assert_eq!(windows.len(), 4); // minutes 0..4 cover 0s and 200s
+        assert_eq!(windows[0].events.len(), 1);
+        assert!(windows[1].events.is_empty());
+        assert!(windows[2].events.is_empty());
+        assert_eq!(windows[3].events.len(), 1);
+    }
+
+    #[test]
+    fn windows_align_to_duration_multiples() {
+        let mut log: EventLog = [90].iter().map(|&s| Event::from(reading(0, s))).collect();
+        let windows: Vec<_> = log.windows(TimeDelta::from_mins(1)).collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start, Timestamp::from_secs(60));
+        assert_eq!(windows[0].end, Timestamp::from_secs(120));
+    }
+
+    #[test]
+    fn windows_of_empty_log_yield_nothing() {
+        let mut log = EventLog::new();
+        assert_eq!(log.windows(TimeDelta::from_mins(1)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window duration must be positive")]
+    fn windows_reject_zero_duration() {
+        let mut log = EventLog::new();
+        let _ = log.windows(TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn windows_between_tiles_exact_range_with_empty_windows() {
+        let mut log: EventLog = [130].iter().map(|&s| Event::from(reading(0, s))).collect();
+        let windows: Vec<_> = log
+            .windows_between(
+                Timestamp::ZERO,
+                Timestamp::from_mins(4),
+                TimeDelta::from_mins(1),
+            )
+            .collect();
+        assert_eq!(windows.len(), 4);
+        assert!(windows[0].events.is_empty());
+        assert!(windows[1].events.is_empty());
+        assert_eq!(windows[2].events.len(), 1);
+        assert!(windows[3].events.is_empty());
+        assert_eq!(windows[0].start, Timestamp::ZERO);
+        assert_eq!(windows[3].end, Timestamp::from_mins(4));
+    }
+
+    #[test]
+    fn windows_between_clips_partial_final_window() {
+        let mut log = EventLog::new();
+        let windows: Vec<_> = log
+            .windows_between(
+                Timestamp::ZERO,
+                Timestamp::from_secs(150),
+                TimeDelta::from_mins(1),
+            )
+            .collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[2].start, Timestamp::from_secs(120));
+        assert_eq!(windows[2].end, Timestamp::from_secs(150));
+    }
+
+    #[test]
+    fn windows_between_skips_events_outside_range() {
+        let mut log: EventLog = [0, 70, 200]
+            .iter()
+            .map(|&s| Event::from(reading(0, s)))
+            .collect();
+        let windows: Vec<_> = log
+            .windows_between(
+                Timestamp::from_mins(1),
+                Timestamp::from_mins(2),
+                TimeDelta::from_mins(1),
+            )
+            .collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].events.len(), 1);
+        assert_eq!(windows[0].events[0].at(), Timestamp::from_secs(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn windows_between_rejects_empty_range() {
+        let mut log = EventLog::new();
+        let _ = log.windows_between(Timestamp::ZERO, Timestamp::ZERO, TimeDelta::from_mins(1));
+    }
+
+    #[test]
+    fn merge_interleaves_by_time() {
+        let mut a: EventLog = [0, 120]
+            .iter()
+            .map(|&s| Event::from(reading(0, s)))
+            .collect();
+        let b: EventLog = [60].iter().map(|&s| Event::from(reading(1, s))).collect();
+        a.merge(b);
+        let at: Vec<i64> = a.events().iter().map(|e| e.at().as_secs()).collect();
+        assert_eq!(at, vec![0, 60, 120]);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let s = Event::from(reading(0, 1));
+        let a = Event::from(ActuatorEvent::new(
+            ActuatorId::new(0),
+            Timestamp::from_secs(2),
+            true,
+        ));
+        assert!(s.as_sensor().is_some());
+        assert!(s.as_actuator().is_none());
+        assert!(a.as_actuator().is_some());
+        assert!(a.as_sensor().is_none());
+        assert_eq!(a.at(), Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn mixed_events_window_together() {
+        let mut log = EventLog::new();
+        log.push_sensor(reading(0, 30));
+        log.push_actuator(ActuatorEvent::new(
+            ActuatorId::new(0),
+            Timestamp::from_secs(45),
+            true,
+        ));
+        let windows: Vec<_> = log.windows(TimeDelta::from_mins(1)).collect();
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].events.len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Time-stamped readings and actuator events.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ActuatorId, SensorId};
+use crate::time::Timestamp;
+use crate::value::SensorValue;
+
+/// One time-stamped measurement from a sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// The reporting sensor.
+    pub sensor: SensorId,
+    /// When the reading was taken (simulated time).
+    pub at: Timestamp,
+    /// The measured value.
+    pub value: SensorValue,
+}
+
+impl SensorReading {
+    /// Creates a reading.
+    pub fn new(sensor: SensorId, at: Timestamp, value: SensorValue) -> Self {
+        SensorReading { sensor, at, value }
+    }
+}
+
+impl fmt::Display for SensorReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} = {}", self.at, self.sensor, self.value)
+    }
+}
+
+/// One time-stamped actuation event.
+///
+/// `active = true` records the actuator switching on (or performing its
+/// action); `false` records it switching off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActuatorEvent {
+    /// The acting actuator.
+    pub actuator: ActuatorId,
+    /// When the actuation happened (simulated time).
+    pub at: Timestamp,
+    /// Whether the actuator turned on (`true`) or off (`false`).
+    pub active: bool,
+}
+
+impl ActuatorEvent {
+    /// Creates an actuation event.
+    pub fn new(actuator: ActuatorId, at: Timestamp, active: bool) -> Self {
+        ActuatorEvent {
+            actuator,
+            at,
+            active,
+        }
+    }
+}
+
+impl fmt::Display for ActuatorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} -> {}",
+            self.at,
+            self.actuator,
+            if self.active { "on" } else { "off" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_display() {
+        let r = SensorReading::new(SensorId::new(2), Timestamp::from_secs(61), true.into());
+        assert_eq!(r.to_string(), "[00:01:01] S2 = 1");
+    }
+
+    #[test]
+    fn actuator_event_display() {
+        let e = ActuatorEvent::new(ActuatorId::new(1), Timestamp::from_mins(2), true);
+        assert_eq!(e.to_string(), "[00:02:00] A1 -> on");
+        let e = ActuatorEvent::new(ActuatorId::new(1), Timestamp::from_mins(2), false);
+        assert_eq!(e.to_string(), "[00:02:00] A1 -> off");
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulated time.
+//!
+//! DICE experiments run on *simulated* wall-clock time: datasets span hundreds
+//! of hours, detection latency is reported in simulated minutes (Figure 5.2),
+//! while computation cost is reported in real milliseconds (Figure 5.3).
+//! [`Timestamp`] and [`TimeDelta`] carry the simulated side.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in whole seconds since the start of a dataset.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The dataset origin (time zero).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from seconds since the dataset origin.
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Creates a timestamp from minutes since the dataset origin.
+    pub const fn from_mins(mins: i64) -> Self {
+        Timestamp(mins * 60)
+    }
+
+    /// Creates a timestamp from hours since the dataset origin.
+    pub const fn from_hours(hours: i64) -> Self {
+        Timestamp(hours * 3600)
+    }
+
+    /// Seconds since the dataset origin.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Whole minutes since the dataset origin (truncating).
+    pub const fn as_mins(self) -> i64 {
+        self.0 / 60
+    }
+
+    /// Hours since the dataset origin as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Second-of-day in `[0, 86400)`, useful for diurnal models.
+    ///
+    /// Negative timestamps wrap so the result is always non-negative.
+    pub const fn second_of_day(self) -> i64 {
+        self.0.rem_euclid(86_400)
+    }
+
+    /// Hour-of-day in `[0, 24)`.
+    pub const fn hour_of_day(self) -> i64 {
+        self.second_of_day() / 3600
+    }
+
+    /// Rounds down to a multiple of `delta` from the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is non-positive.
+    pub fn align_down(self, delta: TimeDelta) -> Timestamp {
+        assert!(delta.as_secs() > 0, "alignment delta must be positive");
+        Timestamp(self.0.div_euclid(delta.as_secs()) * delta.as_secs())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0;
+        let sign = if total < 0 { "-" } else { "" };
+        let total = total.abs();
+        let h = total / 3600;
+        let m = (total % 3600) / 60;
+        let s = total % 60;
+        write!(f, "{sign}{h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// A span of simulated time, in whole seconds. May be negative.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TimeDelta(i64);
+
+impl TimeDelta {
+    /// The zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a span from seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        TimeDelta(secs)
+    }
+
+    /// Creates a span from minutes.
+    pub const fn from_mins(mins: i64) -> Self {
+        TimeDelta(mins * 60)
+    }
+
+    /// Creates a span from hours.
+    pub const fn from_hours(hours: i64) -> Self {
+        TimeDelta(hours * 3600)
+    }
+
+    /// The span in seconds.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// The span in whole minutes (truncating).
+    pub const fn as_mins(self) -> i64 {
+        self.0 / 60
+    }
+
+    /// The span in fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// The span in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TimeDelta> for Timestamp {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl Sub<TimeDelta> for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Timestamp::from_mins(2), Timestamp::from_secs(120));
+        assert_eq!(Timestamp::from_hours(1), Timestamp::from_secs(3600));
+        assert_eq!(TimeDelta::from_mins(3), TimeDelta::from_secs(180));
+        assert_eq!(TimeDelta::from_hours(2), TimeDelta::from_secs(7200));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Timestamp::from_secs(100);
+        let d = TimeDelta::from_secs(40);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn second_of_day_wraps() {
+        assert_eq!(Timestamp::from_secs(86_400 + 5).second_of_day(), 5);
+        assert_eq!(Timestamp::from_secs(-1).second_of_day(), 86_399);
+        assert_eq!(Timestamp::from_hours(25).hour_of_day(), 1);
+    }
+
+    #[test]
+    fn align_down_floors_to_multiple() {
+        let w = TimeDelta::from_mins(1);
+        assert_eq!(
+            Timestamp::from_secs(119).align_down(w),
+            Timestamp::from_secs(60)
+        );
+        assert_eq!(
+            Timestamp::from_secs(120).align_down(w),
+            Timestamp::from_secs(120)
+        );
+        assert_eq!(
+            Timestamp::from_secs(-1).align_down(w),
+            Timestamp::from_secs(-60)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment delta must be positive")]
+    fn align_down_rejects_zero_delta() {
+        let _ = Timestamp::ZERO.align_down(TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn display_formats_hms() {
+        assert_eq!(Timestamp::from_secs(3_725).to_string(), "01:02:05");
+        assert_eq!(Timestamp::from_secs(-60).to_string(), "-00:01:00");
+        assert_eq!(TimeDelta::from_secs(90).to_string(), "90s");
+    }
+
+    #[test]
+    fn as_unit_conversions() {
+        let d = TimeDelta::from_secs(90);
+        assert_eq!(d.as_mins(), 1);
+        assert!((d.as_mins_f64() - 1.5).abs() < 1e-12);
+        assert!((d.as_hours_f64() - 0.025).abs() < 1e-12);
+        assert!((Timestamp::from_mins(90).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Sensor values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single sensor measurement.
+///
+/// DICE distinguishes two sensor classes (Section 3.2.1): *binary* sensors
+/// such as motion or door sensors, and *numeric* sensors such as temperature
+/// or light sensors. A binary reading of `true` means the sensor is
+/// activated/triggered at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SensorValue {
+    /// An activation event from a binary sensor (`true` = triggered).
+    Binary(bool),
+    /// A sampled measurement from a numeric sensor, in the sensor's native unit.
+    Numeric(f64),
+}
+
+impl SensorValue {
+    /// Returns `true` if this is a binary reading.
+    pub fn is_binary(self) -> bool {
+        matches!(self, SensorValue::Binary(_))
+    }
+
+    /// Returns `true` if this is a numeric reading.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, SensorValue::Numeric(_))
+    }
+
+    /// The binary activation, if this is a binary reading.
+    pub fn as_binary(self) -> Option<bool> {
+        match self {
+            SensorValue::Binary(b) => Some(b),
+            SensorValue::Numeric(_) => None,
+        }
+    }
+
+    /// The numeric measurement, if this is a numeric reading.
+    pub fn as_numeric(self) -> Option<f64> {
+        match self {
+            SensorValue::Binary(_) => None,
+            SensorValue::Numeric(v) => Some(v),
+        }
+    }
+}
+
+impl From<bool> for SensorValue {
+    fn from(b: bool) -> Self {
+        SensorValue::Binary(b)
+    }
+}
+
+impl From<f64> for SensorValue {
+    fn from(v: f64) -> Self {
+        SensorValue::Numeric(v)
+    }
+}
+
+impl fmt::Display for SensorValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorValue::Binary(b) => write!(f, "{}", if *b { 1 } else { 0 }),
+            SensorValue::Numeric(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variant() {
+        let b = SensorValue::Binary(true);
+        let n = SensorValue::Numeric(3.5);
+        assert!(b.is_binary() && !b.is_numeric());
+        assert!(n.is_numeric() && !n.is_binary());
+        assert_eq!(b.as_binary(), Some(true));
+        assert_eq!(b.as_numeric(), None);
+        assert_eq!(n.as_numeric(), Some(3.5));
+        assert_eq!(n.as_binary(), None);
+    }
+
+    #[test]
+    fn from_primitives() {
+        assert_eq!(SensorValue::from(true), SensorValue::Binary(true));
+        assert_eq!(SensorValue::from(2.0), SensorValue::Numeric(2.0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(SensorValue::Binary(true).to_string(), "1");
+        assert_eq!(SensorValue::Binary(false).to_string(), "0");
+        assert_eq!(SensorValue::Numeric(1.25).to_string(), "1.25");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the event-log invariants.
+
+use dice_types::{Event, EventLog, SensorId, SensorReading, TimeDelta, Timestamp};
+use proptest::prelude::*;
+
+fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((0u32..6, 0i64..7200), 0..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sensor, secs)| {
+                Event::from(SensorReading::new(
+                    SensorId::new(sensor),
+                    Timestamp::from_secs(secs),
+                    true.into(),
+                ))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Normalization sorts and is idempotent, preserving multiset identity.
+    #[test]
+    fn normalize_sorts_and_preserves_events(events in events_strategy()) {
+        let mut log: EventLog = events.iter().copied().collect();
+        prop_assert_eq!(log.len(), events.len());
+        let sorted = log.events().to_vec();
+        for pair in sorted.windows(2) {
+            prop_assert!(pair[0].at() <= pair[1].at());
+        }
+        // Idempotent.
+        log.normalize();
+        prop_assert_eq!(log.events(), sorted.as_slice());
+        // Same multiset: sort inputs stably by time and compare lengths plus
+        // per-timestamp counts.
+        let mut by_time_in: Vec<i64> = events.iter().map(|e| e.at().as_secs()).collect();
+        let mut by_time_out: Vec<i64> = sorted.iter().map(|e| e.at().as_secs()).collect();
+        by_time_in.sort_unstable();
+        by_time_out.sort_unstable();
+        prop_assert_eq!(by_time_in, by_time_out);
+    }
+
+    /// windows_between partitions a range: every event in range appears in
+    /// exactly one window, windows tile without gaps.
+    #[test]
+    fn windows_between_partition_events(
+        events in events_strategy(),
+        duration_mins in 1i64..10,
+    ) {
+        let mut log: EventLog = events.iter().copied().collect();
+        let from = Timestamp::ZERO;
+        let to = Timestamp::from_secs(7200);
+        let duration = TimeDelta::from_mins(duration_mins);
+        let mut covered = 0usize;
+        let mut expected_start = from;
+        for window in log.windows_between(from, to, duration) {
+            prop_assert_eq!(window.start, expected_start, "windows tile without gaps");
+            prop_assert!(window.end <= to);
+            for event in window.events {
+                prop_assert!(event.at() >= window.start && event.at() < window.end);
+            }
+            covered += window.events.len();
+            expected_start = window.end;
+        }
+        prop_assert_eq!(expected_start, to, "windows cover the whole range");
+        let in_range = events.iter().filter(|e| e.at() >= from && e.at() < to).count();
+        prop_assert_eq!(covered, in_range);
+    }
+
+    /// slice is exactly the half-open restriction.
+    #[test]
+    fn slice_is_half_open_restriction(
+        events in events_strategy(),
+        lo in 0i64..7200,
+        len in 0i64..3600,
+    ) {
+        let mut log: EventLog = events.iter().copied().collect();
+        let from = Timestamp::from_secs(lo);
+        let to = Timestamp::from_secs(lo + len);
+        let mut sub = log.slice(from, to);
+        let expected = events
+            .iter()
+            .filter(|e| e.at() >= from && e.at() < to)
+            .count();
+        prop_assert_eq!(sub.events().len(), expected);
+    }
+
+    /// merge is multiset union.
+    #[test]
+    fn merge_is_multiset_union(a in events_strategy(), b in events_strategy()) {
+        let mut left: EventLog = a.iter().copied().collect();
+        let right: EventLog = b.iter().copied().collect();
+        left.merge(right);
+        prop_assert_eq!(left.len(), a.len() + b.len());
+        let merged = left.events();
+        for pair in merged.windows(2) {
+            prop_assert!(pair[0].at() <= pair[1].at());
+        }
+    }
+
+    /// Timestamp arithmetic: align_down is idempotent and never exceeds the
+    /// input.
+    #[test]
+    fn align_down_properties(secs in -100_000i64..100_000, step_mins in 1i64..120) {
+        let t = Timestamp::from_secs(secs);
+        let step = TimeDelta::from_mins(step_mins);
+        let aligned = t.align_down(step);
+        prop_assert!(aligned <= t);
+        prop_assert!((t - aligned).as_secs() < step.as_secs());
+        prop_assert_eq!(aligned.align_down(step), aligned);
+        prop_assert_eq!(aligned.as_secs().rem_euclid(step.as_secs()), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: train DICE on a tiny smart home and catch a fail-stop fault.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dice_core::{ContextExtractor, DiceConfig, DiceEngine};
+use dice_types::{DeviceRegistry, EventLog, Room, SensorKind, SensorReading, TimeDelta, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the deployment: two correlated kitchen sensors and one
+    //    bedroom sensor.
+    let mut registry = DeviceRegistry::new();
+    let kitchen_motion = registry.add_sensor(SensorKind::Motion, "kitchen motion", Room::Kitchen);
+    let kitchen_door = registry.add_sensor(SensorKind::Contact, "fridge door", Room::Kitchen);
+    let bedroom_motion = registry.add_sensor(SensorKind::Motion, "bedroom motion", Room::Bedroom);
+
+    // 2. Precompute context from fault-free history: the kitchen pair always
+    //    fires together (cooking), the bedroom sensor alone (sleeping).
+    let mut training = EventLog::new();
+    for minute in 0..600 {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(10);
+        if minute % 3 == 0 {
+            training.push_sensor(SensorReading::new(kitchen_motion, at, true.into()));
+            training.push_sensor(SensorReading::new(kitchen_door, at, true.into()));
+        } else if minute % 3 == 1 {
+            training.push_sensor(SensorReading::new(bedroom_motion, at, true.into()));
+        } // every third minute the home is quiet
+    }
+    let model = ContextExtractor::new(DiceConfig::default()).extract(&registry, &mut training)?;
+    println!(
+        "trained: {} groups from {} windows, correlation degree {:.1}",
+        model.groups().len(),
+        model.training_windows(),
+        model.correlation_degree()
+    );
+
+    // 3. Real-time phase: replay live data in which the fridge-door sensor
+    //    has fail-stopped — the kitchen motion now fires alone, an unseen
+    //    sensor state set.
+    let mut live = EventLog::new();
+    for minute in 0..30 {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(10);
+        if minute % 3 == 0 {
+            live.push_sensor(SensorReading::new(kitchen_motion, at, true.into()));
+            // kitchen_door is silent: fail-stop
+        } else if minute % 3 == 1 {
+            live.push_sensor(SensorReading::new(bedroom_motion, at, true.into()));
+        }
+    }
+    let mut engine = DiceEngine::new(&model);
+    let mut reports = engine.process_range(&mut live, Timestamp::ZERO, Timestamp::from_mins(30));
+    reports.extend(engine.flush());
+
+    match reports.first() {
+        Some(report) => {
+            println!("{report}");
+            println!(
+                "detection latency: {} min, identification latency: {} min",
+                report.detected_at.as_mins(),
+                report.identified_at.as_mins()
+            );
+        }
+        None => println!("no fault detected (unexpected!)"),
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Security demo (Section VI): DICE as a sensor-spoofing detector.
+//!
+//! Replays the paper's two attacks against the testbed: raising the
+//! living-room temperature so the fan runs (wasted energy), and raising the
+//! bedroom light at night so the blind opens while the resident sleeps
+//! (privacy exposure).
+//!
+//! ```sh
+//! cargo run --release --example security_attack_demo
+//! ```
+
+use dice_eval::experiments::run_attacks;
+
+fn main() {
+    println!("DICE as an attack detector: spoofed sensor values violate the learned context.\n");
+    for outcome in run_attacks(42) {
+        println!("attack: {}", outcome.name);
+        println!(
+            "  detected:           {}",
+            if outcome.detected { "yes" } else { "NO" }
+        );
+        println!(
+            "  attacked sensor identified: {}",
+            if outcome.identified { "yes" } else { "NO" }
+        );
+        if let Some(mins) = outcome.latency_mins {
+            println!("  latency:            {mins:.0} min after attack onset");
+        }
+        println!();
+    }
+    println!("(the paper reports both attack cases successfully detected)");
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration: dataset synthesis -> training -> fault injection
+//! -> detection -> identification, across every crate boundary.
+
+use dice_core::{DiceConfig, DiceEngine};
+use dice_eval::{evaluate_sensor_faults, run_faulty_segment, train_scenario, RunnerConfig};
+use dice_faults::{FaultInjector, FaultType, SensorFault};
+use dice_sim::testbed;
+use dice_types::{DeviceId, TimeDelta};
+
+fn quick_cfg() -> RunnerConfig {
+    RunnerConfig {
+        seed: 11,
+        trials: 6,
+        precompute: TimeDelta::from_hours(48),
+        segment_len: TimeDelta::from_hours(6),
+        dice: DiceConfig::default(),
+    }
+}
+
+fn quick_testbed() -> dice_eval::TrainedDataset {
+    let spec = testbed::dice_testbed("e2e", 11, TimeDelta::from_hours(96), 14, 1);
+    train_scenario(spec, &quick_cfg())
+}
+
+#[test]
+fn faultless_replay_is_mostly_quiet() {
+    // 48 hours of training is far below the paper's 300; a small number of
+    // unseen-context blips is expected, but most segments must stay quiet.
+    let td = quick_testbed();
+    let mut noisy_segments = 0;
+    for trial in 0..4 {
+        let segment = td.plan.segment_for_trial(trial);
+        let mut log = td.sim.log_between(segment.start, segment.end);
+        let mut engine = DiceEngine::new(&td.model);
+        let mut reports = engine.process_range(&mut log, segment.start, segment.end);
+        reports.extend(engine.flush());
+        if !reports.is_empty() {
+            noisy_segments += 1;
+        }
+    }
+    assert!(
+        noisy_segments <= 1,
+        "{noisy_segments}/4 faultless segments raised alarms"
+    );
+}
+
+#[test]
+fn noise_fault_is_detected_and_attributed() {
+    let td = quick_testbed();
+    let segment = td.plan.segment_for_trial(1);
+    // Noise on a beacon: beacons are exercised around the clock.
+    let beacon = td
+        .sim
+        .registry()
+        .sensors()
+        .find(|s| s.kind() == dice_types::SensorKind::Location)
+        .expect("testbed has beacons")
+        .id();
+    let fault = SensorFault {
+        sensor: beacon,
+        fault: FaultType::Noise,
+        onset: segment.start + TimeDelta::from_mins(45),
+    };
+    let clean = td.sim.log_between(segment.start, segment.end);
+    let faulty = FaultInjector::new(3).inject_sensor(clean, td.sim.registry(), &fault);
+    let outcome = run_faulty_segment(&td, faulty, segment, fault.onset);
+    let report = outcome.report.expect("noise fault must be detected");
+    assert!(report.devices.contains(&DeviceId::Sensor(beacon)));
+    assert!(report.identified_at >= report.detected_at);
+    assert!((report.detected_at - fault.onset).as_mins() <= 120);
+}
+
+#[test]
+fn evaluation_pipeline_produces_consistent_counts() {
+    let td = quick_testbed();
+    let cfg = quick_cfg();
+    let eval = evaluate_sensor_faults(&td, &cfg);
+    assert_eq!(
+        eval.detection.true_positives + eval.detection.false_negatives,
+        cfg.trials
+    );
+    assert_eq!(
+        eval.detection.false_positives + eval.detection.true_negatives,
+        cfg.trials
+    );
+    // Every missed fault contributes exactly one missed device; every
+    // detection contributes exactly one judged device.
+    assert_eq!(
+        eval.identification.correct + eval.identification.missed,
+        cfg.trials
+    );
+    // Latency samples exist exactly for detected faults.
+    assert_eq!(
+        eval.detect_latency.len() as u64,
+        eval.detection.true_positives
+    );
+    // Attribution totals match the faulty-trial count.
+    let attributed: u64 = eval.by_fault_type.values().map(|a| a.total()).sum();
+    assert_eq!(attributed, cfg.trials);
+}
+
+#[test]
+fn model_clone_and_reindex_preserve_behavior() {
+    let td = quick_testbed();
+    let mut clone = td.model.clone();
+    assert_eq!(clone, td.model);
+    // rebuild_index (the post-deserialization fixup) must not change results.
+    clone.rebuild_index();
+    let segment = td.plan.segment_for_trial(0);
+    let mut log = td.sim.log_between(segment.start, segment.end);
+    let mut a = DiceEngine::new(&td.model);
+    let mut b = DiceEngine::new(&clone);
+    assert_eq!(
+        a.process_range(&mut log.clone(), segment.start, segment.end),
+        b.process_range(&mut log, segment.start, segment.end),
+    );
+}

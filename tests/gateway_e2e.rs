@@ -1,0 +1,72 @@
+//! Streaming/offline equivalence on the full testbed: the gateway path
+//! (aggregator threads, frame encoding, k-way merge) must reproduce the
+//! offline replay's first report exactly.
+
+use dice_core::{DiceConfig, DiceEngine};
+use dice_eval::{train_scenario, RunnerConfig};
+use dice_faults::{FaultInjector, FaultType, SensorFault};
+use dice_gateway::{partition_by_device, spawn_aggregator, HomeGateway};
+use dice_sim::testbed;
+use dice_types::{Event, TimeDelta};
+
+#[test]
+fn gateway_streaming_equals_offline_replay_on_testbed() {
+    let cfg = RunnerConfig {
+        seed: 21,
+        trials: 0,
+        precompute: TimeDelta::from_hours(48),
+        segment_len: TimeDelta::from_hours(6),
+        dice: DiceConfig::default(),
+    };
+    let spec = testbed::dice_testbed("gw-e2e", 21, TimeDelta::from_hours(72), 12, 1);
+    let td = train_scenario(spec, &cfg);
+
+    let segment = td.plan.segments()[2];
+    let beacon = td
+        .sim
+        .registry()
+        .sensors()
+        .find(|s| s.kind() == dice_types::SensorKind::Location)
+        .unwrap()
+        .id();
+    let fault = SensorFault {
+        sensor: beacon,
+        fault: FaultType::Noise,
+        onset: segment.start + TimeDelta::from_mins(40),
+    };
+    let clean = td.sim.log_between(segment.start, segment.end);
+    let faulty = FaultInjector::new(2).inject_sensor(clean, td.sim.registry(), &fault);
+
+    // Offline replay.
+    let mut offline_log = faulty.clone();
+    let mut engine = DiceEngine::new(&td.model);
+    let mut offline = engine.process_range(&mut offline_log, segment.start, segment.end);
+    offline.extend(engine.flush());
+    assert!(
+        !offline.is_empty(),
+        "offline replay must detect the noise fault"
+    );
+
+    // Streaming through five aggregators.
+    let events: Vec<Event> = faulty.into_events().collect();
+    let parts = partition_by_device(&events, 5);
+    let mut receivers = Vec::new();
+    let mut handles = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        let (tx, rx) = crossbeam::channel::bounded(64);
+        handles.push(spawn_aggregator(format!("{i}"), part, tx));
+        receivers.push(rx);
+    }
+    let (alarm_tx, alarm_rx) = crossbeam::channel::unbounded();
+    let gateway = HomeGateway::new(&td.model);
+    let stats = gateway.run(receivers, &alarm_tx, segment.start, segment.end);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    drop(alarm_tx);
+    let alarms: Vec<_> = alarm_rx.iter().collect();
+
+    assert_eq!(stats.windows, 360);
+    assert!(!alarms.is_empty());
+    assert_eq!(alarms[0].report, offline[0]);
+}

@@ -1,0 +1,169 @@
+//! Cross-crate property-based tests (proptest) for the core invariants.
+
+use dice_core::{
+    read_model, write_model, BitSet, ContextExtractor, DiceConfig, GroupTable, TransitionCounts,
+};
+use dice_types::{
+    DeviceRegistry, EventLog, Room, SensorId, SensorKind, SensorReading, TimeDelta, Timestamp,
+};
+use proptest::prelude::*;
+
+fn bitset_strategy(len: usize) -> impl Strategy<Value = BitSet> {
+    prop::collection::vec(any::<bool>(), len).prop_map(move |bits| {
+        BitSet::from_indices(
+            len,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i),
+        )
+    })
+}
+
+proptest! {
+    /// Hamming distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn hamming_distance_is_a_metric(
+        a in bitset_strategy(40),
+        b in bitset_strategy(40),
+        c in bitset_strategy(40),
+    ) {
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert_eq!(a.hamming_distance(&b) == 0, a == b);
+        prop_assert!(
+            a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c)
+        );
+    }
+
+    /// The bounded-distance variant agrees with the exact distance.
+    #[test]
+    fn hamming_distance_within_agrees(
+        a in bitset_strategy(70),
+        b in bitset_strategy(70),
+        limit in 0u32..70,
+    ) {
+        let exact = a.hamming_distance(&b);
+        match a.hamming_distance_within(&b, limit) {
+            Some(d) => prop_assert_eq!(d, exact),
+            None => prop_assert!(exact > limit),
+        }
+    }
+
+    /// diff_indices returns exactly the differing bits.
+    #[test]
+    fn diff_indices_matches_distance(
+        a in bitset_strategy(40),
+        b in bitset_strategy(40),
+    ) {
+        let diff: Vec<usize> = a.diff_indices(&b).collect();
+        prop_assert_eq!(diff.len() as u32, a.hamming_distance(&b));
+        for i in diff {
+            prop_assert_ne!(a.get(i), b.get(i));
+        }
+    }
+
+    /// Group observation is idempotent on ids and total counts add up.
+    #[test]
+    fn group_table_counts_are_consistent(
+        states in prop::collection::vec(bitset_strategy(12), 1..60),
+    ) {
+        let mut table = GroupTable::new(12);
+        for state in &states {
+            table.observe(state);
+        }
+        prop_assert_eq!(table.total_observations(), states.len() as u64);
+        // Every observed state has an exact-match group.
+        for state in &states {
+            let id = table.lookup(state).expect("observed state must be a group");
+            prop_assert_eq!(table.state(id), state);
+        }
+        // Candidate search at max distance finds every group.
+        let all = table.candidates(&states[0], 12);
+        prop_assert_eq!(all.len(), table.len());
+    }
+
+    /// Transition probabilities per row sum to one (over observed columns).
+    #[test]
+    fn transition_rows_are_distributions(
+        pairs in prop::collection::vec((0u32..8, 0u32..8), 1..100),
+    ) {
+        let mut t = TransitionCounts::new();
+        for &(from, to) in &pairs {
+            t.record(from, to);
+        }
+        for from in 0..8 {
+            if t.row_total(from) == 0 { continue; }
+            let sum: f64 = t.successors(from).iter().map(|&to| t.prob(from, to)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {} sums to {}", from, sum);
+        }
+    }
+
+    /// Loading arbitrarily corrupted model bytes returns an error instead of
+    /// panicking, and a clean round trip is exact.
+    #[test]
+    fn model_io_survives_corruption(
+        flips in prop::collection::vec((0usize..4096, 0u8..=255), 1..8),
+        truncate_at in 0usize..4096,
+    ) {
+        let mut registry = DeviceRegistry::new();
+        let m = registry.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+        let t = registry.add_sensor(SensorKind::Temperature, "t", Room::Kitchen);
+        let mut log = EventLog::new();
+        for minute in 0..30 {
+            let at = Timestamp::from_mins(minute);
+            if minute % 2 == 0 {
+                log.push_sensor(SensorReading::new(m, at, true.into()));
+            }
+            log.push_sensor(SensorReading::new(t, at, (20.0 + (minute % 3) as f64).into()));
+        }
+        let model = ContextExtractor::new(DiceConfig::default())
+            .extract(&registry, &mut log)
+            .unwrap();
+        let mut bytes = Vec::new();
+        write_model(&model, &mut bytes).unwrap();
+        prop_assert_eq!(&read_model(bytes.as_slice()).unwrap(), &model);
+
+        // Corrupt: flip bytes and truncate; decoding must return Err or a
+        // (coincidentally still valid) model — never panic.
+        let mut corrupted = bytes.clone();
+        for &(pos, value) in &flips {
+            let len = corrupted.len();
+            corrupted[pos % len] ^= value;
+        }
+        corrupted.truncate((truncate_at % corrupted.len()).max(1));
+        let _ = read_model(corrupted.as_slice());
+    }
+
+    /// A model trained on any binary event log never raises a correlation
+    /// violation when replaying its own training data.
+    #[test]
+    fn replaying_training_data_matches_main_groups(
+        fires in prop::collection::vec(
+            (0u32..4, 0i64..240),
+            10..120,
+        ),
+    ) {
+        let mut registry = DeviceRegistry::new();
+        for i in 0..4 {
+            registry.add_sensor(SensorKind::Motion, format!("s{i}"), Room::Kitchen);
+        }
+        let mut log = EventLog::new();
+        for &(sensor, minute) in &fires {
+            log.push_sensor(SensorReading::new(
+                SensorId::new(sensor),
+                Timestamp::from_mins(minute) + TimeDelta::from_secs(7),
+                true.into(),
+            ));
+        }
+        let model = ContextExtractor::new(DiceConfig::default())
+            .extract(&registry, &mut log)
+            .unwrap();
+        // Every training window's state set must be a known group.
+        for window in log.windows(TimeDelta::from_mins(1)) {
+            let obs = model.binarizer().binarize(window.start, window.end, window.events);
+            prop_assert!(
+                model.groups().lookup(&obs.state).is_some(),
+                "training window produced an unknown state"
+            );
+        }
+    }
+}
