@@ -30,7 +30,7 @@ fn ablation_window_duration(c: &mut Criterion) {
                         .window(TimeDelta::from_secs(secs))
                         .build(),
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -54,7 +54,7 @@ fn ablation_identification_scope(c: &mut Criterion) {
                             .nearest_only_identification(nearest_only)
                             .build(),
                     )
-                })
+                });
             },
         );
     }
@@ -75,7 +75,7 @@ fn ablation_confirmation(c: &mut Criterion) {
                             .confirmation_violations(confirm)
                             .build(),
                     )
-                })
+                });
             },
         );
     }
@@ -90,7 +90,7 @@ fn ablation_candidate_distance(c: &mut Criterion) {
             BenchmarkId::from_parameter(distance),
             &distance,
             |b, &distance| {
-                b.iter(|| eval_with(DiceConfig::builder().candidate_distance(distance).build()))
+                b.iter(|| eval_with(DiceConfig::builder().candidate_distance(distance).build()));
             },
         );
     }

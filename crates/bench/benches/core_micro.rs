@@ -21,7 +21,7 @@ fn bench_binarize(c: &mut Criterion) {
                 segment.start + TimeDelta::from_mins(1),
                 std::hint::black_box(&events),
             )
-        })
+        });
     });
 }
 
@@ -41,7 +41,7 @@ fn bench_candidate_search(c: &mut Criterion) {
         assert_eq!(table.len(), groups, "bench states must be distinct");
         let query = BitSet::from_indices(120, (0..120).filter(|b| b % 9 == 0));
         group.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {
-            b.iter(|| table.candidates(std::hint::black_box(&query), 3))
+            b.iter(|| table.candidates(std::hint::black_box(&query), 3));
         });
     }
     group.finish();
@@ -81,7 +81,7 @@ fn bench_checks(c: &mut Criterion) {
     };
 
     c.bench_function("correlation_check_exact_lookup", |b| {
-        b.iter(|| detector.correlation_check(std::hint::black_box(&obs1)))
+        b.iter(|| detector.correlation_check(std::hint::black_box(&obs1)));
     });
     let group1 = td
         .model
@@ -89,7 +89,7 @@ fn bench_checks(c: &mut Criterion) {
         .lookup(&obs1.state)
         .unwrap_or(GroupId::new(0));
     c.bench_function("transition_check_three_cases", |b| {
-        b.iter(|| detector.transition_check(std::hint::black_box(&prev), group1, &obs1))
+        b.iter(|| detector.transition_check(std::hint::black_box(&prev), group1, &obs1));
     });
 
     // Identification on a correlation violation: corrupt one bit.
@@ -101,7 +101,7 @@ fn bench_checks(c: &mut Criterion) {
     c.bench_function("identification_probable_devices", |b| {
         b.iter(|| {
             identifier.probable_devices(Some(&prev), &corrupted, std::hint::black_box(&result))
-        })
+        });
     });
 }
 
@@ -121,7 +121,7 @@ fn bench_end_to_end_window(c: &mut Criterion) {
                 let _ = engine.process_window(*start, *end, std::hint::black_box(events));
             }
             engine.cost_profile().windows
-        })
+        });
     });
     let _ = Timestamp::ZERO; // keep the import used in all configurations
 }

@@ -38,7 +38,7 @@ fn reduced_full_eval() -> FullEvaluation {
 fn bench_tables(c: &mut Criterion) {
     c.bench_function("table_2_1_requirements", |b| b.iter(table_2_1));
     c.bench_function("table_4_1_dataset_inventory", |b| {
-        b.iter(|| table_4_1(std::hint::black_box(42)))
+        b.iter(|| table_4_1(std::hint::black_box(42)));
     });
     c.bench_function("table_4_1_stats_of_every_dataset", |b| {
         b.iter(|| {
@@ -46,7 +46,7 @@ fn bench_tables(c: &mut Criterion) {
                 .into_iter()
                 .map(|id| DatasetStats::of_dataset(id, 42).activities)
                 .sum::<usize>()
-        })
+        });
     });
 }
 
@@ -54,7 +54,7 @@ fn bench_accuracy_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluation_artifacts");
     group.sample_size(10);
     group.bench_function("fig_5_1_accuracy_reduced", |b| {
-        b.iter(|| fig_5_1(&reduced_full_eval()))
+        b.iter(|| fig_5_1(&reduced_full_eval()));
     });
     group.finish();
 
@@ -62,7 +62,7 @@ fn bench_accuracy_figures(c: &mut Criterion) {
     let full = reduced_full_eval();
     c.bench_function("fig_5_2_latency_format", |b| b.iter(|| fig_5_2(&full)));
     c.bench_function("table_5_1_per_check_format", |b| {
-        b.iter(|| table_5_1(&full))
+        b.iter(|| table_5_1(&full));
     });
     c.bench_function("fig_5_3_compute_format", |b| b.iter(|| fig_5_3(&full)));
     c.bench_function("table_5_2_degree_format", |b| b.iter(|| table_5_2(&full)));
@@ -79,7 +79,7 @@ fn bench_extended_experiments(c: &mut Criterion) {
             evaluate_actuator_faults(&td, &cfg)
                 .identification
                 .precision()
-        })
+        });
     });
     let mut multi_cfg = bench_runner_config();
     multi_cfg.dice = dice_core::DiceConfig::builder()
@@ -92,10 +92,10 @@ fn bench_extended_experiments(c: &mut Criterion) {
             evaluate_multi_faults(&td, &multi_cfg)
                 .identification
                 .recall()
-        })
+        });
     });
     group.bench_function("security_attacks", |b| {
-        b.iter(|| run_attacks(std::hint::black_box(42)).len())
+        b.iter(|| run_attacks(std::hint::black_box(42)).len());
     });
     group.finish();
 }

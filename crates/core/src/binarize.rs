@@ -242,6 +242,11 @@ impl Binarizer {
 
         actuators.sort_unstable();
         actuators.dedup();
+        debug_assert_eq!(
+            state.len(),
+            self.layout.num_bits(),
+            "binarized state set must span exactly the layout's bits"
+        );
         WindowObservation {
             start,
             end,

@@ -1,0 +1,272 @@
+//! Typed diagnostics for static model verification.
+//!
+//! A [`Diagnostic`] is one finding about a trained [`DiceModel`]
+//! (crate::DiceModel) or a [`DiceConfig`](crate::DiceConfig): a stable code
+//! (`DV001`, `DV100`, ...), a severity, and a human-readable message. The
+//! structural checks live in [`crate::invariants`]; the `dice-verify` crate
+//! layers graph analyses and the `dice-lint` CLI on top of the same
+//! vocabulary.
+//!
+//! Codes are append-only: a code is never renumbered or reused, so scripts
+//! that grep lint output stay valid across versions.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never actionable on its own.
+    Info,
+    /// Suspicious but not structurally unsound; the model still runs.
+    Warning,
+    /// A broken invariant: detection/identification results computed from
+    /// this model are unreliable, and loading it is rejected by default.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable identifier of one verifiable model invariant.
+///
+/// Grouped by family: `DV0xx` container, `DV10x` transition matrices,
+/// `DV11x` group table, `DV12x` binarizer thresholds, `DV13x` G2G graph
+/// shape, `DV14x` configuration, `DV15x` cross-section consistency,
+/// `DV16x` model-level sanity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DiagnosticCode {
+    /// DV001: the serialized container could not be decoded at all.
+    ContainerUnreadable,
+    /// DV100: a transition row's stored total disagrees with the sum of its
+    /// entries, so row probabilities do not sum to one.
+    RowNotStochastic,
+    /// DV101: a G2G transition references a group id outside the group table.
+    DanglingGroupInG2g,
+    /// DV102: a G2A transition references a group or actuator that does not
+    /// exist.
+    DanglingIdInG2a,
+    /// DV103: an A2G transition references an actuator or group that does not
+    /// exist.
+    DanglingIdInA2g,
+    /// DV110: a group state set's bit width disagrees with the bit layout.
+    GroupWidthMismatch,
+    /// DV111: two groups share the same state set.
+    DuplicateGroupState,
+    /// DV112: a group carries a zero observation count.
+    ZeroGroupCount,
+    /// DV120: a trained `valueThre` threshold is NaN or infinite.
+    NonFiniteThreshold,
+    /// DV121: a threshold is trained for a binary sensor, which has no level
+    /// bit to apply it to.
+    ThresholdOnBinarySensor,
+    /// DV122: a numeric sensor has no trained threshold (it produced no
+    /// samples during precomputation), so its level bit is always zero.
+    UntrainedNumericThreshold,
+    /// DV123: the threshold table covers a different number of sensors than
+    /// the bit layout.
+    ThresholdTableLengthMismatch,
+    /// DV130: a group is unreachable: no G2G transition from another group
+    /// ever enters it.
+    UnreachableGroup,
+    /// DV131: a group is absorbing: its only observed G2G successor is
+    /// itself.
+    AbsorbingGroup,
+    /// DV140: the confirmation horizon is shorter than the required number
+    /// of confirming violations, so transition faults can never be reported.
+    ConfirmationHorizonTooShort,
+    /// DV141: the candidate-group distance threshold is at least the state
+    /// set width, so every group is always a candidate.
+    CandidateDistanceExceedsWidth,
+    /// DV142: the candidate-group distance is overridden to zero, reducing
+    /// identification to exact lookup.
+    ZeroCandidateDistance,
+    /// DV143: `min_row_support` is zero, so a single observation of a row
+    /// licenses zero-probability violations from it.
+    ZeroRowSupport,
+    /// DV144: the window duration is not positive.
+    NonPositiveWindow,
+    /// DV145: a count parameter that must be at least one is zero.
+    ZeroCountParameter,
+    /// DV150: the group observation counts do not sum to the recorded number
+    /// of training windows.
+    TrainingWindowMismatch,
+    /// DV160: the model has no groups at all.
+    EmptyModel,
+}
+
+impl DiagnosticCode {
+    /// The stable `DVnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagnosticCode::ContainerUnreadable => "DV001",
+            DiagnosticCode::RowNotStochastic => "DV100",
+            DiagnosticCode::DanglingGroupInG2g => "DV101",
+            DiagnosticCode::DanglingIdInG2a => "DV102",
+            DiagnosticCode::DanglingIdInA2g => "DV103",
+            DiagnosticCode::GroupWidthMismatch => "DV110",
+            DiagnosticCode::DuplicateGroupState => "DV111",
+            DiagnosticCode::ZeroGroupCount => "DV112",
+            DiagnosticCode::NonFiniteThreshold => "DV120",
+            DiagnosticCode::ThresholdOnBinarySensor => "DV121",
+            DiagnosticCode::UntrainedNumericThreshold => "DV122",
+            DiagnosticCode::ThresholdTableLengthMismatch => "DV123",
+            DiagnosticCode::UnreachableGroup => "DV130",
+            DiagnosticCode::AbsorbingGroup => "DV131",
+            DiagnosticCode::ConfirmationHorizonTooShort => "DV140",
+            DiagnosticCode::CandidateDistanceExceedsWidth => "DV141",
+            DiagnosticCode::ZeroCandidateDistance => "DV142",
+            DiagnosticCode::ZeroRowSupport => "DV143",
+            DiagnosticCode::NonPositiveWindow => "DV144",
+            DiagnosticCode::ZeroCountParameter => "DV145",
+            DiagnosticCode::TrainingWindowMismatch => "DV150",
+            DiagnosticCode::EmptyModel => "DV160",
+        }
+    }
+
+    /// The severity a finding with this code carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticCode::ContainerUnreadable
+            | DiagnosticCode::RowNotStochastic
+            | DiagnosticCode::DanglingGroupInG2g
+            | DiagnosticCode::DanglingIdInG2a
+            | DiagnosticCode::DanglingIdInA2g
+            | DiagnosticCode::GroupWidthMismatch
+            | DiagnosticCode::DuplicateGroupState
+            | DiagnosticCode::ZeroGroupCount
+            | DiagnosticCode::NonFiniteThreshold
+            | DiagnosticCode::ThresholdTableLengthMismatch
+            | DiagnosticCode::NonPositiveWindow
+            | DiagnosticCode::ZeroCountParameter
+            | DiagnosticCode::TrainingWindowMismatch => Severity::Error,
+            DiagnosticCode::ThresholdOnBinarySensor
+            | DiagnosticCode::UnreachableGroup
+            | DiagnosticCode::AbsorbingGroup
+            | DiagnosticCode::ConfirmationHorizonTooShort
+            | DiagnosticCode::CandidateDistanceExceedsWidth
+            | DiagnosticCode::ZeroCandidateDistance
+            | DiagnosticCode::ZeroRowSupport
+            | DiagnosticCode::EmptyModel => Severity::Warning,
+            DiagnosticCode::UntrainedNumericThreshold => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    code: DiagnosticCode,
+    severity: Severity,
+    message: String,
+}
+
+impl Diagnostic {
+    /// Creates a finding with the code's default severity.
+    pub fn new(code: DiagnosticCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+        }
+    }
+
+    /// The stable code.
+    pub fn code(&self) -> DiagnosticCode {
+        self.code
+    }
+
+    /// The severity.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.severity, self.code, self.message)
+    }
+}
+
+/// Whether any finding is an [`Severity::Error`].
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.severity() == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = [
+            DiagnosticCode::ContainerUnreadable,
+            DiagnosticCode::RowNotStochastic,
+            DiagnosticCode::DanglingGroupInG2g,
+            DiagnosticCode::DanglingIdInG2a,
+            DiagnosticCode::DanglingIdInA2g,
+            DiagnosticCode::GroupWidthMismatch,
+            DiagnosticCode::DuplicateGroupState,
+            DiagnosticCode::ZeroGroupCount,
+            DiagnosticCode::NonFiniteThreshold,
+            DiagnosticCode::ThresholdOnBinarySensor,
+            DiagnosticCode::UntrainedNumericThreshold,
+            DiagnosticCode::ThresholdTableLengthMismatch,
+            DiagnosticCode::UnreachableGroup,
+            DiagnosticCode::AbsorbingGroup,
+            DiagnosticCode::ConfirmationHorizonTooShort,
+            DiagnosticCode::CandidateDistanceExceedsWidth,
+            DiagnosticCode::ZeroCandidateDistance,
+            DiagnosticCode::ZeroRowSupport,
+            DiagnosticCode::NonPositiveWindow,
+            DiagnosticCode::ZeroCountParameter,
+            DiagnosticCode::TrainingWindowMismatch,
+            DiagnosticCode::EmptyModel,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicate diagnostic code");
+        assert!(codes.iter().all(|c| c.starts_with("DV")));
+    }
+
+    #[test]
+    fn display_renders_severity_code_and_message() {
+        let d = Diagnostic::new(DiagnosticCode::DuplicateGroupState, "groups 1 and 4");
+        assert_eq!(d.to_string(), "error: [DV111] groups 1 and 4");
+        assert_eq!(d.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn has_errors_ignores_warnings() {
+        let warn = Diagnostic::new(DiagnosticCode::EmptyModel, "no groups");
+        assert!(!has_errors(std::slice::from_ref(&warn)));
+        let err = Diagnostic::new(DiagnosticCode::ZeroGroupCount, "group 0");
+        assert!(has_errors(&[warn, err]));
+    }
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -89,6 +89,7 @@ impl GroupTable {
         self.groups.push(state.clone());
         self.counts.push(1);
         self.index.insert(state.clone(), id);
+        self.debug_check_parallel_arrays();
         id
     }
 
@@ -105,6 +106,21 @@ impl GroupTable {
         self.groups.push(state.clone());
         self.counts.push(count);
         self.index.insert(state, id);
+        self.debug_check_parallel_arrays();
+        id
+    }
+
+    /// Appends a group **without** the width, duplicate, or index-consistency
+    /// checks of [`GroupTable::insert_with_count`].
+    ///
+    /// This exists so verifier tests can build tables that violate the group
+    /// invariants; it deliberately leaves the exact-match index untouched.
+    /// Never feed the result to a live engine.
+    #[doc(hidden)]
+    pub fn insert_unchecked(&mut self, state: BitSet, count: u64) -> GroupId {
+        let id = GroupId::new(self.groups.len() as u32);
+        self.groups.push(state);
+        self.counts.push(count);
         id
     }
 
@@ -187,6 +203,30 @@ impl GroupTable {
             .iter()
             .enumerate()
             .map(|(i, g)| (GroupId::new(i as u32), g))
+    }
+
+    /// Iterates over `(GroupId, &BitSet, observation count)` triples — the
+    /// full per-group record, for analyzers that need counts alongside
+    /// states.
+    pub fn entries(&self) -> impl Iterator<Item = (GroupId, &BitSet, u64)> {
+        self.groups
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (g, &count))| (GroupId::new(i as u32), g, count))
+    }
+
+    fn debug_check_parallel_arrays(&self) {
+        debug_assert_eq!(
+            self.groups.len(),
+            self.counts.len(),
+            "group states and counts must stay parallel"
+        );
+        debug_assert_eq!(
+            self.index.len(),
+            self.groups.len(),
+            "exact-match index must cover every group"
+        );
     }
 
     /// The *correlation degree* of Table 5.2: the average number of activated

@@ -1,0 +1,549 @@
+//! Structural invariant checks over a trained [`DiceModel`].
+//!
+//! These are the load-bearing checks: [`crate::read_model`] runs them after
+//! decoding and rejects any model with an [`Severity::Error`] finding, so a
+//! gateway never boots on a model whose probabilities or indices are
+//! inconsistent. The `dice-verify` crate re-exports them and adds advisory
+//! graph analyses on top.
+//!
+//! Every check is pure and never panics: a corrupt model produces
+//! diagnostics, not aborts.
+
+use std::collections::HashMap;
+
+use crate::config::DiceConfig;
+use crate::diag::{Diagnostic, DiagnosticCode, Severity};
+use crate::model::DiceModel;
+use crate::transition::TransitionCounts;
+
+pub use crate::diag::has_errors;
+
+/// Tolerance for the row-stochasticity check: per-row probabilities must sum
+/// to one within this epsilon.
+pub const ROW_SUM_EPSILON: f64 = 1e-9;
+
+/// Runs every structural check over `model`.
+///
+/// The returned findings are ordered by check family (transitions, groups,
+/// thresholds, cross-section), not by severity; sort by
+/// [`Diagnostic::severity`] if presentation order matters.
+pub fn check_model(model: &DiceModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_transitions(model, &mut out);
+    check_groups(model, &mut out);
+    check_thresholds(model, &mut out);
+    check_counts(model, &mut out);
+    out
+}
+
+/// Checks a configuration in isolation (family `DV14x`).
+///
+/// [`DiceConfig`]s built through the builder always pass the `Error`-level
+/// checks (the builder asserts them); the checks still run so configurations
+/// decoded from untrusted bytes get the same vocabulary.
+pub fn check_config(config: &DiceConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if config.window().as_secs() <= 0 {
+        out.push(Diagnostic::new(
+            DiagnosticCode::NonPositiveWindow,
+            format!(
+                "window duration is {}s; the state-set window must be positive",
+                config.window().as_secs()
+            ),
+        ));
+    }
+    for (name, value) in [
+        ("max_faults", config.max_faults()),
+        ("num_thre", config.num_thre()),
+        (
+            "max_identification_windows",
+            config.max_identification_windows(),
+        ),
+        ("confirmation_violations", config.confirmation_violations()),
+    ] {
+        if value == 0 {
+            out.push(Diagnostic::new(
+                DiagnosticCode::ZeroCountParameter,
+                format!("{name} is zero; it must be at least 1"),
+            ));
+        }
+    }
+    if config.confirmation_horizon_windows() < config.confirmation_violations() {
+        out.push(Diagnostic::new(
+            DiagnosticCode::ConfirmationHorizonTooShort,
+            format!(
+                "confirmation horizon of {} windows cannot accumulate the {} \
+                 required violations; transition faults will never be reported",
+                config.confirmation_horizon_windows(),
+                config.confirmation_violations()
+            ),
+        ));
+    }
+    if config.candidate_distance_override() == Some(0) {
+        out.push(Diagnostic::new(
+            DiagnosticCode::ZeroCandidateDistance,
+            "candidate distance is overridden to 0; identification degenerates \
+             to exact group lookup and cannot explain any faulty bit",
+        ));
+    }
+    if config.min_row_support() == 0 {
+        out.push(Diagnostic::new(
+            DiagnosticCode::ZeroRowSupport,
+            "min_row_support is 0; a row observed once already licenses \
+             zero-probability transition violations",
+        ));
+    }
+    out
+}
+
+/// One matrix's identity, for diagnostic messages and id-range selection.
+#[derive(Clone, Copy)]
+struct MatrixSpec {
+    name: &'static str,
+    dangling_code: DiagnosticCode,
+    /// Exclusive upper bounds for `from` / `to` ids; `None` leaves the side
+    /// unchecked (ids are arbitrary `u32`s there).
+    from_bound: Option<usize>,
+    to_bound: Option<usize>,
+    from_kind: &'static str,
+    to_kind: &'static str,
+}
+
+fn check_transitions(model: &DiceModel, out: &mut Vec<Diagnostic>) {
+    let num_groups = model.groups().len();
+    let num_actuators = model.num_actuators();
+    let specs = [
+        MatrixSpec {
+            name: "G2G",
+            dangling_code: DiagnosticCode::DanglingGroupInG2g,
+            from_bound: Some(num_groups),
+            to_bound: Some(num_groups),
+            from_kind: "group",
+            to_kind: "group",
+        },
+        MatrixSpec {
+            name: "G2A",
+            dangling_code: DiagnosticCode::DanglingIdInG2a,
+            from_bound: Some(num_groups),
+            to_bound: Some(num_actuators),
+            from_kind: "group",
+            to_kind: "actuator",
+        },
+        MatrixSpec {
+            name: "A2G",
+            dangling_code: DiagnosticCode::DanglingIdInA2g,
+            from_bound: Some(num_actuators),
+            to_bound: Some(num_groups),
+            from_kind: "actuator",
+            to_kind: "group",
+        },
+    ];
+    for (spec, counts) in specs.iter().zip([
+        model.transitions().g2g(),
+        model.transitions().g2a(),
+        model.transitions().a2g(),
+    ]) {
+        check_matrix(spec, counts, out);
+    }
+}
+
+fn check_matrix(spec: &MatrixSpec, counts: &TransitionCounts, out: &mut Vec<Diagnostic>) {
+    let mut entry_sums: HashMap<u32, u64> = HashMap::new();
+    for (from, to, count) in counts.entries() {
+        if count == 0 {
+            out.push(Diagnostic::new(
+                DiagnosticCode::RowNotStochastic,
+                format!(
+                    "{} entry {from} -> {to} has an explicit zero count; \
+                     zero-probability transitions must be absent, not stored",
+                    spec.name
+                ),
+            ));
+        }
+        *entry_sums.entry(from).or_insert(0) += count;
+        if let Some(bound) = spec.from_bound {
+            if (from as usize) >= bound {
+                out.push(Diagnostic::new(
+                    spec.dangling_code,
+                    format!(
+                        "{} transition {from} -> {to} starts at {} {from}, but \
+                         only {bound} {}s exist",
+                        spec.name, spec.from_kind, spec.from_kind
+                    ),
+                ));
+            }
+        }
+        if let Some(bound) = spec.to_bound {
+            if (to as usize) >= bound {
+                out.push(Diagnostic::new(
+                    spec.dangling_code,
+                    format!(
+                        "{} transition {from} -> {to} targets {} {to}, but \
+                         only {bound} {}s exist",
+                        spec.name, spec.to_kind, spec.to_kind
+                    ),
+                ));
+            }
+        }
+    }
+    // Row-stochasticity (the probabilities of each observed row must sum to
+    // one): with counts stored sparsely this is exactly "stored row total ==
+    // sum of the row's entries", checked both as integers and as the derived
+    // probability sum so the epsilon contract is explicit.
+    for (from, total) in counts.row_totals() {
+        let entry_sum = entry_sums.remove(&from).unwrap_or(0);
+        if total == 0 || entry_sum != total {
+            out.push(Diagnostic::new(
+                DiagnosticCode::RowNotStochastic,
+                format!(
+                    "{} row {from}: stored total {total} but entries sum to \
+                     {entry_sum}; row probabilities sum to {:.6} instead of 1",
+                    spec.name,
+                    if total == 0 {
+                        f64::NAN
+                    } else {
+                        entry_sum as f64 / total as f64
+                    }
+                ),
+            ));
+            continue;
+        }
+        let prob_sum = entry_sum as f64 / total as f64;
+        if (prob_sum - 1.0).abs() > ROW_SUM_EPSILON {
+            out.push(Diagnostic::new(
+                DiagnosticCode::RowNotStochastic,
+                format!(
+                    "{} row {from}: probabilities sum to {prob_sum} \
+                     (epsilon {ROW_SUM_EPSILON})",
+                    spec.name
+                ),
+            ));
+        }
+    }
+    // Rows that have entries but no stored total.
+    for (from, entry_sum) in entry_sums {
+        out.push(Diagnostic::new(
+            DiagnosticCode::RowNotStochastic,
+            format!(
+                "{} row {from}: entries sum to {entry_sum} but the row has no \
+                 stored total; its probabilities are undefined",
+                spec.name
+            ),
+        ));
+    }
+}
+
+fn check_groups(model: &DiceModel, out: &mut Vec<Diagnostic>) {
+    let groups = model.groups();
+    let layout_bits = model.layout().num_bits();
+    if groups.num_bits() != layout_bits {
+        out.push(Diagnostic::new(
+            DiagnosticCode::GroupWidthMismatch,
+            format!(
+                "group table is declared for {} bits but the bit layout has \
+                 {layout_bits}",
+                groups.num_bits()
+            ),
+        ));
+    }
+    let mut seen: HashMap<&crate::bitset::BitSet, u32> = HashMap::new();
+    for (id, state, count) in groups.entries() {
+        if state.len() != groups.num_bits() {
+            out.push(Diagnostic::new(
+                DiagnosticCode::GroupWidthMismatch,
+                format!(
+                    "group {} holds a {}-bit state set in a {}-bit table",
+                    id.index(),
+                    state.len(),
+                    groups.num_bits()
+                ),
+            ));
+        }
+        if count == 0 {
+            out.push(Diagnostic::new(
+                DiagnosticCode::ZeroGroupCount,
+                format!(
+                    "group {} was never observed; a group exists only because \
+                     some training window produced its state set",
+                    id.index()
+                ),
+            ));
+        }
+        if let Some(first) = seen.insert(state, id.index() as u32) {
+            out.push(Diagnostic::new(
+                DiagnosticCode::DuplicateGroupState,
+                format!(
+                    "groups {first} and {} share the same state set; group ids \
+                     would be ambiguous for that context",
+                    id.index()
+                ),
+            ));
+        }
+    }
+    if groups.is_empty() {
+        out.push(Diagnostic::new(
+            DiagnosticCode::EmptyModel,
+            "the model has no groups; every live window will raise a \
+             correlation violation",
+        ));
+    }
+}
+
+fn check_thresholds(model: &DiceModel, out: &mut Vec<Diagnostic>) {
+    let layout = model.layout();
+    let thresholds = model.binarizer().thresholds();
+    if thresholds.len() != layout.num_sensors() {
+        out.push(Diagnostic::new(
+            DiagnosticCode::ThresholdTableLengthMismatch,
+            format!(
+                "threshold table covers {} sensors but the layout has {}",
+                thresholds.len(),
+                layout.num_sensors()
+            ),
+        ));
+        return; // per-sensor pairing below would misattribute findings
+    }
+    for (sensor, span) in layout.spans() {
+        let value = thresholds.values()[sensor.index()];
+        match (span.width, value) {
+            (_, Some(v)) if !v.is_finite() => {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::NonFiniteThreshold,
+                    format!(
+                        "sensor {}: valueThre is {v}; the Eq. 3.4 level bit \
+                         comparison is undefined",
+                        sensor.index()
+                    ),
+                ));
+            }
+            (1, Some(v)) => {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::ThresholdOnBinarySensor,
+                    format!(
+                        "sensor {}: binary sensor carries a trained threshold \
+                         ({v}); it has no level bit to apply it to",
+                        sensor.index()
+                    ),
+                ));
+            }
+            (w, None) if w > 1 => {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::UntrainedNumericThreshold,
+                    format!(
+                        "sensor {}: numeric sensor has no trained valueThre \
+                         (no training samples); its level bit is always 0",
+                        sensor.index()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_counts(model: &DiceModel, out: &mut Vec<Diagnostic>) {
+    let observed = model.groups().total_observations();
+    if observed != model.training_windows() {
+        out.push(Diagnostic::new(
+            DiagnosticCode::TrainingWindowMismatch,
+            format!(
+                "group observation counts sum to {observed} but the model \
+                 records {} training windows; every window maps to exactly \
+                 one group",
+                model.training_windows()
+            ),
+        ));
+    }
+}
+
+/// The worst severity present, if any finding exists.
+pub fn max_severity(diagnostics: &[Diagnostic]) -> Option<Severity> {
+    diagnostics.iter().map(Diagnostic::severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binarize::{Binarizer, Thresholds};
+    use crate::bitset::BitSet;
+    use crate::groups::GroupTable;
+    use crate::layout::BitLayout;
+    use crate::transition::TransitionModel;
+    use dice_types::TimeDelta;
+
+    fn model_with(
+        groups: GroupTable,
+        transitions: TransitionModel,
+        thresholds: Vec<Option<f64>>,
+        widths: &[usize],
+        num_actuators: usize,
+        training_windows: u64,
+    ) -> DiceModel {
+        let layout = BitLayout::from_widths(widths);
+        let binarizer = Binarizer::new(layout, Thresholds::from_values(thresholds));
+        DiceModel::from_parts(
+            DiceConfig::default(),
+            binarizer,
+            groups,
+            transitions,
+            num_actuators,
+            training_windows,
+        )
+    }
+
+    fn clean_model() -> DiceModel {
+        let mut groups = GroupTable::new(2);
+        groups.observe(&BitSet::from_indices(2, [0]));
+        groups.observe(&BitSet::from_indices(2, [1]));
+        groups.observe(&BitSet::from_indices(2, [0]));
+        let mut transitions = TransitionModel::new();
+        transitions.record_g2g(dice_types::GroupId::new(0), dice_types::GroupId::new(1));
+        transitions.record_g2g(dice_types::GroupId::new(1), dice_types::GroupId::new(0));
+        model_with(groups, transitions, vec![None, None], &[1, 1], 0, 3)
+    }
+
+    #[test]
+    fn clean_model_has_no_findings() {
+        assert!(check_model(&clean_model()).is_empty());
+    }
+
+    #[test]
+    fn dangling_g2g_target_is_flagged() {
+        let mut model = clean_model();
+        model.transitions_mut().g2g_mut().record(0, 7); // group 7 does not exist
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::DanglingGroupInG2g));
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn inconsistent_row_total_is_flagged() {
+        let mut model = clean_model();
+        *model.transitions_mut().g2g_mut() = TransitionCounts::from_raw_parts(
+            vec![(0, 1, 2)],
+            vec![(0, 5)], // claims 5 outgoing, entries sum to 2
+        );
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::RowNotStochastic));
+    }
+
+    #[test]
+    fn missing_row_total_is_flagged() {
+        let mut model = clean_model();
+        *model.transitions_mut().g2g_mut() =
+            TransitionCounts::from_raw_parts(vec![(0, 1, 2)], vec![]);
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::RowNotStochastic));
+    }
+
+    #[test]
+    fn nan_threshold_is_flagged() {
+        let mut groups = GroupTable::new(4);
+        groups.observe(&BitSet::from_indices(4, [0]));
+        let model = model_with(
+            groups,
+            TransitionModel::new(),
+            vec![None, Some(f64::NAN)],
+            &[1, 3],
+            0,
+            1,
+        );
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::NonFiniteThreshold));
+    }
+
+    #[test]
+    fn untrained_numeric_threshold_is_only_info() {
+        let mut groups = GroupTable::new(4);
+        groups.observe(&BitSet::from_indices(4, [0]));
+        let model = model_with(
+            groups,
+            TransitionModel::new(),
+            vec![None, None],
+            &[1, 3],
+            0,
+            1,
+        );
+        let diags = check_model(&model);
+        assert_eq!(max_severity(&diags), Some(Severity::Info));
+    }
+
+    #[test]
+    fn duplicate_group_state_is_flagged() {
+        let mut groups = GroupTable::new(2);
+        groups.observe(&BitSet::from_indices(2, [0]));
+        groups.insert_unchecked(BitSet::from_indices(2, [0]), 1);
+        let model = model_with(
+            groups,
+            TransitionModel::new(),
+            vec![None, None],
+            &[1, 1],
+            0,
+            2,
+        );
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::DuplicateGroupState));
+    }
+
+    #[test]
+    fn widened_group_state_is_flagged() {
+        let mut groups = GroupTable::new(2);
+        groups.observe(&BitSet::from_indices(2, [0]));
+        groups.insert_unchecked(BitSet::from_indices(5, [4]), 1);
+        let model = model_with(
+            groups,
+            TransitionModel::new(),
+            vec![None, None],
+            &[1, 1],
+            0,
+            2,
+        );
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::GroupWidthMismatch));
+    }
+
+    #[test]
+    fn training_window_mismatch_is_flagged() {
+        let mut groups = GroupTable::new(1);
+        groups.observe(&BitSet::from_indices(1, [0]));
+        let model = model_with(groups, TransitionModel::new(), vec![None], &[1], 0, 99);
+        let diags = check_model(&model);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::TrainingWindowMismatch));
+    }
+
+    #[test]
+    fn config_checks_flag_degenerate_settings() {
+        let config = DiceConfig::builder()
+            .window(TimeDelta::from_mins(1))
+            .candidate_distance(0)
+            .min_row_support(0)
+            .confirmation_violations(5)
+            .confirmation_horizon_windows(2)
+            .build();
+        let codes: Vec<DiagnosticCode> =
+            check_config(&config).iter().map(Diagnostic::code).collect();
+        assert!(codes.contains(&DiagnosticCode::ZeroCandidateDistance));
+        assert!(codes.contains(&DiagnosticCode::ZeroRowSupport));
+        assert!(codes.contains(&DiagnosticCode::ConfirmationHorizonTooShort));
+        assert!(!has_errors(&check_config(&config)));
+    }
+
+    #[test]
+    fn default_config_is_clean() {
+        assert!(check_config(&DiceConfig::default()).is_empty());
+    }
+}

@@ -156,6 +156,20 @@ impl BitLayout {
         self.spans[sensor.index()]
     }
 
+    /// Iterates over every sensor's span in sensor-id order.
+    pub fn spans(&self) -> impl Iterator<Item = (SensorId, BitSpan)> + '_ {
+        self.spans
+            .iter()
+            .enumerate()
+            .map(|(i, &span)| (SensorId::new(i as u32), span))
+    }
+
+    /// Total number of bits in a state set (alias of
+    /// [`BitLayout::num_bits`], named for symmetry with analyzer code).
+    pub fn total_bits(&self) -> usize {
+        self.num_bits()
+    }
+
     /// The sensor owning `bit`.
     ///
     /// # Panics

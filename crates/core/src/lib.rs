@@ -63,11 +63,13 @@ mod binarize;
 mod bitset;
 mod config;
 mod detect;
+mod diag;
 mod engine;
 mod error;
 mod extract;
 mod groups;
 mod identify;
+pub mod invariants;
 mod layout;
 mod model;
 mod model_io;
@@ -81,6 +83,7 @@ pub use binarize::{Binarizer, ThresholdTrainer, Thresholds, WindowObservation};
 pub use bitset::BitSet;
 pub use config::{DiceConfig, DiceConfigBuilder};
 pub use detect::{CheckKind, CheckResult, Detector, PrevWindow, TransitionCase};
+pub use diag::{has_errors, Diagnostic, DiagnosticCode, Severity};
 pub use engine::{CostProfile, DiceEngine, EngineOptions, FaultReport};
 pub use error::DiceError;
 pub use extract::{ContextExtractor, ModelBuilder};
@@ -88,7 +91,7 @@ pub use groups::{Candidate, GroupTable};
 pub use identify::{Identifier, IntersectionTracker, ProbableSet};
 pub use layout::{BitLayout, BitRole, BitSpan, NUMERIC_SPAN_WIDTH};
 pub use model::DiceModel;
-pub use model_io::{read_model, write_model, ModelIoError};
+pub use model_io::{read_model, read_model_unverified, write_model, ModelIoError};
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
 pub use stats::{RunningMean, WindowStats};
 pub use transition::{TransitionCounts, TransitionModel};

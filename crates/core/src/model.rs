@@ -74,6 +74,31 @@ impl DiceModel {
         &self.transitions
     }
 
+    /// Mutable access to the transition matrices **without** revalidation.
+    ///
+    /// This exists so verifier tests can seed invariant violations into an
+    /// otherwise-valid model. Production code never mutates a trained model
+    /// in place; resume training through
+    /// [`ModelBuilder::resume`](crate::ModelBuilder::resume) instead.
+    #[doc(hidden)]
+    pub fn transitions_mut(&mut self) -> &mut TransitionModel {
+        &mut self.transitions
+    }
+
+    /// Mutable access to the group table **without** revalidation; see
+    /// [`DiceModel::transitions_mut`].
+    #[doc(hidden)]
+    pub fn groups_mut(&mut self) -> &mut GroupTable {
+        &mut self.groups
+    }
+
+    /// Mutable access to the recorded training-window count **without**
+    /// revalidation; see [`DiceModel::transitions_mut`].
+    #[doc(hidden)]
+    pub fn training_windows_mut(&mut self) -> &mut u64 {
+        &mut self.training_windows
+    }
+
     /// Number of actuators in the deployment.
     pub fn num_actuators(&self) -> usize {
         self.num_actuators

@@ -37,7 +37,9 @@ use dice_types::TimeDelta;
 use crate::binarize::{Binarizer, Thresholds};
 use crate::bitset::BitSet;
 use crate::config::DiceConfig;
+use crate::diag::Diagnostic;
 use crate::groups::GroupTable;
+use crate::invariants;
 use crate::layout::{BitLayout, NUMERIC_SPAN_WIDTH};
 use crate::model::DiceModel;
 use crate::transition::{TransitionCounts, TransitionModel};
@@ -57,6 +59,9 @@ pub enum ModelIoError {
     UnsupportedVersion(u16),
     /// A structural inconsistency in the encoded data.
     Corrupt(&'static str),
+    /// The data decoded, but the model violates a verified invariant; the
+    /// findings carry the stable `DVnnn` codes.
+    Invalid(Vec<Diagnostic>),
 }
 
 impl fmt::Display for ModelIoError {
@@ -66,6 +71,17 @@ impl fmt::Display for ModelIoError {
             ModelIoError::BadMagic => write!(f, "not a DICE model file"),
             ModelIoError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
             ModelIoError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+            ModelIoError::Invalid(diags) => {
+                let errors: Vec<&Diagnostic> = diags
+                    .iter()
+                    .filter(|d| d.severity() == crate::diag::Severity::Error)
+                    .collect();
+                write!(f, "model violates {} invariant(s):", errors.len())?;
+                for d in errors {
+                    write!(f, " [{}]", d.code())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -271,15 +287,44 @@ pub fn write_model<W: Write>(model: &DiceModel, mut writer: W) -> Result<(), Mod
     Ok(())
 }
 
-/// Reads a model previously written by [`write_model`].
+/// Reads a model previously written by [`write_model`], verifying its
+/// structural invariants.
+///
+/// After decoding, the [`crate::invariants`] checks run over the assembled
+/// model; any [`Severity::Error`](crate::Severity::Error) finding rejects it
+/// with [`ModelIoError::Invalid`]. A gateway that must load a damaged model
+/// anyway (e.g. for offline inspection) can opt out with
+/// [`read_model_unverified`].
 ///
 /// A `&mut` reference can be passed as the reader.
 ///
 /// # Errors
 ///
 /// Returns [`ModelIoError::BadMagic`] / [`ModelIoError::UnsupportedVersion`]
-/// for foreign data and [`ModelIoError::Corrupt`] for structural damage.
-pub fn read_model<R: Read>(mut reader: R) -> Result<DiceModel, ModelIoError> {
+/// for foreign data, [`ModelIoError::Corrupt`] for structural damage the
+/// decoder itself catches, and [`ModelIoError::Invalid`] for decodable data
+/// that violates a model invariant.
+pub fn read_model<R: Read>(reader: R) -> Result<DiceModel, ModelIoError> {
+    let model = read_model_unverified(reader)?;
+    let mut diags = invariants::check_model(&model);
+    diags.extend(invariants::check_config(model.config()));
+    if invariants::has_errors(&diags) {
+        return Err(ModelIoError::Invalid(diags));
+    }
+    Ok(model)
+}
+
+/// Reads a model **without** running the invariant checks of [`read_model`].
+///
+/// Intended for tooling (`dice-lint` uses it to report *all* findings rather
+/// than stopping at the first rejection); production loading should go
+/// through [`read_model`].
+///
+/// # Errors
+///
+/// Returns the same decode-level errors as [`read_model`], but never
+/// [`ModelIoError::Invalid`].
+pub fn read_model_unverified<R: Read>(mut reader: R) -> Result<DiceModel, ModelIoError> {
     let r = &mut reader;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -473,6 +518,28 @@ mod tests {
             structured_failure,
             "no corruption was detected structurally"
         );
+    }
+
+    #[test]
+    fn invalid_model_is_rejected_by_default() {
+        let model = sample_model();
+        let mut buffer = Vec::new();
+        write_model(&model, &mut buffer).unwrap();
+        // The trailing u64 is training_windows; claiming a wrong count breaks
+        // the DV150 cross-invariant while still decoding cleanly.
+        let n = buffer.len();
+        buffer[n - 8..].copy_from_slice(&999_999u64.to_le_bytes());
+        match read_model(buffer.as_slice()).unwrap_err() {
+            ModelIoError::Invalid(diags) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code() == crate::DiagnosticCode::TrainingWindowMismatch));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // The unverified loader still hands the model over for inspection.
+        let loaded = read_model_unverified(buffer.as_slice()).unwrap();
+        assert_eq!(loaded.training_windows(), 999_999);
     }
 
     #[test]

@@ -122,7 +122,7 @@ impl Partition {
                 let sensors: Vec<SensorId> = registry
                     .sensors()
                     .filter(|s| s.room() == room)
-                    .map(|s| s.id())
+                    .map(dice_types::SensorSpec::id)
                     .collect();
                 if sensors.is_empty() {
                     return None;
@@ -130,7 +130,7 @@ impl Partition {
                 let actuators: Vec<ActuatorId> = registry
                     .actuators()
                     .filter(|a| a.room() == room)
-                    .map(|a| a.id())
+                    .map(dice_types::ActuatorSpec::id)
                     .collect();
                 Some(Partition::new(
                     room.to_string(),

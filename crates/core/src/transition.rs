@@ -36,6 +36,10 @@ impl TransitionCounts {
     pub fn record(&mut self, from: u32, to: u32) {
         *self.counts.entry((from, to)).or_insert(0) += 1;
         *self.row_totals.entry(from).or_insert(0) += 1;
+        debug_assert!(
+            self.counts[&(from, to)] <= self.row_totals[&from],
+            "cell count exceeds its row total"
+        );
     }
 
     /// The raw count of `from -> to`.
@@ -93,6 +97,31 @@ impl TransitionCounts {
         }
         *self.counts.entry((from, to)).or_insert(0) += n;
         *self.row_totals.entry(from).or_insert(0) += n;
+        debug_assert!(
+            self.counts[&(from, to)] <= self.row_totals[&from],
+            "cell count exceeds its row total"
+        );
+    }
+
+    /// Iterates over `(from, row_total)` pairs in ascending row order.
+    pub fn row_totals(&self) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self.row_totals.iter().map(|(&f, &n)| (f, n)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Assembles a matrix from raw entries and row totals **without**
+    /// validating that the totals match the entries.
+    ///
+    /// This exists so verifier tests can construct matrices that violate the
+    /// row-stochasticity invariant; every supported loading path recomputes
+    /// totals instead. Never feed the result to a live engine.
+    #[doc(hidden)]
+    pub fn from_raw_parts(entries: Vec<(u32, u32, u64)>, row_totals: Vec<(u32, u64)>) -> Self {
+        TransitionCounts {
+            counts: entries.into_iter().map(|(f, t, n)| ((f, t), n)).collect(),
+            row_totals: row_totals.into_iter().collect(),
+        }
     }
 
     /// Number of distinct `(from, to)` pairs observed.

@@ -80,7 +80,7 @@ pub fn write_csv<W: Write>(log: &mut EventLog, mut writer: W) -> Result<(), CsvE
                     u8::from(b)
                 )?,
                 SensorValue::Numeric(v) => {
-                    writeln!(writer, "{},N,{},{v}", r.at.as_secs(), r.sensor.index())?
+                    writeln!(writer, "{},N,{},{v}", r.at.as_secs(), r.sensor.index())?;
                 }
             },
             Event::Actuator(a) => writeln!(

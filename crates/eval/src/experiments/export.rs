@@ -22,7 +22,7 @@ pub fn export_csv(dataset: &str, hours: i64, path: &str, seed: u64) -> Result<St
     if hours <= 0 || hours > id.hours() {
         return Err(format!("hours must be in 1..={}", id.hours()));
     }
-    let sim = Simulator::new(id.scenario(seed)).map_err(|e| e.to_string())?;
+    let sim = Simulator::new(id.scenario(seed))?;
     let mut log = sim.log_between(Timestamp::ZERO, Timestamp::from_hours(hours));
     let events = log.len();
     let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;

@@ -54,11 +54,11 @@ pub fn table_5_1(full: &FullEvaluation) -> String {
             let corr = e
                 .detect_latency_by_check
                 .get("correlation")
-                .and_then(|s| s.mean());
+                .and_then(crate::metrics::LatencyStats::mean);
             let trans = e
                 .detect_latency_by_check
                 .get("transition")
-                .and_then(|s| s.mean());
+                .and_then(crate::metrics::LatencyStats::mean);
             rows.push(vec![name.to_string(), fmt_mins(corr), fmt_mins(trans)]);
         }
     }

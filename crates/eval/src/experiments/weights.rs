@@ -37,7 +37,7 @@ pub fn weights(trials: u64, seed: u64) -> String {
     let critical: Vec<_> = registry
         .sensors()
         .filter(|s| matches!(s.kind(), SensorKind::Gas | SensorKind::Flame))
-        .map(|s| s.id())
+        .map(dice_types::SensorSpec::id)
         .collect();
     let mut device_weights = DeviceWeights::new();
     for &sensor in &critical {

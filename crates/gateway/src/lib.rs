@@ -16,9 +16,11 @@
 #![warn(missing_docs)]
 
 mod aggregator;
+mod boot;
 mod gateway;
 mod message;
 
 pub use aggregator::{partition_by_device, spawn_aggregator};
+pub use boot::{load_model, BootError, BootOptions};
 pub use gateway::{Alarm, GatewayStats, HomeGateway};
 pub use message::{decode_event, encode_event, FrameError};

@@ -135,7 +135,7 @@ mod tests {
                 assert_eq!(p.first(), Some(&a));
                 assert_eq!(p.last(), Some(&b));
                 for pair in p.windows(2) {
-                    assert!(adjacent(pair[0], pair[1]), "{:?} not adjacent", pair);
+                    assert!(adjacent(pair[0], pair[1]), "{pair:?} not adjacent");
                 }
             }
         }

@@ -431,7 +431,10 @@ mod tests {
     #[test]
     fn ids_are_dense_and_ordered() {
         let reg = registry();
-        let ids: Vec<usize> = reg.sensor_ids().map(|s| s.index()).collect();
+        let ids: Vec<usize> = reg
+            .sensor_ids()
+            .map(super::super::ids::SensorId::index)
+            .collect();
         assert_eq!(ids, vec![0, 1, 2]);
         assert_eq!(reg.actuator_ids().count(), 1);
     }

@@ -1,0 +1,78 @@
+//! `dice-lint`: static analysis of serialized DICE model files.
+//!
+//! ```text
+//! usage: dice-lint [--errors-only] <model-file>...
+//! ```
+//!
+//! Every finding prints as `file: severity: [DVnnn] message`. Exit status:
+//! `0` when no file has an error-level finding (warnings and infos are
+//! advisory), `1` when at least one does, `2` for usage or filesystem
+//! problems.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dice_verify::{verify_reader, Severity};
+
+fn main() -> ExitCode {
+    let mut errors_only = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--errors-only" => errors_only = true,
+            "-h" | "--help" => {
+                println!("usage: dice-lint [--errors-only] <model-file>...");
+                println!();
+                println!("Statically verifies serialized DICE models and prints");
+                println!("one `file: severity: [DVnnn] message` line per finding.");
+                println!("Exits 1 if any error-level finding exists, 2 on usage");
+                println!("or filesystem problems, 0 otherwise.");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("dice-lint: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: dice-lint [--errors-only] <model-file>...");
+        return ExitCode::from(2);
+    }
+
+    let mut total_errors = 0usize;
+    let mut total_findings = 0usize;
+    for path in &paths {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dice-lint: cannot open {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let findings = verify_reader(BufReader::new(file));
+        for finding in &findings {
+            if errors_only && finding.severity() != Severity::Error {
+                continue;
+            }
+            println!("{path}: {finding}");
+        }
+        total_findings += findings.len();
+        total_errors += findings
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+    }
+
+    eprintln!(
+        "dice-lint: {} file(s), {total_findings} finding(s), {total_errors} error(s)",
+        paths.len()
+    );
+    if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,77 @@
+//! Property: every model the public [`ModelBuilder`] API can produce passes
+//! verification with zero error-level findings. Together with the corruption
+//! matrix this brackets the analyzer: it accepts everything the builder
+//! emits and rejects every seeded violation.
+
+use dice_core::{DiceConfig, ModelBuilder, ThresholdTrainer};
+use dice_types::{
+    ActuatorEvent, ActuatorKind, DeviceRegistry, Event, Room, SensorKind, SensorReading, Timestamp,
+};
+use dice_verify::{has_errors, render_report, verify_model};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn builder_models_verify_clean(
+        num_binary in 1usize..4,
+        num_numeric in 0usize..3,
+        num_actuators in 0usize..3,
+        windows in proptest::collection::vec(any::<u64>(), 1..60),
+    ) {
+        let mut reg = DeviceRegistry::new();
+        let binaries: Vec<_> = (0..num_binary)
+            .map(|i| reg.add_sensor(SensorKind::Motion, format!("m{i}"), Room::Kitchen))
+            .collect();
+        let numerics: Vec<_> = (0..num_numeric)
+            .map(|i| reg.add_sensor(SensorKind::Temperature, format!("t{i}"), Room::Bedroom))
+            .collect();
+        let actuators: Vec<_> = (0..num_actuators)
+            .map(|i| reg.add_actuator(ActuatorKind::SmartBulb, format!("a{i}"), Room::Kitchen))
+            .collect();
+
+        let mut trainer = ThresholdTrainer::new(&reg);
+        for (i, &t) in numerics.iter().enumerate() {
+            for sample in 0..5 {
+                trainer.observe(&Event::from(SensorReading::new(
+                    t,
+                    Timestamp::from_secs(sample),
+                    (15.0 + (i + sample as usize) as f64).into(),
+                )));
+            }
+        }
+
+        let mut builder =
+            ModelBuilder::new(DiceConfig::default(), &reg, trainer.finish()).unwrap();
+        for (minute, &mask) in windows.iter().enumerate() {
+            let start = Timestamp::from_mins(minute as i64);
+            let end = Timestamp::from_mins(minute as i64 + 1);
+            let mut events: Vec<Event> = Vec::new();
+            for (j, &s) in binaries.iter().enumerate() {
+                if mask >> j & 1 == 1 {
+                    events.push(SensorReading::new(s, start, true.into()).into());
+                }
+            }
+            for (k, &t) in numerics.iter().enumerate() {
+                // Skip some windows entirely so untrained/silent spans occur.
+                if mask >> (8 + k) & 0b11 != 0 {
+                    let v = (mask >> (16 + 4 * k) & 0xFF) as f64 / 8.0;
+                    events.push(SensorReading::new(t, start, v.into()).into());
+                }
+            }
+            for (l, &a) in actuators.iter().enumerate() {
+                if mask >> (32 + l) & 1 == 1 {
+                    events.push(ActuatorEvent::new(a, start, true).into());
+                }
+            }
+            builder.observe_window(start, end, &events);
+        }
+        let model = builder.finish().unwrap();
+
+        let findings = verify_model(&model);
+        prop_assert!(
+            !has_errors(&findings),
+            "builder-produced model failed verification:\n{}",
+            render_report(&findings)
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end runs of the `dice-lint` binary: a clean model file exits 0,
+//! and every seeded corruption — byte-level or semantic — exits non-zero
+//! with the matching finding on stdout.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use dice_core::{
+    write_model, Binarizer, DiceConfig, DiceModel, ModelBuilder, ThresholdTrainer, Thresholds,
+};
+use dice_types::{
+    ActuatorEvent, ActuatorKind, DeviceRegistry, Event, Room, SensorKind, SensorReading, Timestamp,
+};
+
+fn trained_model() -> DiceModel {
+    let mut reg = DeviceRegistry::new();
+    let m = reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+    let t = reg.add_sensor(SensorKind::Temperature, "t", Room::Kitchen);
+    let b = reg.add_actuator(ActuatorKind::SmartBulb, "hue", Room::Kitchen);
+    let mut trainer = ThresholdTrainer::new(&reg);
+    for i in 0..60 {
+        trainer.observe(&Event::from(SensorReading::new(
+            t,
+            Timestamp::from_secs(i),
+            (20.0 + (i % 7) as f64).into(),
+        )));
+    }
+    let mut builder = ModelBuilder::new(DiceConfig::default(), &reg, trainer.finish()).unwrap();
+    for minute in 0..90 {
+        let start = Timestamp::from_mins(minute);
+        let end = Timestamp::from_mins(minute + 1);
+        let mut events: Vec<Event> = Vec::new();
+        if minute % 3 == 0 {
+            events.push(SensorReading::new(m, start, true.into()).into());
+        }
+        if minute % 5 == 0 {
+            events.push(ActuatorEvent::new(b, start, true).into());
+        }
+        events.push(SensorReading::new(t, start, (17.0 + (minute % 9) as f64).into()).into());
+        builder.observe_window(start, end, &events);
+    }
+    builder.finish().unwrap()
+}
+
+fn model_bytes(model: &DiceModel) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    write_model(model, &mut buffer).unwrap();
+    buffer
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dice-lint-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str, bytes: &[u8]) -> PathBuf {
+        let path = self.0.join(name);
+        fs::write(&path, bytes).unwrap();
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_lint(path: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dice-lint"))
+        .arg(path)
+        .output()
+        .expect("dice-lint binary runs")
+}
+
+#[test]
+fn clean_model_exits_zero() {
+    let dir = TempDir::new("clean");
+    let path = dir.file("model.dice", &model_bytes(&trained_model()));
+    let out = run_lint(&path);
+    assert!(
+        out.status.success(),
+        "clean model must lint clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn each_seeded_corruption_exits_nonzero() {
+    let model = trained_model();
+    let clean = model_bytes(&model);
+
+    // Semantic corruptions built through the model API and re-serialized.
+    let dangling_bytes = {
+        let mut m = trained_model();
+        m.transitions_mut().g2g_mut().record(0, 9_999);
+        model_bytes(&m)
+    };
+    let drift_bytes = {
+        let mut bytes = clean.clone();
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&123_456u64.to_le_bytes()); // training_windows
+        bytes
+    };
+    let nan_bytes = {
+        let mut values = model.binarizer().thresholds().values().to_vec();
+        let numeric = values
+            .iter()
+            .position(Option::is_some)
+            .expect("model trains a numeric threshold");
+        values[numeric] = Some(f64::NAN);
+        let poisoned = DiceModel::from_parts(
+            model.config().clone(),
+            Binarizer::new(model.layout().clone(), Thresholds::from_values(values)),
+            model.groups().clone(),
+            model.transitions().clone(),
+            model.num_actuators(),
+            model.training_windows(),
+        );
+        model_bytes(&poisoned)
+    };
+
+    let mut corruptions: Vec<(&str, Vec<u8>, Option<&str>)> = vec![
+        (
+            "bad-magic",
+            {
+                let mut b = clean.clone();
+                b[..4].copy_from_slice(b"NOPE");
+                b
+            },
+            Some("DV001"),
+        ),
+        (
+            "bad-version",
+            {
+                let mut b = clean.clone();
+                b[4] = 0xFF;
+                b
+            },
+            Some("DV001"),
+        ),
+        (
+            "truncated",
+            clean[..clean.len() / 2].to_vec(),
+            Some("DV001"),
+        ),
+        ("nan-threshold", nan_bytes, Some("DV120")),
+        ("dangling-group", dangling_bytes, Some("DV101")),
+        ("window-drift", drift_bytes, Some("DV150")),
+    ];
+
+    let dir = TempDir::new("corrupt");
+    for (name, bytes, expect_code) in corruptions.drain(..) {
+        let path = dir.file(name, &bytes);
+        let out = run_lint(&path);
+        assert!(
+            !out.status.success(),
+            "corruption {name} must fail the lint"
+        );
+        if let Some(code) = expect_code {
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                stdout.contains(code),
+                "corruption {name}: expected {code} in output, got:\n{stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dice-lint"))
+        .output()
+        .expect("dice-lint binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let missing = Command::new(env!("CARGO_BIN_EXE_dice-lint"))
+        .arg("/nonexistent/model.dice")
+        .output()
+        .expect("dice-lint binary runs");
+    assert_eq!(missing.status.code(), Some(2));
+}

@@ -1,0 +1,180 @@
+//! The corruption matrix: every verified invariant gets exactly one seeded
+//! violation, and the analyzer must answer with the matching diagnostic
+//! code. This pins the code-to-invariant mapping — a refactor that silently
+//! stops detecting one corruption class fails here, not in production.
+
+use dice_core::{
+    read_model, read_model_unverified, write_model, Binarizer, BitSet, DiceConfig, DiceModel,
+    GroupTable, ModelBuilder, ModelIoError, ThresholdTrainer, Thresholds, TransitionCounts,
+};
+use dice_types::{
+    ActuatorEvent, ActuatorKind, DeviceRegistry, Event, Room, SensorKind, SensorReading, Timestamp,
+};
+use dice_verify::{has_errors, verify_model, DiagnosticCode};
+
+/// A trained model with binary + numeric sensors and an actuator, so every
+/// section of the model is populated.
+fn trained_model() -> DiceModel {
+    let mut reg = DeviceRegistry::new();
+    let m = reg.add_sensor(SensorKind::Motion, "m", Room::Kitchen);
+    let t = reg.add_sensor(SensorKind::Temperature, "t", Room::Kitchen);
+    let b = reg.add_actuator(ActuatorKind::SmartBulb, "hue", Room::Kitchen);
+    let mut trainer = ThresholdTrainer::new(&reg);
+    for i in 0..60 {
+        trainer.observe(&Event::from(SensorReading::new(
+            t,
+            Timestamp::from_secs(i),
+            (20.0 + (i % 7) as f64).into(),
+        )));
+    }
+    let mut builder = ModelBuilder::new(DiceConfig::default(), &reg, trainer.finish()).unwrap();
+    for minute in 0..120 {
+        let start = Timestamp::from_mins(minute);
+        let end = Timestamp::from_mins(minute + 1);
+        let mut events: Vec<Event> = Vec::new();
+        if minute % 3 == 0 {
+            events.push(SensorReading::new(m, start, true.into()).into());
+        }
+        if minute % 5 == 0 {
+            events.push(ActuatorEvent::new(b, start, true).into());
+        }
+        events.push(SensorReading::new(t, start, (17.0 + (minute % 9) as f64).into()).into());
+        builder.observe_window(start, end, &events);
+    }
+    builder.finish().unwrap()
+}
+
+fn codes(model: &DiceModel) -> Vec<DiagnosticCode> {
+    verify_model(model)
+        .iter()
+        .map(dice_core::Diagnostic::code)
+        .collect()
+}
+
+#[test]
+fn fresh_model_has_no_error_findings() {
+    let model = trained_model();
+    let findings = verify_model(&model);
+    assert!(
+        !has_errors(&findings),
+        "fresh ModelBuilder output must verify clean, got:\n{}",
+        dice_verify::render_report(&findings)
+    );
+}
+
+#[test]
+fn dropping_a_group_yields_dangling_transition() {
+    let mut model = trained_model();
+    let kept = model.groups().len() - 1;
+    let num_bits = model.groups().num_bits();
+    let mut smaller = GroupTable::new(num_bits);
+    for (id, state, count) in model.groups().entries() {
+        if id.index() < kept {
+            smaller.insert_with_count(state.clone(), count);
+        }
+    }
+    *model.groups_mut() = smaller;
+    assert!(
+        codes(&model).contains(&DiagnosticCode::DanglingGroupInG2g),
+        "transitions into the dropped group must dangle"
+    );
+}
+
+#[test]
+fn zeroing_a_row_total_breaks_stochasticity() {
+    let mut model = trained_model();
+    let g2g = model.transitions().g2g();
+    let entries = g2g.entries();
+    let mut row_totals = g2g.row_totals();
+    row_totals[0].1 = 0; // the row's entries still sum to a positive count
+    *model.transitions_mut().g2g_mut() = TransitionCounts::from_raw_parts(entries, row_totals);
+    assert!(codes(&model).contains(&DiagnosticCode::RowNotStochastic));
+}
+
+#[test]
+fn widening_a_state_set_breaks_the_layout() {
+    let mut model = trained_model();
+    let num_bits = model.groups().num_bits();
+    model
+        .groups_mut()
+        .insert_unchecked(BitSet::from_indices(num_bits + 3, [num_bits + 1]), 1);
+    assert!(codes(&model).contains(&DiagnosticCode::GroupWidthMismatch));
+}
+
+#[test]
+fn nan_threshold_is_detected() {
+    let model = trained_model();
+    let mut values = model.binarizer().thresholds().values().to_vec();
+    let numeric = values
+        .iter()
+        .position(Option::is_some)
+        .expect("model trains a numeric threshold");
+    values[numeric] = Some(f64::NAN);
+    let poisoned = DiceModel::from_parts(
+        model.config().clone(),
+        Binarizer::new(model.layout().clone(), Thresholds::from_values(values)),
+        model.groups().clone(),
+        model.transitions().clone(),
+        model.num_actuators(),
+        model.training_windows(),
+    );
+    assert!(codes(&poisoned).contains(&DiagnosticCode::NonFiniteThreshold));
+}
+
+#[test]
+fn duplicate_group_state_is_detected() {
+    let mut model = trained_model();
+    let first = model.groups().state(dice_types::GroupId::new(0)).clone();
+    model.groups_mut().insert_unchecked(first, 1);
+    assert!(codes(&model).contains(&DiagnosticCode::DuplicateGroupState));
+}
+
+#[test]
+fn zero_observation_count_is_detected() {
+    let mut model = trained_model();
+    let num_bits = model.groups().num_bits();
+    // Find a state set the training data never produced.
+    let unseen = (0u64..(1 << num_bits))
+        .map(|mask| BitSet::from_indices(num_bits, (0..num_bits).filter(|&b| mask >> b & 1 == 1)))
+        .find(|s| model.groups().lookup(s).is_none())
+        .expect("training cannot have covered every state set");
+    model.groups_mut().insert_unchecked(unseen, 0);
+    assert!(codes(&model).contains(&DiagnosticCode::ZeroGroupCount));
+}
+
+#[test]
+fn training_window_drift_is_detected() {
+    let mut model = trained_model();
+    *model.training_windows_mut() += 7;
+    assert!(codes(&model).contains(&DiagnosticCode::TrainingWindowMismatch));
+}
+
+#[test]
+fn dangling_actuator_ids_are_detected() {
+    let mut model = trained_model();
+    let bad_actuator = model.num_actuators() as u32 + 5;
+    model.transitions_mut().g2a_mut().record(0, bad_actuator);
+    assert!(codes(&model).contains(&DiagnosticCode::DanglingIdInG2a));
+
+    let mut model = trained_model();
+    model.transitions_mut().a2g_mut().record(bad_actuator, 0);
+    assert!(codes(&model).contains(&DiagnosticCode::DanglingIdInA2g));
+}
+
+#[test]
+fn read_model_rejects_corrupt_bytes_but_unverified_loads_them() {
+    let mut model = trained_model();
+    model.transitions_mut().g2g_mut().record(0, 9_999); // dangling group
+    let mut buffer = Vec::new();
+    write_model(&model, &mut buffer).unwrap();
+    match read_model(buffer.as_slice()) {
+        Err(ModelIoError::Invalid(diags)) => {
+            assert!(diags
+                .iter()
+                .any(|d| d.code() == DiagnosticCode::DanglingGroupInG2g));
+        }
+        other => panic!("expected Invalid rejection, got {other:?}"),
+    }
+    let inspected = read_model_unverified(buffer.as_slice()).unwrap();
+    assert!(has_errors(&verify_model(&inspected)));
+}

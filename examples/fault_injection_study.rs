@@ -51,7 +51,7 @@ fn main() {
                     devices_summary = report
                         .devices
                         .iter()
-                        .map(|d| d.to_string())
+                        .map(std::string::ToString::to_string)
                         .collect::<Vec<_>>()
                         .join(",");
                 }

@@ -1,0 +1,21 @@
+//! Offline shim for `serde`: marker traits with blanket impls.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types so a real
+//! serde can be dropped in when the build environment has registry access,
+//! but no code path actually serializes through serde (persistence uses the
+//! hand-rolled codec in `dice-core::model_io`). Blanket impls keep every
+//! `T: Serialize` bound satisfied while the derive macros expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

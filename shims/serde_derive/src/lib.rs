@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The sibling `serde` shim provides blanket implementations of its marker
+//! traits, so the derives only need to *accept* the derive position and the
+//! inert `#[serde(...)]` helper attributes; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and inert `#[serde(...)]` attributes) and
+/// expands to nothing; the `serde` shim's blanket impl covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and inert `#[serde(...)]` attributes)
+/// and expands to nothing; the `serde` shim's blanket impl covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -11,20 +11,20 @@ fn quick_cfg() -> RunnerConfig {
     RunnerConfig {
         seed: 11,
         trials: 6,
-        precompute: TimeDelta::from_hours(48),
+        precompute: TimeDelta::from_hours(96),
         segment_len: TimeDelta::from_hours(6),
         dice: DiceConfig::default(),
     }
 }
 
 fn quick_testbed() -> dice_eval::TrainedDataset {
-    let spec = testbed::dice_testbed("e2e", 11, TimeDelta::from_hours(96), 14, 1);
+    let spec = testbed::dice_testbed("e2e", 11, TimeDelta::from_hours(168), 14, 1);
     train_scenario(spec, &quick_cfg())
 }
 
 #[test]
 fn faultless_replay_is_mostly_quiet() {
-    // 48 hours of training is far below the paper's 300; a small number of
+    // 96 hours of training is far below the paper's 300; a small number of
     // unseen-context blips is expected, but most segments must stay quiet.
     let td = quick_testbed();
     let mut noisy_segments = 0;
@@ -95,7 +95,11 @@ fn evaluation_pipeline_produces_consistent_counts() {
         eval.detection.true_positives
     );
     // Attribution totals match the faulty-trial count.
-    let attributed: u64 = eval.by_fault_type.values().map(|a| a.total()).sum();
+    let attributed: u64 = eval
+        .by_fault_type
+        .values()
+        .map(dice_eval::CheckAttribution::total)
+        .sum();
     assert_eq!(attributed, cfg.trials);
 }
 
