@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dice_bench::{bench_simulator, bench_trained};
-use dice_core::{BitSet, Detector, GroupTable, Identifier, PrevWindow};
+use dice_core::{BitSet, Detector, GroupTable, Identifier, PrevWindow, ScanIndex};
 use dice_types::{GroupId, TimeDelta, Timestamp};
 
 fn bench_binarize(c: &mut Criterion) {
@@ -43,6 +43,61 @@ fn bench_candidate_search(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {
             b.iter(|| table.candidates(std::hint::black_box(&query), 3));
         });
+    }
+    group.finish();
+}
+
+/// A distinct synthetic state whose popcount sweeps the activity range
+/// (same construction as the `bench-json` baseline): `i`'s binary form in
+/// the low 20 bits keeps states distinct, and a contiguous run of high bits
+/// spreads popcounts the way real idle-to-busy group tables do.
+fn hh102_scale_state(num_bits: usize, i: usize, run_len: usize, phase: usize) -> BitSet {
+    let id_bits = (0..20).filter(move |j| (i >> j) & 1 == 1);
+    let span = num_bits - 20;
+    let start = (i * 7 + phase) % span;
+    let run = (0..run_len.min(span)).map(move |k| 20 + (start + k) % span);
+    BitSet::from_indices(num_bits, id_bits.chain(run))
+}
+
+fn hh102_scale_table(num_bits: usize, groups: usize) -> GroupTable {
+    let mut table = GroupTable::new(num_bits);
+    for i in 0..groups {
+        table.observe(&hh102_scale_state(num_bits, i, 3 * (i % 40), 0));
+    }
+    assert_eq!(table.len(), groups, "bench states must be distinct");
+    table
+}
+
+fn bench_scan_index(c: &mut Criterion) {
+    // hh102 scale: 33 binary + 79 numeric sensors = 270 state bits; the
+    // naive whole-table scan vs the packed ScanIndex, 10^2..10^4 groups.
+    const NUM_BITS: usize = 33 + 3 * 79;
+    let mut group = c.benchmark_group("scan_index_hh102");
+    for &groups in &[100usize, 1000, 10_000] {
+        let table = hh102_scale_table(NUM_BITS, groups);
+        let index = ScanIndex::build(&table);
+        let query = hh102_scale_state(NUM_BITS, 5, 60, 11);
+        group.bench_with_input(BenchmarkId::new("naive", groups), &groups, |b, _| {
+            b.iter(|| table.candidates(std::hint::black_box(&query), 3));
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", groups), &groups, |b, _| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                index.candidates_into(std::hint::black_box(&query), 3, &mut scratch);
+                scratch.len()
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("indexed_nearest", groups),
+            &groups,
+            |b, _| {
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    index.nearest_into(std::hint::black_box(&query), &mut scratch);
+                    scratch.len()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -130,6 +185,7 @@ criterion_group!(
     benches,
     bench_binarize,
     bench_candidate_search,
+    bench_scan_index,
     bench_checks,
     bench_end_to_end_window
 );

@@ -112,6 +112,24 @@ pub struct WindowObservation {
     pub activated_actuators: Vec<ActuatorId>,
 }
 
+impl Default for WindowObservation {
+    fn default() -> Self {
+        WindowObservation {
+            start: Timestamp::ZERO,
+            end: Timestamp::ZERO,
+            state: BitSet::new(0),
+            activated_actuators: Vec::new(),
+        }
+    }
+}
+
+/// Reusable scratch for allocation-free binarization; see
+/// [`Binarizer::binarize_into`].
+#[derive(Debug, Clone, Default)]
+pub struct BinarizeScratch {
+    numeric: Vec<Option<WindowStats>>,
+}
+
 /// Relative margin of the Eq. 3.4 level comparison (see
 /// [`Binarizer::binarize`]).
 const LEVEL_EPSILON: f64 = 1e-6;
@@ -183,9 +201,41 @@ impl Binarizer {
         end: Timestamp,
         events: &[Event],
     ) -> WindowObservation {
-        let mut state = BitSet::new(self.layout.num_bits());
-        let mut numeric: Vec<Option<WindowStats>> = vec![None; self.layout.num_sensors()];
-        let mut actuators: Vec<ActuatorId> = Vec::new();
+        let mut scratch = BinarizeScratch::default();
+        let mut out = WindowObservation::default();
+        self.binarize_into(start, end, events, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`Binarizer::binarize`], but reuses caller-owned buffers: after
+    /// the first call with the same `scratch`/`out`, a window binarizes with
+    /// zero allocations (the engine's steady-state hot path).
+    pub fn binarize_into(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        events: &[Event],
+        scratch: &mut BinarizeScratch,
+        out: &mut WindowObservation,
+    ) {
+        out.start = start;
+        out.end = end;
+        if out.state.len() == self.layout.num_bits() {
+            out.state.clear();
+        } else {
+            out.state = BitSet::new(self.layout.num_bits());
+        }
+        out.activated_actuators.clear();
+
+        let state = &mut out.state;
+        let actuators = &mut out.activated_actuators;
+        let numeric = &mut scratch.numeric;
+        if numeric.len() == self.layout.num_sensors() {
+            numeric.fill(None);
+        } else {
+            numeric.clear();
+            numeric.resize(self.layout.num_sensors(), None);
+        }
 
         for event in events {
             match event {
@@ -247,12 +297,6 @@ impl Binarizer {
             self.layout.num_bits(),
             "binarized state set must span exactly the layout's bits"
         );
-        WindowObservation {
-            start,
-            end,
-            state,
-            activated_actuators: actuators,
-        }
     }
 }
 
@@ -467,6 +511,33 @@ mod tests {
         let thresholds = trainer.finish();
         assert_eq!(thresholds.value_thre(motion), None);
         assert_eq!(thresholds.value_thre(temp), Some(21.0));
+    }
+
+    #[test]
+    fn binarize_into_matches_binarize_and_reuses_buffers() {
+        let (reg, motion, temp, bulb) = setup();
+        let b = trained_binarizer(&reg, temp, &[18.0, 22.0]);
+        let windows: Vec<Vec<Event>> = vec![
+            vec![
+                SensorReading::new(motion, Timestamp::from_secs(1), true.into()).into(),
+                SensorReading::new(temp, Timestamp::from_secs(2), 25.0.into()).into(),
+            ],
+            vec![ActuatorEvent::new(bulb, Timestamp::from_secs(3), true).into()],
+            vec![],
+        ];
+        let mut scratch = BinarizeScratch::default();
+        let mut out = WindowObservation::default();
+        for events in &windows {
+            let expected = b.binarize(Timestamp::ZERO, Timestamp::from_mins(1), events);
+            b.binarize_into(
+                Timestamp::ZERO,
+                Timestamp::from_mins(1),
+                events,
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(out, expected);
+        }
     }
 
     #[test]

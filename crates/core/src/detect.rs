@@ -83,7 +83,10 @@ pub enum CheckResult {
     /// No main group within the group table: a correlation violation.
     CorrelationViolation {
         /// Candidate groups within the fault-distance threshold (none of
-        /// them at distance zero), ascending by distance.
+        /// them at distance zero), ascending by distance. The engine
+        /// substitutes the nearest group(s) when the threshold admits none —
+        /// a grossly corrupted state set — so downstream consumers always
+        /// see the groups identification will diff against.
         candidates: Vec<Candidate>,
     },
     /// A main group exists but at least one transition has zero probability.
@@ -199,7 +202,7 @@ impl<'m> Detector<'m> {
             None => {
                 let candidates = self
                     .model
-                    .groups()
+                    .scan()
                     .candidates(&obs.state, self.model.candidate_distance());
                 CheckResult::CorrelationViolation { candidates }
             }

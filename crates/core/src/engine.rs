@@ -13,8 +13,9 @@ use std::time::Instant;
 
 use dice_types::{DeviceId, Event, GroupId, TimeDelta, Timestamp};
 
-use crate::binarize::WindowObservation;
+use crate::binarize::{BinarizeScratch, WindowObservation};
 use crate::detect::{CheckKind, CheckResult, Detector, PrevWindow};
+use crate::groups::Candidate;
 use crate::identify::{Identifier, IntersectionTracker};
 use crate::model::DiceModel;
 use crate::weights::DeviceWeights;
@@ -180,6 +181,11 @@ pub struct DiceEngine<M: Borrow<DiceModel>> {
     /// hours apart but always point at the same device, while unrelated
     /// context blips implicate unrelated devices.
     stale: Option<StaleSuspects>,
+    /// Reusable window-observation buffer; with `bin_scratch` and
+    /// `cand_scratch` it makes the steady-state window path allocation-free.
+    obs_scratch: WindowObservation,
+    bin_scratch: BinarizeScratch,
+    cand_scratch: Vec<Candidate>,
 }
 
 #[derive(Debug, Clone)]
@@ -204,6 +210,9 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             prev: None,
             cost: CostProfile::default(),
             stale: None,
+            obs_scratch: WindowObservation::default(),
+            bin_scratch: BinarizeScratch::default(),
+            cand_scratch: Vec::new(),
         }
     }
 
@@ -272,12 +281,43 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
     ) -> Option<FaultReport> {
         let model = self.model.borrow();
 
-        // Binarization + correlation check (candidate search happens inside
-        // `Detector::check` for violations).
+        // Binarization + correlation check, both into engine-owned scratch:
+        // a steady-state window touches no allocator.
         let t0 = Instant::now();
-        let obs = model.binarizer().binarize(start, end, events);
+        let mut obs = std::mem::take(&mut self.obs_scratch);
+        model
+            .binarizer()
+            .binarize_into(start, end, events, &mut self.bin_scratch, &mut obs);
         let detector = Detector::new(model);
-        let result = detector.check(self.prev.as_ref(), &obs);
+        let result = match detector.correlation_check(&obs) {
+            None => {
+                let mut candidates = std::mem::take(&mut self.cand_scratch);
+                model.scan().candidates_into(
+                    &obs.state,
+                    model.candidate_distance(),
+                    &mut candidates,
+                );
+                if candidates.is_empty() {
+                    // Nothing within the threshold: substitute the nearest
+                    // group(s) once, here. Identification and the
+                    // previous-window summary both consume this list, where
+                    // each used to rescan the whole table on its own.
+                    model.scan().nearest_into(&obs.state, &mut candidates);
+                }
+                CheckResult::CorrelationViolation { candidates }
+            }
+            Some(group) => {
+                let cases = match self.prev.as_ref() {
+                    Some(prev) => detector.transition_check(prev, group, &obs),
+                    None => Vec::new(),
+                };
+                if cases.is_empty() {
+                    CheckResult::Normal { group }
+                } else {
+                    CheckResult::TransitionViolation { group, cases }
+                }
+            }
+        };
         let t1 = Instant::now();
 
         // Cost attribution: a `Normal`/`TransitionViolation` outcome passed
@@ -309,8 +349,13 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         let report = self.advance_phase(&obs, &result, end);
         self.cost.identification_ns += t2.elapsed().as_nanos();
 
-        // Update previous-window context for the next round.
-        self.prev = Some(self.summarize(&obs, &result));
+        // Update previous-window context for the next round, then reclaim
+        // the scratch buffers (capacity survives for the next window).
+        self.update_prev(&obs, &result);
+        self.obs_scratch = obs;
+        if let CheckResult::CorrelationViolation { candidates } = result {
+            self.cand_scratch = candidates;
+        }
 
         report
     }
@@ -488,27 +533,36 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         }
     }
 
-    /// Builds the previous-window summary for the next round: the main group
-    /// when matched, else the nearest group as an inexact stand-in.
-    fn summarize(&self, obs: &WindowObservation, result: &CheckResult) -> PrevWindow {
-        let model = self.model.borrow();
+    /// Updates the previous-window summary in place: the main group when
+    /// matched, else the best candidate as an inexact stand-in. The engine
+    /// guarantees a correlation violation's candidate list already contains
+    /// the nearest group(s) when the threshold admitted none, so no rescan
+    /// happens here.
+    fn update_prev(&mut self, obs: &WindowObservation, result: &CheckResult) {
         let (group, exact) = match result {
             CheckResult::Normal { group } | CheckResult::TransitionViolation { group, .. } => {
                 (*group, true)
             }
-            CheckResult::CorrelationViolation { candidates } => {
-                let nearest = candidates
-                    .first()
-                    .map(|c| c.group)
-                    .or_else(|| model.groups().nearest(&obs.state).first().map(|c| c.group))
-                    .unwrap_or(GroupId::new(0));
-                (nearest, false)
-            }
+            CheckResult::CorrelationViolation { candidates } => (
+                candidates.first().map_or(GroupId::new(0), |c| c.group),
+                false,
+            ),
         };
-        PrevWindow {
-            group,
-            exact,
-            activated_actuators: obs.activated_actuators.clone(),
+        match &mut self.prev {
+            Some(prev) => {
+                prev.group = group;
+                prev.exact = exact;
+                prev.activated_actuators.clear();
+                prev.activated_actuators
+                    .extend_from_slice(&obs.activated_actuators);
+            }
+            None => {
+                self.prev = Some(PrevWindow {
+                    group,
+                    exact,
+                    activated_actuators: obs.activated_actuators.clone(),
+                });
+            }
         }
     }
 

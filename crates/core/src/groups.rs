@@ -43,6 +43,9 @@ pub struct GroupTable {
     num_bits: usize,
     groups: Vec<BitSet>,
     counts: Vec<u64>,
+    /// Running sum of `counts`, so [`GroupTable::total_observations`] — hit
+    /// by invariant checks and stats on every load/verify — stays O(1).
+    total: u64,
     #[serde(skip)]
     index: HashMap<BitSet, GroupId>,
 }
@@ -54,6 +57,7 @@ impl GroupTable {
             num_bits,
             groups: Vec::new(),
             counts: Vec::new(),
+            total: 0,
             index: HashMap::new(),
         }
     }
@@ -83,11 +87,13 @@ impl GroupTable {
         assert_eq!(state.len(), self.num_bits, "state width mismatch");
         if let Some(&id) = self.index.get(state) {
             self.counts[id.index()] += 1;
+            self.total += 1;
             return id;
         }
         let id = GroupId::new(self.groups.len() as u32);
         self.groups.push(state.clone());
         self.counts.push(1);
+        self.total += 1;
         self.index.insert(state.clone(), id);
         self.debug_check_parallel_arrays();
         id
@@ -105,6 +111,7 @@ impl GroupTable {
         let id = GroupId::new(self.groups.len() as u32);
         self.groups.push(state.clone());
         self.counts.push(count);
+        self.total += count;
         self.index.insert(state, id);
         self.debug_check_parallel_arrays();
         id
@@ -121,6 +128,7 @@ impl GroupTable {
         let id = GroupId::new(self.groups.len() as u32);
         self.groups.push(state);
         self.counts.push(count);
+        self.total += count;
         id
     }
 
@@ -147,9 +155,15 @@ impl GroupTable {
         self.counts[id.index()]
     }
 
-    /// Total observations across all groups.
+    /// Total observations across all groups (O(1): maintained as a running
+    /// counter by [`GroupTable::observe`] and [`GroupTable::insert_with_count`]).
     pub fn total_observations(&self) -> u64 {
-        self.counts.iter().sum()
+        debug_assert_eq!(
+            self.total,
+            self.counts.iter().sum::<u64>(),
+            "running total must match the counts"
+        );
+        self.total
     }
 
     /// All groups within Hamming distance `max_distance` of `state`

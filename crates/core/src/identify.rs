@@ -83,11 +83,11 @@ impl<'m> Identifier<'m> {
         candidates: &[Candidate],
     ) -> ProbableSet {
         // Fall back to the nearest groups when nothing is inside the
-        // threshold (a grossly corrupted state set).
-        let owned_nearest;
+        // threshold (a grossly corrupted state set). The engine pre-fills
+        // that fallback into `candidates`, so this branch only runs for
+        // externally constructed results.
         let mut probable: Vec<Candidate> = if candidates.is_empty() {
-            owned_nearest = self.model.groups().nearest(&obs.state);
-            owned_nearest.clone()
+            self.model.scan().nearest(&obs.state)
         } else {
             candidates.to_vec()
         };

@@ -74,12 +74,13 @@ mod layout;
 mod model;
 mod model_io;
 mod partition;
+mod scan;
 mod stats;
 mod transition;
 mod weights;
 
 pub use attest::{Attestation, Attestor};
-pub use binarize::{Binarizer, ThresholdTrainer, Thresholds, WindowObservation};
+pub use binarize::{BinarizeScratch, Binarizer, ThresholdTrainer, Thresholds, WindowObservation};
 pub use bitset::BitSet;
 pub use config::{DiceConfig, DiceConfigBuilder};
 pub use detect::{CheckKind, CheckResult, Detector, PrevWindow, TransitionCase};
@@ -93,6 +94,7 @@ pub use layout::{BitLayout, BitRole, BitSpan, NUMERIC_SPAN_WIDTH};
 pub use model::DiceModel;
 pub use model_io::{read_model, read_model_unverified, write_model, ModelIoError};
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
+pub use scan::ScanIndex;
 pub use stats::{RunningMean, WindowStats};
 pub use transition::{TransitionCounts, TransitionModel};
 pub use weights::DeviceWeights;

@@ -8,6 +8,7 @@ use crate::binarize::Binarizer;
 use crate::config::DiceConfig;
 use crate::groups::GroupTable;
 use crate::layout::BitLayout;
+use crate::scan::ScanIndex;
 use crate::transition::TransitionModel;
 
 /// Everything DICE precomputes (Figure 3.2, left half): the binarizer with
@@ -25,6 +26,10 @@ pub struct DiceModel {
     transitions: TransitionModel,
     num_actuators: usize,
     training_windows: u64,
+    /// Packed mirror of `groups` for the hot candidate scan; derived state,
+    /// rebuilt from the table on construction and after deserialization.
+    #[serde(skip)]
+    scan: ScanIndex,
 }
 
 impl DiceModel {
@@ -39,6 +44,7 @@ impl DiceModel {
         num_actuators: usize,
         training_windows: u64,
     ) -> Self {
+        let scan = ScanIndex::build(&groups);
         DiceModel {
             config,
             binarizer,
@@ -46,6 +52,7 @@ impl DiceModel {
             transitions,
             num_actuators,
             training_windows,
+            scan,
         }
     }
 
@@ -74,6 +81,11 @@ impl DiceModel {
         &self.transitions
     }
 
+    /// The packed candidate-scan index over the group table.
+    pub fn scan(&self) -> &ScanIndex {
+        &self.scan
+    }
+
     /// Mutable access to the transition matrices **without** revalidation.
     ///
     /// This exists so verifier tests can seed invariant violations into an
@@ -86,7 +98,8 @@ impl DiceModel {
     }
 
     /// Mutable access to the group table **without** revalidation; see
-    /// [`DiceModel::transitions_mut`].
+    /// [`DiceModel::transitions_mut`]. Leaves the scan index stale — call
+    /// [`DiceModel::rebuild_index`] before any candidate search.
     #[doc(hidden)]
     pub fn groups_mut(&mut self) -> &mut GroupTable {
         &mut self.groups
@@ -121,9 +134,11 @@ impl DiceModel {
         self.groups.correlation_degree(self.layout())
     }
 
-    /// Restores internal indexes after deserialization.
+    /// Restores internal indexes after deserialization: the exact-match
+    /// group map and the packed scan index.
     pub fn rebuild_index(&mut self) {
         self.groups.rebuild_index_public();
+        self.scan = ScanIndex::build(&self.groups);
     }
 
     /// Fraction of training windows that fell in `group`, an empirical prior

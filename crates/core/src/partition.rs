@@ -208,6 +208,9 @@ impl PartitionedModel {
 #[derive(Debug)]
 pub struct PartitionedEngine<'m> {
     engines: Vec<(&'m Partition, DiceEngine<&'m DiceModel>)>,
+    /// Projected-events buffer, reused across partitions and windows so the
+    /// steady-state window path allocates nothing.
+    projected: Vec<Event>,
 }
 
 impl<'m> PartitionedEngine<'m> {
@@ -219,6 +222,7 @@ impl<'m> PartitionedEngine<'m> {
                 .iter()
                 .map(|(partition, model)| (partition, DiceEngine::new(model)))
                 .collect(),
+            projected: Vec::new(),
         }
     }
 
@@ -231,9 +235,11 @@ impl<'m> PartitionedEngine<'m> {
         events: &[Event],
     ) -> Vec<FaultReport> {
         let mut reports = Vec::new();
-        for (partition, engine) in &mut self.engines {
-            let local: Vec<Event> = events.iter().filter_map(|e| partition.project(e)).collect();
-            if let Some(mut report) = engine.process_window(start, end, &local) {
+        let PartitionedEngine { engines, projected } = self;
+        for (partition, engine) in engines {
+            projected.clear();
+            projected.extend(events.iter().filter_map(|e| partition.project(e)));
+            if let Some(mut report) = engine.process_window(start, end, projected) {
                 report.devices = report
                     .devices
                     .iter()

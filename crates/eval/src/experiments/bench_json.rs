@@ -1,0 +1,286 @@
+//! The `bench-json` command: a tracked benchmark baseline.
+//!
+//! Measures the candidate-scan hot path — the naive [`GroupTable`] scan
+//! against the packed [`ScanIndex`] — at hh102 width (33 binary + 79
+//! numeric sensors = 270 state bits) across group-table sizes, plus
+//! end-to-end engine throughput on the testbed, and writes the results as
+//! JSON. CI runs this from the repo root to refresh `BENCH_core.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dice_core::{BitSet, DiceEngine, GroupTable, ScanIndex};
+use dice_sim::testbed;
+use dice_types::TimeDelta;
+
+use crate::runner::{train_scenario, RunnerConfig};
+
+/// hh102's state width: 33 binary sensors + 3 bits per numeric sensor.
+const HH102_BITS: usize = 33 + 3 * 79;
+
+/// The candidate threshold used throughout the paper experiments.
+const MAX_DISTANCE: u32 = 3;
+
+/// One row of the candidate-scan comparison.
+#[derive(Debug, Clone, Copy)]
+struct ScanRow {
+    groups: usize,
+    naive_ns: f64,
+    indexed_ns: f64,
+}
+
+impl ScanRow {
+    fn speedup(&self) -> f64 {
+        if self.indexed_ns > 0.0 {
+            self.naive_ns / self.indexed_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A distinct synthetic state whose popcount sweeps the activity range.
+///
+/// Real group tables mix near-idle states (few bits set) with busy-household
+/// states (many bits set); the popcount spread is what the scan index's
+/// prefilter exploits, so the synthetic workload reproduces it: `i`'s binary
+/// form in the low 20 bits keeps states distinct, and a contiguous run of
+/// `3 * (i mod 40)` high bits spreads popcounts over roughly `[0, 120]`.
+fn synthetic_state(num_bits: usize, i: usize, run_len: usize, phase: usize) -> BitSet {
+    let id_bits = (0..20).filter(move |j| (i >> j) & 1 == 1);
+    let span = num_bits - 20;
+    let start = (i * 7 + phase) % span;
+    let run = (0..run_len.min(span)).map(move |k| 20 + (start + k) % span);
+    BitSet::from_indices(num_bits, id_bits.chain(run))
+}
+
+/// Builds a table of `groups` distinct states over `num_bits` bits.
+fn synthetic_table(num_bits: usize, groups: usize) -> GroupTable {
+    let mut table = GroupTable::new(num_bits);
+    for i in 0..groups {
+        table.observe(&synthetic_state(num_bits, i, 3 * (i % 40), 0));
+    }
+    assert_eq!(table.len(), groups, "bench states must be distinct");
+    table
+}
+
+/// Query states resembling live windows: mid-activity near-misses.
+fn synthetic_queries(num_bits: usize, count: usize) -> Vec<BitSet> {
+    (0..count)
+        .map(|q| synthetic_state(num_bits, q, 57 + q % 7, 11))
+        .collect()
+}
+
+/// Times `f` (one full query sweep) and returns nanoseconds per call,
+/// doubling the repetition count until the measurement window is long
+/// enough to trust.
+fn time_ns(mut f: impl FnMut() -> usize) -> f64 {
+    let mut sink = 0usize;
+    for _ in 0..2 {
+        sink = sink.wrapping_add(f());
+    }
+    let mut reps = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            sink = sink.wrapping_add(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 25 || reps >= 1 << 20 {
+            std::hint::black_box(sink);
+            return elapsed.as_nanos() as f64 / f64::from(reps);
+        }
+        reps = reps.saturating_mul(2);
+    }
+}
+
+/// Benchmarks naive vs indexed candidate scans for each table size.
+fn candidate_scan_rows(num_bits: usize, sizes: &[usize]) -> Vec<ScanRow> {
+    let queries = synthetic_queries(num_bits, 32);
+    sizes
+        .iter()
+        .map(|&groups| {
+            let table = synthetic_table(num_bits, groups);
+            let index = ScanIndex::build(&table);
+            let mut scratch = Vec::new();
+            let naive_sweep = time_ns(|| {
+                queries
+                    .iter()
+                    .map(|q| {
+                        table
+                            .candidates(std::hint::black_box(q), MAX_DISTANCE)
+                            .len()
+                    })
+                    .sum()
+            });
+            let indexed_sweep = time_ns(|| {
+                queries
+                    .iter()
+                    .map(|q| {
+                        index.candidates_into(std::hint::black_box(q), MAX_DISTANCE, &mut scratch);
+                        scratch.len()
+                    })
+                    .sum()
+            });
+            ScanRow {
+                groups,
+                naive_ns: naive_sweep / queries.len() as f64,
+                indexed_ns: indexed_sweep / queries.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// End-to-end throughput: windows per second replaying testbed segments.
+#[derive(Debug, Clone, Copy)]
+struct Throughput {
+    windows: u64,
+    elapsed_ms: f64,
+}
+
+impl Throughput {
+    fn windows_per_sec(&self) -> f64 {
+        if self.elapsed_ms > 0.0 {
+            self.windows as f64 * 1000.0 / self.elapsed_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn engine_throughput() -> Throughput {
+    let cfg = RunnerConfig {
+        seed: 7,
+        trials: 4,
+        precompute: TimeDelta::from_hours(48),
+        segment_len: TimeDelta::from_hours(6),
+        ..RunnerConfig::default()
+    };
+    let spec = testbed::dice_testbed("bench", 7, TimeDelta::from_hours(80), 12, 1);
+    let td = train_scenario(spec, &cfg);
+    let window = cfg.dice.window();
+
+    let mut windows = 0u64;
+    let mut elapsed_ms = 0.0f64;
+    for segment in td.plan.segments() {
+        let mut log = td.sim.log_between(segment.start, segment.end);
+        let batched: Vec<_> = log
+            .windows_between(segment.start, segment.end, window)
+            .map(|w| (w.start, w.end, w.events.to_vec()))
+            .collect();
+        let mut engine = DiceEngine::new(&td.model);
+        let start = Instant::now();
+        for (ws, we, events) in &batched {
+            let _ = engine.process_window(*ws, *we, std::hint::black_box(events));
+        }
+        elapsed_ms += start.elapsed().as_secs_f64() * 1000.0;
+        windows += batched.len() as u64;
+    }
+    Throughput {
+        windows,
+        elapsed_ms,
+    }
+}
+
+/// Renders the benchmark results as a stable, hand-rolled JSON document
+/// (the serde shim does not serialize, so the emitter formats directly).
+fn render_json(rows: &[ScanRow], throughput: &Throughput) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"candidate_scan\": {{\n    \"num_bits\": {HH102_BITS},\n    \"max_distance\": {MAX_DISTANCE},\n    \"rows\": ["
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"groups\": {}, \"naive_ns_per_scan\": {:.0}, \"scan_index_ns_per_scan\": {:.0}, \"speedup\": {:.2}}}{comma}",
+            row.groups, row.naive_ns, row.indexed_ns, row.speedup()
+        );
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"end_to_end\": {{\"dataset\": \"testbed\", \"windows\": {}, \"elapsed_ms\": {:.1}, \"windows_per_sec\": {:.0}}}",
+        throughput.windows,
+        throughput.elapsed_ms,
+        throughput.windows_per_sec()
+    );
+    json.push_str("}\n");
+    json
+}
+
+/// Runs the benchmark baseline and writes it to `path` (default
+/// `BENCH_core.json` in the working directory — the repo root in CI).
+///
+/// # Errors
+///
+/// Returns an error when the output file cannot be written.
+pub fn bench_json(path: Option<&str>) -> Result<String, String> {
+    let path = path.unwrap_or("BENCH_core.json");
+    let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000]);
+    let throughput = engine_throughput();
+    let json = render_json(&rows, &throughput);
+    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Benchmark baseline written to {path}");
+    let _ = writeln!(
+        out,
+        "candidate scan ({HH102_BITS} bits, distance <= {MAX_DISTANCE}):"
+    );
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "  {:>6} groups: naive {:>9.0} ns/scan, indexed {:>9.0} ns/scan ({:.2}x)",
+            row.groups,
+            row.naive_ns,
+            row.indexed_ns,
+            row.speedup()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "end-to-end: {} windows in {:.1} ms ({:.0} windows/s)",
+        throughput.windows,
+        throughput.elapsed_ms,
+        throughput.windows_per_sec()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_and_indexed_scans_agree_on_synthetic_tables() {
+        let table = synthetic_table(HH102_BITS, 200);
+        let index = ScanIndex::build(&table);
+        for query in synthetic_queries(HH102_BITS, 8) {
+            assert_eq!(
+                table.candidates(&query, MAX_DISTANCE),
+                index.candidates(&query, MAX_DISTANCE)
+            );
+        }
+    }
+
+    #[test]
+    fn json_renders_all_sections() {
+        let rows = vec![ScanRow {
+            groups: 100,
+            naive_ns: 1000.0,
+            indexed_ns: 250.0,
+        }];
+        let throughput = Throughput {
+            windows: 360,
+            elapsed_ms: 12.0,
+        };
+        let json = render_json(&rows, &throughput);
+        assert!(json.contains("\"candidate_scan\""));
+        assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.contains("\"windows_per_sec\": 30000"));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -72,13 +72,7 @@ pub fn diagnose(dataset: &str, segments: u64) -> Result<String, String> {
                     candidates
                         .first()
                         .map(|c| c.group)
-                        .or_else(|| {
-                            td.model
-                                .groups()
-                                .nearest(&obs.state)
-                                .first()
-                                .map(|c| c.group)
-                        })
+                        .or_else(|| td.model.scan().nearest(&obs.state).first().map(|c| c.group))
                         .unwrap_or(dice_types::GroupId::new(0)),
                     false,
                 ),

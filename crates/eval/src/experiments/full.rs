@@ -2,8 +2,12 @@
 //! individual tables and figures format slices of the result.
 
 use dice_datasets::DatasetId;
+use rayon::prelude::*;
 
-use crate::runner::{evaluate_sensor_faults, train_dataset, DatasetEvaluation, RunnerConfig};
+use crate::runner::{
+    evaluate_sensor_faults, evaluate_sensor_faults_serial, train_dataset, DatasetEvaluation,
+    RunnerConfig,
+};
 
 /// The result of evaluating a set of datasets under one configuration.
 #[derive(Debug, Clone)]
@@ -49,7 +53,29 @@ fn avg(values: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Runs sensor-fault evaluation over `datasets` with `trials` per dataset.
+///
+/// Datasets are trained and evaluated in parallel; results are collected in
+/// catalog order and each dataset's randomness depends only on the master
+/// seed, so the output is bit-identical to [`run_full_serial`].
 pub fn run_full(datasets: &[DatasetId], trials: u64, seed: u64) -> FullEvaluation {
+    let cfg = RunnerConfig {
+        trials,
+        seed,
+        ..RunnerConfig::default()
+    };
+    let evals = datasets
+        .par_iter()
+        .map(|&id| {
+            let td = train_dataset(id, &cfg);
+            evaluate_sensor_faults(&td, &cfg)
+        })
+        .collect();
+    FullEvaluation { evals }
+}
+
+/// Serial reference implementation of [`run_full`]; the equivalence test
+/// compares the two.
+pub fn run_full_serial(datasets: &[DatasetId], trials: u64, seed: u64) -> FullEvaluation {
     let cfg = RunnerConfig {
         trials,
         seed,
@@ -59,7 +85,7 @@ pub fn run_full(datasets: &[DatasetId], trials: u64, seed: u64) -> FullEvaluatio
         .iter()
         .map(|&id| {
             let td = train_dataset(id, &cfg);
-            evaluate_sensor_faults(&td, &cfg)
+            evaluate_sensor_faults_serial(&td, &cfg)
         })
         .collect();
     FullEvaluation { evals }

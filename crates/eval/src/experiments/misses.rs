@@ -30,13 +30,7 @@ fn count_violations(
                 candidates
                     .first()
                     .map(|c| c.group)
-                    .or_else(|| {
-                        td.model
-                            .groups()
-                            .nearest(&obs.state)
-                            .first()
-                            .map(|c| c.group)
-                    })
+                    .or_else(|| td.model.scan().nearest(&obs.state).first().map(|c| c.group))
                     .unwrap_or(dice_types::GroupId::new(0)),
                 false,
             ),

@@ -6,6 +6,7 @@
 
 mod accuracy;
 mod attest_exp;
+mod bench_json;
 mod calibrate;
 mod diagnose;
 mod export;
@@ -21,12 +22,13 @@ mod weights;
 
 pub use accuracy::fig_5_1;
 pub use attest_exp::attest;
+pub use bench_json::bench_json;
 pub use calibrate::calibrate;
 pub use diagnose::diagnose;
 pub use export::{export_csv, inspect_model, monitor, save_model};
 pub use extended::{actuator_faults, multi_fault, param_sensitivity};
 pub use fault_ratio::{aggregate_attribution, fig_5_4};
-pub use full::{run_all_datasets, run_full, FullEvaluation};
+pub use full::{run_all_datasets, run_full, run_full_serial, FullEvaluation};
 pub use misses::misses;
 pub use multi_user::multi_user;
 pub use security::{run_attacks, security, spoof_sensor, AttackOutcome};
@@ -63,7 +65,8 @@ pub fn usage() -> String {
      diagnostics:\n\
        calibrate <dataset> [trials]   train + evaluate one dataset\n\
        diagnose <dataset> [segments]  explain violations on faultless segments\n\
-       misses <dataset> [trials]      list undetected injected faults"
+       misses <dataset> [trials]      list undetected injected faults\n\
+       bench-json [path]              candidate-scan + throughput baseline (BENCH_core.json)"
         .to_string()
 }
 
@@ -209,6 +212,7 @@ pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
             let csv = args.get(1).ok_or("monitor needs a csv path")?;
             Ok(monitor(model, csv)?)
         }
+        "bench-json" => Ok(bench_json(args.first().copied())?),
         "misses" => {
             let dataset = args.first().ok_or("misses needs a dataset name")?;
             let trials = args

@@ -14,6 +14,7 @@ use dice_faults::{
 };
 use dice_sim::{ScenarioSpec, Simulator};
 use dice_types::{DeviceId, EventLog, TimeDelta, Timestamp};
+use rayon::prelude::*;
 
 use crate::metrics::{DetectionCounts, IdentificationCounts, LatencyStats};
 
@@ -192,11 +193,74 @@ pub struct DatasetEvaluation {
 /// Evaluates sensor faults on a trained dataset: for every trial, one
 /// faultless segment replay (precision) and one fault-injected duplicate
 /// (recall, identification, latency), exactly as in Section V.
+///
+/// Trials run in parallel. Every trial's randomness derives from the master
+/// seed and the trial index alone (see [`FaultPlanner`]), and per-trial
+/// results are folded into the evaluation in trial order, so the output is
+/// bit-identical to [`evaluate_sensor_faults_serial`].
 pub fn evaluate_sensor_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> DatasetEvaluation {
-    let registry = td.sim.registry();
     let planner = FaultPlanner::new(cfg.seed ^ 0xFA17);
     let injector = FaultInjector::new(cfg.seed ^ 0x1213);
+    let trials: Vec<SensorTrial> = (0..cfg.trials)
+        .into_par_iter()
+        .map(|trial| run_sensor_trial(td, &planner, &injector, trial))
+        .collect();
+    fold_sensor_trials(td, trials)
+}
 
+/// Serial reference implementation of [`evaluate_sensor_faults`].
+///
+/// Shares the per-trial body and the fold with the parallel variant; the
+/// equivalence test compares the two.
+pub fn evaluate_sensor_faults_serial(td: &TrainedDataset, cfg: &RunnerConfig) -> DatasetEvaluation {
+    let planner = FaultPlanner::new(cfg.seed ^ 0xFA17);
+    let injector = FaultInjector::new(cfg.seed ^ 0x1213);
+    let trials: Vec<SensorTrial> = (0..cfg.trials)
+        .map(|trial| run_sensor_trial(td, &planner, &injector, trial))
+        .collect();
+    fold_sensor_trials(td, trials)
+}
+
+/// Everything one sensor-fault trial contributes to the evaluation.
+#[derive(Debug, Clone)]
+struct SensorTrial {
+    false_alarm: bool,
+    clean_cost: CostProfile,
+    fault: SensorFault,
+    outcome: SegmentOutcome,
+}
+
+fn run_sensor_trial(
+    td: &TrainedDataset,
+    planner: &FaultPlanner,
+    injector: &FaultInjector,
+    trial: u64,
+) -> SensorTrial {
+    let registry = td.sim.registry();
+    let segment = td.plan.segment_for_trial(trial);
+    let clean = td.sim.log_between(segment.start, segment.end);
+
+    // Faultless twin: any report is a false positive.
+    let mut engine = DiceEngine::new(&td.model);
+    let false_alarm = !engine
+        .process_range(&mut clean.clone(), segment.start, segment.end)
+        .is_empty()
+        || engine.flush().is_some();
+    let clean_cost = engine.cost_profile();
+
+    // Faulty duplicate.
+    let fault = planner.sensor_fault(trial, registry, segment.start, segment.len());
+    let faulty = injector.inject_sensor(clean, registry, &fault);
+    let outcome = run_faulty_segment(td, faulty, segment, fault.onset);
+    SensorTrial {
+        false_alarm,
+        clean_cost,
+        fault,
+        outcome,
+    }
+}
+
+fn fold_sensor_trials(td: &TrainedDataset, trials: Vec<SensorTrial>) -> DatasetEvaluation {
     let mut evaluation = DatasetEvaluation {
         name: td.name.clone(),
         detection: DetectionCounts::default(),
@@ -208,29 +272,13 @@ pub fn evaluate_sensor_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> Datase
         cost: CostProfile::default(),
         correlation_degree: td.model.correlation_degree(),
         num_groups: td.model.groups().len(),
-        num_sensors: registry.num_sensors(),
+        num_sensors: td.sim.registry().num_sensors(),
     };
-
-    for trial in 0..cfg.trials {
-        let segment = td.plan.segment_for_trial(trial);
-        let clean = td.sim.log_between(segment.start, segment.end);
-
-        // Faultless twin: any report is a false positive.
-        let mut engine = DiceEngine::new(&td.model);
-        let false_alarm = !engine
-            .process_range(&mut clean.clone(), segment.start, segment.end)
-            .is_empty()
-            || engine.flush().is_some();
-        evaluation.detection.record_faultless(false_alarm);
-        evaluation.cost.merge(&engine.cost_profile());
-
-        // Faulty duplicate.
-        let fault = planner.sensor_fault(trial, registry, segment.start, segment.len());
-        let faulty = injector.inject_sensor(clean, registry, &fault);
-        let outcome = run_faulty_segment(td, faulty, segment, fault.onset);
-        record_sensor_outcome(&mut evaluation, &fault, &outcome);
+    for trial in trials {
+        evaluation.detection.record_faultless(trial.false_alarm);
+        evaluation.cost.merge(&trial.clean_cost);
+        record_sensor_outcome(&mut evaluation, &trial.fault, &trial.outcome);
     }
-
     evaluation
 }
 
@@ -315,30 +363,72 @@ pub struct MultiFaultEvaluation {
 
 /// Evaluates simultaneous multi-fault trials: 1–3 faulty sensors per
 /// segment, `numThre = 3` (configure via `cfg.dice`).
+///
+/// Trials run in parallel with the same determinism contract as
+/// [`evaluate_sensor_faults`].
 pub fn evaluate_multi_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> MultiFaultEvaluation {
-    let registry = td.sim.registry();
     let planner = FaultPlanner::new(cfg.seed ^ 0x3FA1);
     let injector = FaultInjector::new(cfg.seed ^ 0x77);
-    let mut out = MultiFaultEvaluation::default();
+    let trials: Vec<MultiTrial> = (0..cfg.trials)
+        .into_par_iter()
+        .map(|trial| run_multi_trial(td, &planner, &injector, trial))
+        .collect();
+    fold_multi_trials(trials)
+}
 
-    for trial in 0..cfg.trials {
-        let segment = td.plan.segment_for_trial(trial);
-        let clean = td.sim.log_between(segment.start, segment.end);
-        let count = (trial % 3 + 1) as usize;
-        let faults = planner.sensor_faults(trial, registry, segment.start, segment.len(), count);
-        let faulty = injector.inject_sensors(clean, registry, &faults);
-        let first_onset = faults
-            .iter()
-            .map(|f| f.onset)
-            .min()
-            .expect("at least one fault");
-        let outcome = run_faulty_segment(td, faulty, segment, first_onset);
-        out.detection.record_faulty(outcome.report.is_some());
-        match outcome.report {
-            None => out.identification.record(0, 0, faults.len() as u64),
+/// Serial reference implementation of [`evaluate_multi_faults`].
+pub fn evaluate_multi_faults_serial(
+    td: &TrainedDataset,
+    cfg: &RunnerConfig,
+) -> MultiFaultEvaluation {
+    let planner = FaultPlanner::new(cfg.seed ^ 0x3FA1);
+    let injector = FaultInjector::new(cfg.seed ^ 0x77);
+    let trials: Vec<MultiTrial> = (0..cfg.trials)
+        .map(|trial| run_multi_trial(td, &planner, &injector, trial))
+        .collect();
+    fold_multi_trials(trials)
+}
+
+/// Everything one multi-fault trial contributes to the evaluation.
+#[derive(Debug, Clone)]
+struct MultiTrial {
+    faults: Vec<SensorFault>,
+    outcome: SegmentOutcome,
+}
+
+fn run_multi_trial(
+    td: &TrainedDataset,
+    planner: &FaultPlanner,
+    injector: &FaultInjector,
+    trial: u64,
+) -> MultiTrial {
+    let registry = td.sim.registry();
+    let segment = td.plan.segment_for_trial(trial);
+    let clean = td.sim.log_between(segment.start, segment.end);
+    let count = (trial % 3 + 1) as usize;
+    let faults = planner.sensor_faults(trial, registry, segment.start, segment.len(), count);
+    let faulty = injector.inject_sensors(clean, registry, &faults);
+    let first_onset = faults
+        .iter()
+        .map(|f| f.onset)
+        .min()
+        .expect("at least one fault");
+    let outcome = run_faulty_segment(td, faulty, segment, first_onset);
+    MultiTrial { faults, outcome }
+}
+
+fn fold_multi_trials(trials: Vec<MultiTrial>) -> MultiFaultEvaluation {
+    let mut out = MultiFaultEvaluation::default();
+    for trial in trials {
+        out.detection.record_faulty(trial.outcome.report.is_some());
+        match trial.outcome.report {
+            None => out.identification.record(0, 0, trial.faults.len() as u64),
             Some(report) => {
-                let actual: Vec<DeviceId> =
-                    faults.iter().map(|f| DeviceId::Sensor(f.sensor)).collect();
+                let actual: Vec<DeviceId> = trial
+                    .faults
+                    .iter()
+                    .map(|f| DeviceId::Sensor(f.sensor))
+                    .collect();
                 let correct = report.devices.iter().filter(|d| actual.contains(d)).count() as u64;
                 let spurious = report.devices.len() as u64 - correct;
                 let missed = actual.len() as u64 - correct;
@@ -364,22 +454,68 @@ pub struct ActuatorEvaluation {
 /// checks: a silenced actuator emits no events for the transition check to
 /// test, so the headline actuator experiment injects ghosts (see
 /// EXPERIMENTS.md).
+///
+/// Trials run in parallel with the same determinism contract as
+/// [`evaluate_sensor_faults`].
 pub fn evaluate_actuator_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> ActuatorEvaluation {
-    let registry = td.sim.registry();
-    assert!(registry.num_actuators() > 0, "dataset has no actuators");
+    assert!(
+        td.sim.registry().num_actuators() > 0,
+        "dataset has no actuators"
+    );
     let planner = FaultPlanner::new(cfg.seed ^ 0xAC7);
     let injector = FaultInjector::new(cfg.seed ^ 0xAC8);
-    let mut out = ActuatorEvaluation::default();
+    let trials: Vec<ActuatorTrial> = (0..cfg.trials)
+        .into_par_iter()
+        .map(|trial| run_actuator_trial(td, &planner, &injector, trial))
+        .collect();
+    fold_actuator_trials(trials)
+}
 
-    for trial in 0..cfg.trials {
-        let segment = td.plan.segment_for_trial(trial);
-        let clean = td.sim.log_between(segment.start, segment.end);
-        let mut fault = planner.actuator_fault(trial, registry, segment.start, segment.len());
-        fault.fault = ActuatorFaultType::Ghost;
-        let faulty = injector.inject_actuator(clean, &fault);
-        let outcome = run_faulty_segment(td, faulty, segment, fault.onset);
-        out.detection.record_faulty(outcome.report.is_some());
-        record_actuator_outcome(&mut out, &fault, &outcome);
+/// Serial reference implementation of [`evaluate_actuator_faults`].
+pub fn evaluate_actuator_faults_serial(
+    td: &TrainedDataset,
+    cfg: &RunnerConfig,
+) -> ActuatorEvaluation {
+    assert!(
+        td.sim.registry().num_actuators() > 0,
+        "dataset has no actuators"
+    );
+    let planner = FaultPlanner::new(cfg.seed ^ 0xAC7);
+    let injector = FaultInjector::new(cfg.seed ^ 0xAC8);
+    let trials: Vec<ActuatorTrial> = (0..cfg.trials)
+        .map(|trial| run_actuator_trial(td, &planner, &injector, trial))
+        .collect();
+    fold_actuator_trials(trials)
+}
+
+/// Everything one actuator-fault trial contributes to the evaluation.
+#[derive(Debug, Clone)]
+struct ActuatorTrial {
+    fault: ActuatorFault,
+    outcome: SegmentOutcome,
+}
+
+fn run_actuator_trial(
+    td: &TrainedDataset,
+    planner: &FaultPlanner,
+    injector: &FaultInjector,
+    trial: u64,
+) -> ActuatorTrial {
+    let registry = td.sim.registry();
+    let segment = td.plan.segment_for_trial(trial);
+    let clean = td.sim.log_between(segment.start, segment.end);
+    let mut fault = planner.actuator_fault(trial, registry, segment.start, segment.len());
+    fault.fault = ActuatorFaultType::Ghost;
+    let faulty = injector.inject_actuator(clean, &fault);
+    let outcome = run_faulty_segment(td, faulty, segment, fault.onset);
+    ActuatorTrial { fault, outcome }
+}
+
+fn fold_actuator_trials(trials: Vec<ActuatorTrial>) -> ActuatorEvaluation {
+    let mut out = ActuatorEvaluation::default();
+    for trial in trials {
+        out.detection.record_faulty(trial.outcome.report.is_some());
+        record_actuator_outcome(&mut out, &trial.fault, &trial.outcome);
     }
     out
 }

@@ -1,0 +1,249 @@
+//! Offline shim for `rayon` 1.x: data parallelism over `std::thread::scope`.
+//!
+//! Implements exactly the surface the DICE workspace uses — `into_par_iter`
+//! / `par_iter` on ranges, vectors, and slices, followed by `.map(...)` and
+//! `.collect::<Vec<_>>()` (plus `for_each` / `sum`). Work is split into one
+//! contiguous chunk per worker thread and results are reassembled in input
+//! order, so a `map → collect` pipeline returns exactly what the serial
+//! `iter().map().collect()` would — the property the deterministic
+//! experiment runner relies on.
+//!
+//! Differences from upstream rayon:
+//!
+//! * no work stealing: items are pre-chunked, so heavily skewed workloads
+//!   balance worse than under real rayon (results are still identical);
+//! * no global thread pool: every `collect` spawns short-lived scoped
+//!   threads (fine for the coarse per-trial/per-dataset tasks we run);
+//! * `RAYON_NUM_THREADS` is honored; `RAYON_NUM_THREADS=1` forces the
+//!   serial path, which tests use to compare serial vs parallel output.
+
+use std::num::NonZeroUsize;
+
+/// The worker-thread count: `RAYON_NUM_THREADS` if set and positive, else
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items`, one contiguous chunk per worker, and returns the
+/// results in input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into `threads` contiguous chunks (the first chunks get the
+    // remainder), preserving order.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    for i in 0..threads - 1 {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take.min(rest.len()));
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Parallel-iterator adapters.
+pub mod iter {
+    use super::par_map_vec;
+
+    /// Conversion into a parallel iterator (by value).
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// Converts `self` into a [`ParIter`].
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send + 'a;
+        /// Borrows `self` as a [`ParIter`] of references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    /// A materialized parallel iterator: the items to process, in order.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps every item through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            par_map_vec(self.items, f);
+        }
+    }
+
+    /// The result of [`ParIter::map`]; executes on `collect`.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> ParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Executes the pipeline and collects results in input order.
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            C::from_ordered_vec(par_map_vec(self.items, self.f))
+        }
+
+        /// Executes the pipeline and sums the results.
+        pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+            par_map_vec(self.items, self.f).into_iter().sum()
+        }
+    }
+
+    /// Collection types a parallel pipeline can collect into.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from results already in input order.
+        fn from_ordered_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|i| i * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let lens: Vec<usize> = data.par_iter().map(String::len).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let par: u64 = (1u64..=100).into_par_iter().map(|i| i).sum();
+        assert_eq!(par, 5050);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

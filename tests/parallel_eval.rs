@@ -1,0 +1,90 @@
+//! Serial vs parallel experiment-runner equivalence.
+//!
+//! The parallel evaluators derive every trial's randomness from the master
+//! seed and the trial index and fold per-trial results in trial order, so
+//! their output must be bit-identical to the serial reference
+//! implementations — for every metric except wall-clock cost nanoseconds,
+//! which are inherently nondeterministic (the deterministic window *count*
+//! inside the cost profile must still match).
+
+use dice_core::DiceConfig;
+use dice_eval::{
+    evaluate_actuator_faults, evaluate_actuator_faults_serial, evaluate_multi_faults,
+    evaluate_multi_faults_serial, evaluate_sensor_faults, evaluate_sensor_faults_serial,
+    train_scenario, RunnerConfig, TrainedDataset,
+};
+use dice_sim::testbed;
+use dice_types::TimeDelta;
+
+fn quick_cfg() -> RunnerConfig {
+    RunnerConfig {
+        seed: 7,
+        trials: 5,
+        precompute: TimeDelta::from_hours(48),
+        segment_len: TimeDelta::from_hours(6),
+        dice: DiceConfig::default(),
+    }
+}
+
+fn quick_testbed(cfg: &RunnerConfig) -> TrainedDataset {
+    let spec = testbed::dice_testbed("quick", 7, TimeDelta::from_hours(80), 12, 1);
+    train_scenario(spec, cfg)
+}
+
+#[test]
+fn sensor_evaluation_is_identical_serial_and_parallel() {
+    let cfg = quick_cfg();
+    let td = quick_testbed(&cfg);
+    let parallel = evaluate_sensor_faults(&td, &cfg);
+    let serial = evaluate_sensor_faults_serial(&td, &cfg);
+
+    assert_eq!(parallel.name, serial.name);
+    assert_eq!(parallel.detection, serial.detection);
+    assert_eq!(parallel.identification, serial.identification);
+    assert_eq!(parallel.detect_latency, serial.detect_latency);
+    assert_eq!(parallel.identify_latency, serial.identify_latency);
+    assert_eq!(
+        parallel.detect_latency_by_check,
+        serial.detect_latency_by_check
+    );
+    assert_eq!(parallel.by_fault_type, serial.by_fault_type);
+    assert_eq!(parallel.cost.windows, serial.cost.windows);
+    assert_eq!(parallel.correlation_degree, serial.correlation_degree);
+    assert_eq!(parallel.num_groups, serial.num_groups);
+    assert_eq!(parallel.num_sensors, serial.num_sensors);
+}
+
+#[test]
+fn multi_fault_evaluation_is_identical_serial_and_parallel() {
+    let mut cfg = quick_cfg();
+    cfg.dice = DiceConfig::builder().max_faults(3).num_thre(3).build();
+    let td = quick_testbed(&cfg);
+    let parallel = evaluate_multi_faults(&td, &cfg);
+    let serial = evaluate_multi_faults_serial(&td, &cfg);
+
+    assert_eq!(parallel.detection, serial.detection);
+    assert_eq!(parallel.identification, serial.identification);
+}
+
+#[test]
+fn actuator_evaluation_is_identical_serial_and_parallel() {
+    let cfg = quick_cfg();
+    let td = quick_testbed(&cfg);
+    let parallel = evaluate_actuator_faults(&td, &cfg);
+    let serial = evaluate_actuator_faults_serial(&td, &cfg);
+
+    assert_eq!(parallel.detection, serial.detection);
+    assert_eq!(parallel.identification, serial.identification);
+}
+
+#[test]
+fn parallel_evaluation_is_reproducible_across_runs() {
+    let cfg = quick_cfg();
+    let td = quick_testbed(&cfg);
+    let first = evaluate_sensor_faults(&td, &cfg);
+    let second = evaluate_sensor_faults(&td, &cfg);
+    assert_eq!(first.detection, second.detection);
+    assert_eq!(first.identification, second.identification);
+    assert_eq!(first.detect_latency, second.detect_latency);
+    assert_eq!(first.by_fault_type, second.by_fault_type);
+}

@@ -1,7 +1,8 @@
 //! Cross-crate property-based tests (proptest) for the core invariants.
 
 use dice_core::{
-    read_model, write_model, BitSet, ContextExtractor, DiceConfig, GroupTable, TransitionCounts,
+    read_model, write_model, BitSet, ContextExtractor, DiceConfig, GroupTable, ScanIndex,
+    TransitionCounts,
 };
 use dice_types::{
     DeviceRegistry, EventLog, Room, SensorId, SensorKind, SensorReading, TimeDelta, Timestamp,
@@ -79,6 +80,34 @@ proptest! {
         // Candidate search at max distance finds every group.
         let all = table.candidates(&states[0], 12);
         prop_assert_eq!(all.len(), table.len());
+    }
+
+    /// The packed scan index agrees exactly with the naive group-table scan
+    /// for any table, query, and threshold — including the ordering of
+    /// candidates and nearest-tie sets. Width 130 exercises multi-word rows.
+    #[test]
+    fn scan_index_matches_naive_table(
+        states in prop::collection::vec(bitset_strategy(130), 1..50),
+        query in bitset_strategy(130),
+        max_distance in 0u32..20,
+    ) {
+        let mut table = GroupTable::new(130);
+        for state in &states {
+            table.observe(state);
+        }
+        let index = ScanIndex::build(&table);
+        prop_assert_eq!(index.len(), table.len());
+        prop_assert_eq!(
+            index.candidates(&query, max_distance),
+            table.candidates(&query, max_distance)
+        );
+        prop_assert_eq!(index.nearest(&query), table.nearest(&query));
+
+        // Scratch reuse: a dirty buffer from a previous query must not leak
+        // into the next result.
+        let mut scratch = index.candidates(&states[0], 130);
+        index.candidates_into(&query, max_distance, &mut scratch);
+        prop_assert_eq!(scratch, table.candidates(&query, max_distance));
     }
 
     /// Transition probabilities per row sum to one (over observed columns).
