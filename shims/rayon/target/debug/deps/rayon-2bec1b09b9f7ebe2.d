@@ -1,0 +1,7 @@
+/root/repo/shims/rayon/target/debug/deps/rayon-2bec1b09b9f7ebe2.d: src/lib.rs
+
+/root/repo/shims/rayon/target/debug/deps/librayon-2bec1b09b9f7ebe2.rlib: src/lib.rs
+
+/root/repo/shims/rayon/target/debug/deps/librayon-2bec1b09b9f7ebe2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/shims/rayon/target/debug/deps/rayon-9b0693ef7a343d0b.d: src/lib.rs
+
+/root/repo/shims/rayon/target/debug/deps/rayon-9b0693ef7a343d0b: src/lib.rs
+
+src/lib.rs:
