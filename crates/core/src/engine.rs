@@ -9,15 +9,18 @@
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
+use dice_telemetry::{saturating_ns, EngineMetrics, LocalHistogram, Telemetry};
 use dice_types::{DeviceId, Event, GroupId, TimeDelta, Timestamp};
 
 use crate::binarize::{BinarizeScratch, WindowObservation};
-use crate::detect::{CheckKind, CheckResult, Detector, PrevWindow};
+use crate::detect::{CheckKind, CheckResult, Detector, PrevWindow, TransitionCase};
 use crate::groups::Candidate;
 use crate::identify::{Identifier, IntersectionTracker};
 use crate::model::DiceModel;
+use crate::scan::ScanProfile;
 use crate::weights::DeviceWeights;
 
 /// A completed fault report.
@@ -108,6 +111,40 @@ impl CostProfile {
         }
     }
 
+    /// Total nanoseconds across all three steps.
+    pub fn total_ns(&self) -> u128 {
+        self.correlation_ns + self.transition_ns + self.identification_ns
+    }
+
+    /// Correlation-check time in whole milliseconds, saturating to `u64`.
+    pub fn correlation_millis(&self) -> u64 {
+        saturating_millis(self.correlation_ns)
+    }
+
+    /// Transition-check time in whole milliseconds, saturating to `u64`.
+    pub fn transition_millis(&self) -> u64 {
+        saturating_millis(self.transition_ns)
+    }
+
+    /// Identification time in whole milliseconds, saturating to `u64`.
+    pub fn identification_millis(&self) -> u64 {
+        saturating_millis(self.identification_ns)
+    }
+
+    /// Total time in whole milliseconds, saturating to `u64`.
+    pub fn total_millis(&self) -> u64 {
+        saturating_millis(self.total_ns())
+    }
+
+    /// Mean total nanoseconds per window, or 0 before any window.
+    pub fn mean_ns_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.total_ns() as f64 / self.windows as f64
+        }
+    }
+
     /// Merges another profile into this one.
     pub fn merge(&mut self, other: &CostProfile) {
         self.correlation_ns += other.correlation_ns;
@@ -117,14 +154,37 @@ impl CostProfile {
     }
 }
 
+/// Converts a `u128` nanosecond total into whole milliseconds, saturating
+/// to `u64` (585 million years of headroom — effectively "never wrong, and
+/// never a silent truncation").
+fn saturating_millis(ns: u128) -> u64 {
+    u64::try_from(ns / 1_000_000).unwrap_or(u64::MAX)
+}
+
 /// Optional engine behaviors beyond the paper's defaults.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Device weights for early alarming (Section VI).
     pub weights: DeviceWeights,
     /// If set, a device in the current probable set whose combined weight
     /// reaches this threshold is alarmed immediately.
     pub early_fire_threshold: Option<f64>,
+    /// Telemetry sink for per-window counters, latency histograms, and
+    /// fault-report events. Defaults to [`Telemetry::global`] (a no-op sink
+    /// unless `Telemetry::install_global` ran), so engines constructed
+    /// anywhere in the stack report to the process-wide recorder when one
+    /// is installed. Never affects detection or identification output.
+    pub telemetry: Telemetry,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            weights: DeviceWeights::default(),
+            early_fire_threshold: None,
+            telemetry: Telemetry::global(),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -186,6 +246,81 @@ pub struct DiceEngine<M: Borrow<DiceModel>> {
     obs_scratch: WindowObservation,
     bin_scratch: BinarizeScratch,
     cand_scratch: Vec<Candidate>,
+    /// Local batching buffers for the every-window metrics; `None` when
+    /// telemetry is disabled.
+    tel_batch: Option<TelBatch>,
+}
+
+/// Engine-local telemetry buffers for the metrics touched on every window
+/// (the three latency histograms plus the windows / main-group-hit
+/// counters): the hot path does plain integer bumps, published every
+/// [`TelBatch::FLUSH_EVERY`] windows, at stream boundaries, and on drop.
+/// Rare-path metrics (violations, scan stats, reports) stay immediate.
+#[derive(Debug)]
+struct TelBatch {
+    corr_ns: LocalHistogram,
+    trans_ns: LocalHistogram,
+    ident_ns: LocalHistogram,
+    windows_total: Arc<dice_telemetry::Counter>,
+    main_group_hits_total: Arc<dice_telemetry::Counter>,
+    windows_n: u64,
+    main_hits_n: u64,
+    since_flush: u32,
+}
+
+impl TelBatch {
+    const FLUSH_EVERY: u32 = 1024;
+
+    fn new(metrics: &EngineMetrics) -> Self {
+        TelBatch {
+            corr_ns: LocalHistogram::new(Arc::clone(&metrics.correlation_check_ns)),
+            trans_ns: LocalHistogram::new(Arc::clone(&metrics.transition_check_ns)),
+            ident_ns: LocalHistogram::new(Arc::clone(&metrics.identification_ns)),
+            windows_total: Arc::clone(&metrics.windows_total),
+            main_group_hits_total: Arc::clone(&metrics.main_group_hits_total),
+            windows_n: 0,
+            main_hits_n: 0,
+            since_flush: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        self.corr_ns.flush();
+        self.trans_ns.flush();
+        self.ident_ns.flush();
+        if self.windows_n > 0 {
+            self.windows_total.add(self.windows_n);
+            self.windows_n = 0;
+        }
+        if self.main_hits_n > 0 {
+            self.main_group_hits_total.add(self.main_hits_n);
+            self.main_hits_n = 0;
+        }
+        self.since_flush = 0;
+    }
+}
+
+impl Clone for TelBatch {
+    /// A clone starts with empty buffers against the same shared metrics:
+    /// buffered samples belong to the engine that measured them.
+    fn clone(&self) -> Self {
+        TelBatch {
+            corr_ns: LocalHistogram::new(Arc::clone(self.corr_ns.shared())),
+            trans_ns: LocalHistogram::new(Arc::clone(self.trans_ns.shared())),
+            ident_ns: LocalHistogram::new(Arc::clone(self.ident_ns.shared())),
+            windows_total: Arc::clone(&self.windows_total),
+            main_group_hits_total: Arc::clone(&self.main_group_hits_total),
+            windows_n: 0,
+            main_hits_n: 0,
+            since_flush: 0,
+        }
+    }
+}
+
+impl Drop for TelBatch {
+    fn drop(&mut self) {
+        self.flush();
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -203,6 +338,10 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
 
     /// Creates an engine with explicit options.
     pub fn with_options(model: M, options: EngineOptions) -> Self {
+        let tel_batch = options
+            .telemetry
+            .recorder()
+            .map(|r| TelBatch::new(&r.metrics.engine));
         DiceEngine {
             model,
             options,
@@ -213,6 +352,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             obs_scratch: WindowObservation::default(),
             bin_scratch: BinarizeScratch::default(),
             cand_scratch: Vec::new(),
+            tel_batch,
         }
     }
 
@@ -244,6 +384,9 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
     /// intersection has not narrowed below `numThre` yet, the current
     /// intersection is reported as inconclusive.
     pub fn flush(&mut self) -> Option<FaultReport> {
+        if let Some(batch) = self.tel_batch.as_mut() {
+            batch.flush();
+        }
         let confirm = self.model.borrow().config().confirmation_violations();
         let phase = std::mem::replace(&mut self.phase, Phase::Monitoring);
         match phase {
@@ -289,10 +432,11 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             .binarizer()
             .binarize_into(start, end, events, &mut self.bin_scratch, &mut obs);
         let detector = Detector::new(model);
+        let mut scan_profile = ScanProfile::default();
         let result = match detector.correlation_check(&obs) {
             None => {
                 let mut candidates = std::mem::take(&mut self.cand_scratch);
-                model.scan().candidates_into(
+                scan_profile = model.scan().candidates_into(
                     &obs.state,
                     model.candidate_distance(),
                     &mut candidates,
@@ -302,7 +446,9 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                     // group(s) once, here. Identification and the
                     // previous-window summary both consume this list, where
                     // each used to rescan the whole table on its own.
-                    model.scan().nearest_into(&obs.state, &mut candidates);
+                    let fallback = model.scan().nearest_into(&obs.state, &mut candidates);
+                    scan_profile.rows += fallback.rows;
+                    scan_profile.pruned += fallback.pruned;
                 }
                 CheckResult::CorrelationViolation { candidates }
             }
@@ -324,9 +470,12 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         // through the transition check; a correlation violation never got
         // there. The split is approximate (the two checks share one call)
         // but the correlation check dominates by orders of magnitude.
+        let corr_ns: u128;
+        let mut trans_ns: u128 = 0;
+        let mut transition_checked = false;
         match &result {
             CheckResult::CorrelationViolation { .. } => {
-                self.cost.correlation_ns += t0.elapsed().as_nanos();
+                corr_ns = t0.elapsed().as_nanos();
             }
             _ => {
                 // Re-measure the transition part alone for attribution.
@@ -336,22 +485,76 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                     (self.prev.as_ref(), &result)
                 {
                     let _ = detector.transition_check(prev, *group, &obs);
+                    transition_checked = true;
                 }
-                let trans_ns = t_trans.elapsed().as_nanos();
-                self.cost.transition_ns += trans_ns;
-                self.cost.correlation_ns += (t1 - t0).as_nanos();
+                trans_ns = t_trans.elapsed().as_nanos();
+                corr_ns = (t1 - t0).as_nanos();
             }
         }
+        self.cost.correlation_ns += corr_ns;
+        self.cost.transition_ns += trans_ns;
         self.cost.windows += 1;
 
         // Identification.
         let t2 = Instant::now();
         let report = self.advance_phase(&obs, &result, end);
-        self.cost.identification_ns += t2.elapsed().as_nanos();
+        let ident_ns = t2.elapsed().as_nanos();
+        self.cost.identification_ns += ident_ns;
 
-        // Update previous-window context for the next round, then reclaim
-        // the scratch buffers (capacity survives for the next window).
+        // Update previous-window context for the next round.
         self.update_prev(&obs, &result);
+
+        // Telemetry: pure observation of already-computed values — the
+        // nanosecond figures are the same ones `CostProfile` accumulates
+        // (one clock, two consumers), and nothing here feeds back into
+        // detection or identification.
+        if let Some(recorder) = self.options.telemetry.recorder() {
+            let m = &recorder.metrics.engine;
+            if let Some(batch) = self.tel_batch.as_mut() {
+                batch.windows_n += 1;
+                batch.corr_ns.record(saturating_ns(corr_ns));
+                if transition_checked {
+                    batch.trans_ns.record(saturating_ns(trans_ns));
+                }
+                batch.ident_ns.record(saturating_ns(ident_ns));
+                match &result {
+                    CheckResult::Normal { .. } => batch.main_hits_n += 1,
+                    CheckResult::CorrelationViolation { candidates } => {
+                        m.correlation_violations_total.inc();
+                        m.scan_rows_total.add(u64::from(scan_profile.rows));
+                        m.scan_rows_pruned_total.add(u64::from(scan_profile.pruned));
+                        m.scan_candidates_total.add(candidates.len() as u64);
+                    }
+                    CheckResult::TransitionViolation { cases, .. } => {
+                        batch.main_hits_n += 1;
+                        m.transition_violations_total.inc();
+                        for case in cases {
+                            match case {
+                                TransitionCase::G2G { .. } => m.transition_cases_g2g_total.inc(),
+                                TransitionCase::G2A { .. } => m.transition_cases_g2a_total.inc(),
+                                TransitionCase::A2G { .. } => m.transition_cases_a2g_total.inc(),
+                            }
+                        }
+                    }
+                }
+                batch.since_flush += 1;
+                if batch.since_flush >= TelBatch::FLUSH_EVERY {
+                    batch.flush();
+                }
+            }
+            if let Some(report) = &report {
+                m.reports_total.inc();
+                if report.conclusive {
+                    m.reports_conclusive_total.inc();
+                }
+                m.identification_windows
+                    .record(report.windows_examined as u64);
+                recorder.events.push("fault_report", report.to_string());
+            }
+        }
+
+        // Reclaim the scratch buffers (capacity survives for the next
+        // window).
         self.obs_scratch = obs;
         if let CheckResult::CorrelationViolation { candidates } = result {
             self.cand_scratch = candidates;
@@ -605,6 +808,11 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                 reports.push(report);
             }
         }
+        // Publish batched samples at the stream boundary so a snapshot
+        // taken right after a replay sees every window.
+        if let Some(batch) = self.tel_batch.as_mut() {
+            batch.flush();
+        }
         reports
     }
 }
@@ -726,6 +934,7 @@ mod tests {
         let options = EngineOptions {
             weights,
             early_fire_threshold: Some(50.0),
+            ..EngineOptions::default()
         };
         let mut engine = DiceEngine::with_options(&model, options);
         let mut log = faulty_log(&sensors, 30);
@@ -926,5 +1135,79 @@ mod tests {
         assert!(text.contains("S1"));
         assert!(text.contains("correlation"));
         assert_eq!(report.identification_lag(), TimeDelta::from_mins(2));
+    }
+
+    #[test]
+    fn telemetry_observes_outcomes_without_changing_reports() {
+        let (model, sensors) = trained_model();
+        let telemetry = Telemetry::recording();
+        let mut engine = DiceEngine::with_options(
+            &model,
+            EngineOptions {
+                telemetry: telemetry.clone(),
+                ..EngineOptions::default()
+            },
+        );
+        let reports = engine.process_log(&mut faulty_log(&sensors, 30));
+
+        let mut baseline = DiceEngine::with_options(
+            &model,
+            EngineOptions {
+                telemetry: Telemetry::noop(),
+                ..EngineOptions::default()
+            },
+        );
+        let baseline_reports = baseline.process_log(&mut faulty_log(&sensors, 30));
+        assert_eq!(reports, baseline_reports, "telemetry must not alter output");
+
+        let snapshot = telemetry.snapshot().unwrap();
+        assert_eq!(
+            snapshot.counter("dice_engine_windows_total"),
+            Some(engine.cost_profile().windows)
+        );
+        assert!(
+            snapshot
+                .counter("dice_engine_correlation_violations_total")
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            snapshot.counter("dice_engine_reports_total"),
+            Some(reports.len() as u64)
+        );
+        // The latency histograms see the same windows CostProfile does.
+        let (corr_count, corr_sum) = snapshot
+            .histogram("dice_engine_correlation_check_ns")
+            .unwrap();
+        assert_eq!(corr_count, engine.cost_profile().windows);
+        assert_eq!(u128::from(corr_sum), engine.cost_profile().correlation_ns);
+        // Each report surfaced as a ring event.
+        let recorder = telemetry.recorder().unwrap();
+        let events = recorder.events.snapshot();
+        assert_eq!(events.len(), reports.len());
+        assert!(events.iter().all(|e| e.kind == "fault_report"));
+    }
+
+    #[test]
+    fn cost_profile_saturating_helpers() {
+        let cost = CostProfile {
+            correlation_ns: 2_500_000,
+            transition_ns: 1_000_000,
+            identification_ns: u128::from(u64::MAX) * 1_000_000 + 999_999,
+            windows: 2,
+        };
+        assert_eq!(cost.correlation_millis(), 2);
+        assert_eq!(cost.transition_millis(), 1);
+        assert_eq!(cost.identification_millis(), u64::MAX);
+        assert_eq!(cost.total_millis(), u64::MAX);
+        let sane = CostProfile {
+            correlation_ns: 3_000,
+            transition_ns: 1_000,
+            identification_ns: 2_000,
+            windows: 2,
+        };
+        assert_eq!(sane.total_ns(), 6_000);
+        assert!((sane.mean_ns_per_window() - 3_000.0).abs() < f64::EPSILON);
+        assert_eq!(CostProfile::default().mean_ns_per_window(), 0.0);
     }
 }

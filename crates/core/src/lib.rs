@@ -94,7 +94,7 @@ pub use layout::{BitLayout, BitRole, BitSpan, NUMERIC_SPAN_WIDTH};
 pub use model::DiceModel;
 pub use model_io::{read_model, read_model_unverified, write_model, ModelIoError};
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
-pub use scan::ScanIndex;
+pub use scan::{ScanIndex, ScanProfile};
 pub use stats::{RunningMean, WindowStats};
 pub use transition::{TransitionCounts, TransitionModel};
 pub use weights::DeviceWeights;

@@ -28,6 +28,20 @@ use dice_types::GroupId;
 
 const WORD_BITS: usize = u64::BITS as usize;
 
+/// What one candidate scan did: how many group rows it visited and how many
+/// the popcount prefilter rejected before any XOR work.
+///
+/// Returned by [`ScanIndex::candidates_into`] / [`ScanIndex::nearest_into`]
+/// so the engine can report prefilter effectiveness as telemetry;
+/// `pruned / rows` is the prefilter hit rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanProfile {
+    /// Group rows considered (the whole index, for a full scan).
+    pub rows: u32,
+    /// Rows rejected by the popcount lower bound alone.
+    pub pruned: u32,
+}
+
 /// A packed, popcount-prefiltered mirror of a [`GroupTable`] for candidate
 /// scans.
 ///
@@ -102,15 +116,22 @@ impl ScanIndex {
     /// # Panics
     ///
     /// Panics if the query width does not match the index.
-    pub fn candidates_into(&self, state: &BitSet, max_distance: u32, out: &mut Vec<Candidate>) {
+    pub fn candidates_into(
+        &self,
+        state: &BitSet,
+        max_distance: u32,
+        out: &mut Vec<Candidate>,
+    ) -> ScanProfile {
         assert_eq!(state.len(), self.num_bits, "query width mismatch");
         out.clear();
         let query = state.as_words();
         let query_pc = state.count_ones();
+        let mut pruned = 0u32;
         for (i, &pc) in self.popcounts.iter().enumerate() {
             // |popcount(q) - popcount(g)| lower-bounds hamming(q, g): prune
             // before touching the row's words.
             if query_pc.abs_diff(pc) > max_distance {
+                pruned += 1;
                 continue;
             }
             let row = &self.words[i * self.words_per_row..(i + 1) * self.words_per_row];
@@ -133,6 +154,10 @@ impl ScanIndex {
         // (distance, group) keys are unique, so unstable sorting yields the
         // same order as the table's stable sort.
         out.sort_unstable_by_key(|c| (c.distance, c.group));
+        ScanProfile {
+            rows: self.popcounts.len() as u32,
+            pruned,
+        }
     }
 
     /// Fills `out` with the nearest group(s) to `state`: minimal distance,
@@ -144,16 +169,18 @@ impl ScanIndex {
     /// # Panics
     ///
     /// Panics if the query width does not match the index.
-    pub fn nearest_into(&self, state: &BitSet, out: &mut Vec<Candidate>) {
+    pub fn nearest_into(&self, state: &BitSet, out: &mut Vec<Candidate>) -> ScanProfile {
         assert_eq!(state.len(), self.num_bits, "query width mismatch");
         out.clear();
         let query = state.as_words();
         let query_pc = state.count_ones();
         let mut best = u32::MAX;
+        let mut pruned = 0u32;
         for (i, &pc) in self.popcounts.iter().enumerate() {
             // A row whose popcount gap already exceeds the current best
             // cannot even tie it.
             if query_pc.abs_diff(pc) > best {
+                pruned += 1;
                 continue;
             }
             let row = &self.words[i * self.words_per_row..(i + 1) * self.words_per_row];
@@ -178,19 +205,23 @@ impl ScanIndex {
                 distance,
             });
         }
+        ScanProfile {
+            rows: self.popcounts.len() as u32,
+            pruned,
+        }
     }
 
     /// Allocating convenience wrapper over [`ScanIndex::candidates_into`].
     pub fn candidates(&self, state: &BitSet, max_distance: u32) -> Vec<Candidate> {
         let mut out = Vec::new();
-        self.candidates_into(state, max_distance, &mut out);
+        let _ = self.candidates_into(state, max_distance, &mut out);
         out
     }
 
     /// Allocating convenience wrapper over [`ScanIndex::nearest_into`].
     pub fn nearest(&self, state: &BitSet) -> Vec<Candidate> {
         let mut out = Vec::new();
-        self.nearest_into(state, &mut out);
+        let _ = self.nearest_into(state, &mut out);
         out
     }
 }
@@ -267,11 +298,34 @@ mod tests {
             BitSet::from_indices(5, [0, 2, 4]),
         ];
         for q in &queries {
-            idx.candidates_into(q, 5, &mut out);
+            let _ = idx.candidates_into(q, 5, &mut out);
             assert_eq!(out.capacity(), cap, "candidates_into must not grow");
-            idx.nearest_into(q, &mut out);
+            let _ = idx.nearest_into(q, &mut out);
             assert_eq!(out.capacity(), cap, "nearest_into must not grow");
         }
+    }
+
+    #[test]
+    fn scan_profile_counts_visited_and_pruned_rows() {
+        // Popcounts 0 and 5 against a 2-bit query: with threshold 1 the
+        // prefilter rejects both rows (gaps 2 and 3) before any XOR work.
+        let mut t = GroupTable::new(5);
+        t.observe(&BitSet::from_indices(5, []));
+        t.observe(&BitSet::from_indices(5, [0, 1, 2, 3, 4]));
+        let idx = ScanIndex::build(&t);
+        let q = BitSet::from_indices(5, [0, 1]);
+        let mut out = Vec::new();
+        let profile = idx.candidates_into(&q, 1, &mut out);
+        assert_eq!(profile, ScanProfile { rows: 2, pruned: 2 });
+        assert!(out.is_empty());
+        // Threshold 2 admits the popcount-0 row past the prefilter.
+        let profile = idx.candidates_into(&q, 2, &mut out);
+        assert_eq!(profile, ScanProfile { rows: 2, pruned: 1 });
+        // nearest_into visits every row until a best distance is set; the
+        // empty-set row (distance 2) then prunes nothing further here.
+        let profile = idx.nearest_into(&q, &mut out);
+        assert_eq!(profile.rows, 2);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -1,14 +1,56 @@
 //! Command-line interface regenerating every table and figure of the paper.
 
 use dice_eval::experiments;
+use dice_telemetry::Telemetry;
+
+/// Strips a `--telemetry <path>` / `--telemetry=<path>` flag from `args`,
+/// returning the snapshot path when present.
+fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--telemetry" {
+            if i + 1 >= args.len() {
+                eprintln!("error: --telemetry needs an output path");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            return Some(path);
+        }
+        if let Some(path) = args[i].strip_prefix("--telemetry=") {
+            let path = path.to_string();
+            args.remove(i);
+            return Some(path);
+        }
+        i += 1;
+    }
+    None
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path = extract_telemetry_flag(&mut args);
+    if telemetry_path.is_some() {
+        let _ = Telemetry::install_global(Telemetry::recording());
+    }
     let mut iter = args.iter().map(String::as_str);
     let command = iter.next().unwrap_or("help");
     let rest: Vec<&str> = iter.collect();
     match experiments::run_command(command, &rest) {
-        Ok(output) => println!("{output}"),
+        Ok(output) => {
+            println!("{output}");
+            if let Some(path) = telemetry_path {
+                let Some(snapshot) = Telemetry::global().snapshot() else {
+                    eprintln!("error: telemetry recorder was not installed");
+                    std::process::exit(1);
+                };
+                if let Err(error) = std::fs::write(&path, snapshot.to_json()) {
+                    eprintln!("error: cannot write telemetry snapshot {path:?}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("telemetry snapshot written to {path}");
+            }
+        }
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!();

@@ -9,11 +9,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dice_core::{BitSet, DiceEngine, GroupTable, ScanIndex};
+use dice_core::{BitSet, DiceEngine, EngineOptions, GroupTable, ScanIndex};
 use dice_sim::testbed;
+use dice_telemetry::Telemetry;
 use dice_types::TimeDelta;
 
-use crate::runner::{train_scenario, RunnerConfig};
+use crate::runner::{train_scenario, RunnerConfig, TrainedDataset};
 
 /// hh102's state width: 33 binary sensors + 3 bits per numeric sensor.
 const HH102_BITS: usize = 33 + 3 * 79;
@@ -148,18 +149,26 @@ impl Throughput {
     }
 }
 
-fn engine_throughput() -> Throughput {
-    let cfg = RunnerConfig {
-        seed: 7,
-        trials: 4,
-        precompute: TimeDelta::from_hours(48),
-        segment_len: TimeDelta::from_hours(6),
-        ..RunnerConfig::default()
-    };
-    let spec = testbed::dice_testbed("bench", 7, TimeDelta::from_hours(80), 12, 1);
-    let td = train_scenario(spec, &cfg);
-    let window = cfg.dice.window();
+/// Telemetry recording cost relative to the no-op sink on the same replay.
+#[derive(Debug, Clone, Copy)]
+struct TelemetryOverhead {
+    noop_ns_per_window: f64,
+    recording_ns_per_window: f64,
+}
 
+impl TelemetryOverhead {
+    fn overhead_pct(&self) -> f64 {
+        if self.noop_ns_per_window > 0.0 {
+            (self.recording_ns_per_window - self.noop_ns_per_window) / self.noop_ns_per_window
+                * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Replays every planned segment through an engine wired to `telemetry`.
+fn replay_segments(td: &TrainedDataset, window: TimeDelta, telemetry: &Telemetry) -> Throughput {
     let mut windows = 0u64;
     let mut elapsed_ms = 0.0f64;
     for segment in td.plan.segments() {
@@ -168,7 +177,13 @@ fn engine_throughput() -> Throughput {
             .windows_between(segment.start, segment.end, window)
             .map(|w| (w.start, w.end, w.events.to_vec()))
             .collect();
-        let mut engine = DiceEngine::new(&td.model);
+        let mut engine = DiceEngine::with_options(
+            &td.model,
+            EngineOptions {
+                telemetry: telemetry.clone(),
+                ..EngineOptions::default()
+            },
+        );
         let start = Instant::now();
         for (ws, we, events) in &batched {
             let _ = engine.process_window(*ws, *we, std::hint::black_box(events));
@@ -182,9 +197,53 @@ fn engine_throughput() -> Throughput {
     }
 }
 
+/// End-to-end throughput with the no-op sink, plus the recording overhead
+/// measured on the same testbed replay (min-of-N, interleaved so both modes
+/// see the same machine noise).
+fn engine_throughput() -> (Throughput, TelemetryOverhead) {
+    let cfg = RunnerConfig {
+        seed: 7,
+        trials: 4,
+        precompute: TimeDelta::from_hours(48),
+        segment_len: TimeDelta::from_hours(6),
+        ..RunnerConfig::default()
+    };
+    let spec = testbed::dice_testbed("bench", 7, TimeDelta::from_hours(80), 12, 1);
+    let td = train_scenario(spec, &cfg);
+    let window = cfg.dice.window();
+
+    let mut windows = 0u64;
+    let mut noop_ms = f64::INFINITY;
+    let mut recording_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let noop = replay_segments(&td, window, &Telemetry::noop());
+        windows = noop.windows;
+        noop_ms = noop_ms.min(noop.elapsed_ms);
+        let recording = replay_segments(&td, window, &Telemetry::recording());
+        recording_ms = recording_ms.min(recording.elapsed_ms);
+    }
+    let per_window = |ms: f64| {
+        if windows > 0 {
+            ms * 1e6 / windows as f64
+        } else {
+            0.0
+        }
+    };
+    (
+        Throughput {
+            windows,
+            elapsed_ms: noop_ms,
+        },
+        TelemetryOverhead {
+            noop_ns_per_window: per_window(noop_ms),
+            recording_ns_per_window: per_window(recording_ms),
+        },
+    )
+}
+
 /// Renders the benchmark results as a stable, hand-rolled JSON document
 /// (the serde shim does not serialize, so the emitter formats directly).
-fn render_json(rows: &[ScanRow], throughput: &Throughput) -> String {
+fn render_json(rows: &[ScanRow], throughput: &Throughput, overhead: &TelemetryOverhead) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": 1,\n");
     let _ = writeln!(
@@ -202,10 +261,17 @@ fn render_json(rows: &[ScanRow], throughput: &Throughput) -> String {
     json.push_str("    ]\n  },\n");
     let _ = writeln!(
         json,
-        "  \"end_to_end\": {{\"dataset\": \"testbed\", \"windows\": {}, \"elapsed_ms\": {:.1}, \"windows_per_sec\": {:.0}}}",
+        "  \"end_to_end\": {{\"dataset\": \"testbed\", \"windows\": {}, \"elapsed_ms\": {:.1}, \"windows_per_sec\": {:.0}}},",
         throughput.windows,
         throughput.elapsed_ms,
         throughput.windows_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead\": {{\"noop_ns_per_window\": {:.0}, \"recording_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}}",
+        overhead.noop_ns_per_window,
+        overhead.recording_ns_per_window,
+        overhead.overhead_pct()
     );
     json.push_str("}\n");
     json
@@ -220,8 +286,8 @@ fn render_json(rows: &[ScanRow], throughput: &Throughput) -> String {
 pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let path = path.unwrap_or("BENCH_core.json");
     let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000]);
-    let throughput = engine_throughput();
-    let json = render_json(&rows, &throughput);
+    let (throughput, overhead) = engine_throughput();
+    let json = render_json(&rows, &throughput, &overhead);
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
 
     let mut out = String::new();
@@ -246,6 +312,13 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         throughput.windows,
         throughput.elapsed_ms,
         throughput.windows_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "telemetry: noop {:.0} ns/window, recording {:.0} ns/window ({:+.2}% overhead)",
+        overhead.noop_ns_per_window,
+        overhead.recording_ns_per_window,
+        overhead.overhead_pct()
     );
     Ok(out)
 }
@@ -277,10 +350,16 @@ mod tests {
             windows: 360,
             elapsed_ms: 12.0,
         };
-        let json = render_json(&rows, &throughput);
+        let overhead = TelemetryOverhead {
+            noop_ns_per_window: 1800.0,
+            recording_ns_per_window: 1836.0,
+        };
+        let json = render_json(&rows, &throughput, &overhead);
         assert!(json.contains("\"candidate_scan\""));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"windows_per_sec\": 30000"));
+        assert!(json.contains("\"telemetry_overhead\""));
+        assert!(json.contains("\"overhead_pct\": 2.00"));
         assert!(json.ends_with("}\n"));
     }
 }

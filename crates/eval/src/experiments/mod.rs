@@ -17,6 +17,7 @@ mod misses;
 mod multi_user;
 mod security;
 mod tables;
+mod telemetry_exp;
 mod timing;
 mod weights;
 
@@ -33,6 +34,7 @@ pub use misses::misses;
 pub use multi_user::multi_user;
 pub use security::{run_attacks, security, spoof_sensor, AttackOutcome};
 pub use tables::{table_2_1, table_4_1};
+pub use telemetry_exp::telemetry_check;
 pub use timing::{fig_5_2, fig_5_3, table_5_1, table_5_2};
 pub use weights::weights;
 
@@ -66,7 +68,11 @@ pub fn usage() -> String {
        calibrate <dataset> [trials]   train + evaluate one dataset\n\
        diagnose <dataset> [segments]  explain violations on faultless segments\n\
        misses <dataset> [trials]      list undetected injected faults\n\
-       bench-json [path]              candidate-scan + throughput baseline (BENCH_core.json)"
+       bench-json [path]              candidate-scan + throughput baseline (BENCH_core.json)\n\
+       telemetry-check <path>         validate an exported telemetry snapshot\n\
+     global flags:\n\
+       --telemetry <path>             record runtime metrics and dump a JSON\n\
+                                      snapshot of engine/gateway/eval telemetry"
         .to_string()
 }
 
@@ -213,6 +219,12 @@ pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
             Ok(monitor(model, csv)?)
         }
         "bench-json" => Ok(bench_json(args.first().copied())?),
+        "telemetry-check" => {
+            let path = args
+                .first()
+                .ok_or("telemetry-check needs a snapshot path")?;
+            Ok(telemetry_check(path)?)
+        }
         "misses" => {
             let dataset = args.first().ok_or("misses needs a dataset name")?;
             let trials = args

@@ -53,6 +53,7 @@ pub fn weights(trials: u64, seed: u64) -> String {
             EngineOptions {
                 weights: device_weights.clone(),
                 early_fire_threshold: Some(5.0),
+                ..EngineOptions::default()
             },
         ),
     ] {

@@ -13,10 +13,47 @@ use dice_faults::{
     ActuatorFault, ActuatorFaultType, FaultInjector, FaultPlanner, FaultType, SensorFault,
 };
 use dice_sim::{ScenarioSpec, Simulator};
+use dice_telemetry::{saturating_ns, Telemetry};
 use dice_types::{DeviceId, EventLog, TimeDelta, Timestamp};
 use rayon::prelude::*;
 
 use crate::metrics::{DetectionCounts, IdentificationCounts, LatencyStats};
+
+/// Runs `body` as one evaluation trial, recording its wall-clock duration
+/// into the process-global telemetry (trial count, per-trial histogram, and
+/// worker busy time). A no-op wrapper when no recorder is installed.
+fn timed_trial<T>(body: impl FnOnce() -> T) -> T {
+    let telemetry = Telemetry::global();
+    let Some(recorder) = telemetry.recorder() else {
+        return body();
+    };
+    let start = std::time::Instant::now();
+    let result = body();
+    let ns = saturating_ns(start.elapsed().as_nanos());
+    let metrics = &recorder.metrics.eval;
+    metrics.trials_total.inc();
+    metrics.trial_ns.record(ns);
+    metrics.worker_busy_ns.add(ns);
+    result
+}
+
+/// Runs `body` as one parallel evaluation section, recording its wall-clock
+/// span and the worker-pool width; `busy / (wall * workers)` is the
+/// parallel-worker utilization the snapshot exposes.
+fn timed_parallel_section<T>(body: impl FnOnce() -> T) -> T {
+    let telemetry = Telemetry::global();
+    let Some(recorder) = telemetry.recorder() else {
+        return body();
+    };
+    let start = std::time::Instant::now();
+    let result = body();
+    let metrics = &recorder.metrics.eval;
+    metrics
+        .wall_ns
+        .add(saturating_ns(start.elapsed().as_nanos()));
+    metrics.workers.set_max(rayon::current_num_threads() as i64);
+    result
+}
 
 /// Configuration of one evaluation run.
 #[derive(Debug, Clone)]
@@ -81,6 +118,9 @@ pub fn train_scenario(spec: ScenarioSpec, cfg: &RunnerConfig) -> TrainedDataset 
     let plan = SegmentPlan::new(spec.duration, cfg.precompute, cfg.segment_len);
     let sim = Simulator::new(spec).expect("valid scenario");
     let model = train_model(&sim, &plan, cfg);
+    if let Some(recorder) = Telemetry::global().recorder() {
+        recorder.metrics.eval.datasets_total.inc();
+    }
     TrainedDataset {
         name,
         sim,
@@ -201,10 +241,12 @@ pub struct DatasetEvaluation {
 pub fn evaluate_sensor_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> DatasetEvaluation {
     let planner = FaultPlanner::new(cfg.seed ^ 0xFA17);
     let injector = FaultInjector::new(cfg.seed ^ 0x1213);
-    let trials: Vec<SensorTrial> = (0..cfg.trials)
-        .into_par_iter()
-        .map(|trial| run_sensor_trial(td, &planner, &injector, trial))
-        .collect();
+    let trials: Vec<SensorTrial> = timed_parallel_section(|| {
+        (0..cfg.trials)
+            .into_par_iter()
+            .map(|trial| timed_trial(|| run_sensor_trial(td, &planner, &injector, trial)))
+            .collect()
+    });
     fold_sensor_trials(td, trials)
 }
 
@@ -216,7 +258,7 @@ pub fn evaluate_sensor_faults_serial(td: &TrainedDataset, cfg: &RunnerConfig) ->
     let planner = FaultPlanner::new(cfg.seed ^ 0xFA17);
     let injector = FaultInjector::new(cfg.seed ^ 0x1213);
     let trials: Vec<SensorTrial> = (0..cfg.trials)
-        .map(|trial| run_sensor_trial(td, &planner, &injector, trial))
+        .map(|trial| timed_trial(|| run_sensor_trial(td, &planner, &injector, trial)))
         .collect();
     fold_sensor_trials(td, trials)
 }
@@ -369,10 +411,12 @@ pub struct MultiFaultEvaluation {
 pub fn evaluate_multi_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> MultiFaultEvaluation {
     let planner = FaultPlanner::new(cfg.seed ^ 0x3FA1);
     let injector = FaultInjector::new(cfg.seed ^ 0x77);
-    let trials: Vec<MultiTrial> = (0..cfg.trials)
-        .into_par_iter()
-        .map(|trial| run_multi_trial(td, &planner, &injector, trial))
-        .collect();
+    let trials: Vec<MultiTrial> = timed_parallel_section(|| {
+        (0..cfg.trials)
+            .into_par_iter()
+            .map(|trial| timed_trial(|| run_multi_trial(td, &planner, &injector, trial)))
+            .collect()
+    });
     fold_multi_trials(trials)
 }
 
@@ -384,7 +428,7 @@ pub fn evaluate_multi_faults_serial(
     let planner = FaultPlanner::new(cfg.seed ^ 0x3FA1);
     let injector = FaultInjector::new(cfg.seed ^ 0x77);
     let trials: Vec<MultiTrial> = (0..cfg.trials)
-        .map(|trial| run_multi_trial(td, &planner, &injector, trial))
+        .map(|trial| timed_trial(|| run_multi_trial(td, &planner, &injector, trial)))
         .collect();
     fold_multi_trials(trials)
 }
@@ -464,10 +508,12 @@ pub fn evaluate_actuator_faults(td: &TrainedDataset, cfg: &RunnerConfig) -> Actu
     );
     let planner = FaultPlanner::new(cfg.seed ^ 0xAC7);
     let injector = FaultInjector::new(cfg.seed ^ 0xAC8);
-    let trials: Vec<ActuatorTrial> = (0..cfg.trials)
-        .into_par_iter()
-        .map(|trial| run_actuator_trial(td, &planner, &injector, trial))
-        .collect();
+    let trials: Vec<ActuatorTrial> = timed_parallel_section(|| {
+        (0..cfg.trials)
+            .into_par_iter()
+            .map(|trial| timed_trial(|| run_actuator_trial(td, &planner, &injector, trial)))
+            .collect()
+    });
     fold_actuator_trials(trials)
 }
 
@@ -483,7 +529,7 @@ pub fn evaluate_actuator_faults_serial(
     let planner = FaultPlanner::new(cfg.seed ^ 0xAC7);
     let injector = FaultInjector::new(cfg.seed ^ 0xAC8);
     let trials: Vec<ActuatorTrial> = (0..cfg.trials)
-        .map(|trial| run_actuator_trial(td, &planner, &injector, trial))
+        .map(|trial| timed_trial(|| run_actuator_trial(td, &planner, &injector, trial)))
         .collect();
     fold_actuator_trials(trials)
 }

@@ -90,6 +90,15 @@ pub fn load_model<R: Read>(
 ) -> Result<(DiceModel, Vec<Diagnostic>), BootError> {
     let model = dice_core::read_model_unverified(reader)?;
     let findings = verify_model(&model);
+    if let Some(rec) = dice_telemetry::Telemetry::global().recorder() {
+        rec.metrics
+            .gateway
+            .boot_findings_total
+            .add(findings.len() as u64);
+        for finding in &findings {
+            rec.events.push("verify_finding", finding.to_string());
+        }
+    }
     if has_errors(&findings) && !options.accept_invalid_model {
         return Err(BootError::Rejected(findings));
     }

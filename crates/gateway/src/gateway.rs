@@ -15,7 +15,8 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
-use dice_core::{DiceEngine, DiceModel, FaultReport};
+use dice_core::{DiceEngine, DiceModel, EngineOptions, FaultReport};
+use dice_telemetry::Telemetry;
 use dice_types::{DeviceId, Event, Timestamp};
 
 use crate::message::{decode_event, FrameError};
@@ -56,6 +57,7 @@ pub struct GatewayStats {
 pub struct HomeGateway<M: Borrow<DiceModel>> {
     engine: Mutex<DiceEngine<M>>,
     alarm_cooldown: dice_types::TimeDelta,
+    telemetry: Telemetry,
 }
 
 impl<M: Borrow<DiceModel>> HomeGateway<M> {
@@ -70,9 +72,26 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
     /// (an ongoing fault keeps violating until the device is fixed, but the
     /// user needs one alarm, not one per minute).
     pub fn with_cooldown(model: M, alarm_cooldown: dice_types::TimeDelta) -> Self {
+        Self::with_telemetry(model, alarm_cooldown, Telemetry::global())
+    }
+
+    /// Creates a gateway reporting to an explicit telemetry sink; the inner
+    /// engine shares the same sink, so one recorder sees both layers.
+    pub fn with_telemetry(
+        model: M,
+        alarm_cooldown: dice_types::TimeDelta,
+        telemetry: Telemetry,
+    ) -> Self {
         HomeGateway {
-            engine: Mutex::new(DiceEngine::new(model)),
+            engine: Mutex::new(DiceEngine::with_options(
+                model,
+                EngineOptions {
+                    telemetry: telemetry.clone(),
+                    ..EngineOptions::default()
+                },
+            )),
             alarm_cooldown,
+            telemetry,
         }
     }
 
@@ -96,6 +115,7 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
         to: Timestamp,
     ) -> GatewayStats {
         let mut stats = GatewayStats::default();
+        let recorder = self.telemetry.recorder();
         let window = {
             let engine = self.engine.lock();
             engine.model().config().window()
@@ -104,6 +124,12 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
         // K-way merge state: one pending event per live stream.
         let mut streams: Vec<Option<Receiver<Bytes>>> = inputs.into_iter().map(Some).collect();
         let mut pending: Vec<Option<Event>> = vec![None; streams.len()];
+        if let Some(rec) = recorder {
+            rec.metrics
+                .gateway
+                .streams_connected
+                .set(streams.len() as i64);
+        }
 
         let mut window_start = from.align_down(window);
         let mut window_events: Vec<Event> = Vec::new();
@@ -125,24 +151,56 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                         last_alarmed.insert(d, now);
                     }
                     stats.alarms += 1;
+                    if let Some(rec) = recorder {
+                        rec.metrics.gateway.alarms_total.inc();
+                    }
                     let _ = alarms.send(Alarm { report });
+                } else if let Some(rec) = recorder {
+                    rec.metrics.gateway.alarms_suppressed_total.inc();
                 }
             };
 
         'merge: loop {
+            // Sample fan-in pressure before draining: the high-water mark of
+            // frames queued across all live aggregator channels.
+            if let Some(rec) = recorder {
+                let mut depth = 0usize;
+                for rx in streams.iter().flatten() {
+                    depth += rx.len();
+                }
+                rec.metrics.gateway.channel_depth.set_max(depth as i64);
+            }
+
             // Refill pending slots.
             for (slot, stream) in streams.iter_mut().enumerate() {
                 while pending[slot].is_none() {
                     let Some(rx) = stream else { break };
                     match rx.recv() {
-                        Ok(frame) => match decode_event(frame) {
-                            Ok(event) => pending[slot] = Some(event),
-                            Err(FrameError::Truncated)
-                            | Err(FrameError::UnknownTag(_))
-                            | Err(FrameError::BadBool(_)) => stats.decode_errors += 1,
-                        },
+                        Ok(frame) => {
+                            if let Some(rec) = recorder {
+                                rec.metrics.gateway.frames_total.inc();
+                            }
+                            match decode_event(frame) {
+                                Ok(event) => pending[slot] = Some(event),
+                                Err(
+                                    error @ (FrameError::Truncated
+                                    | FrameError::UnknownTag(_)
+                                    | FrameError::BadBool(_)),
+                                ) => {
+                                    stats.decode_errors += 1;
+                                    if let Some(rec) = recorder {
+                                        rec.metrics.gateway.decode_errors_total.inc();
+                                        rec.events
+                                            .push("decode_error", format!("slot {slot}: {error}"));
+                                    }
+                                }
+                            }
+                        }
                         Err(_) => {
                             *stream = None; // aggregator hung up
+                            if let Some(rec) = recorder {
+                                rec.metrics.gateway.streams_connected.add(-1);
+                            }
                             break;
                         }
                     }
@@ -164,6 +222,9 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                 continue; // outside the monitored range
             }
             stats.events += 1;
+            if let Some(rec) = recorder {
+                rec.metrics.gateway.events_total.inc();
+            }
 
             // Close windows the merged stream has passed.
             while event.at() >= window_start + window {
@@ -172,6 +233,9 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                     deliver(report, &mut stats, &mut last_alarmed);
                 }
                 stats.windows += 1;
+                if let Some(rec) = recorder {
+                    rec.metrics.gateway.windows_total.inc();
+                }
                 window_events.clear();
                 window_start = end;
             }
@@ -185,6 +249,9 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                 deliver(report, &mut stats, &mut last_alarmed);
             }
             stats.windows += 1;
+            if let Some(rec) = recorder {
+                rec.metrics.gateway.windows_total.inc();
+            }
             window_events.clear();
             window_start = end;
         }
@@ -303,6 +370,56 @@ mod tests {
         let streamed: Vec<FaultReport> = alarms.into_iter().map(|a| a.report).collect();
         assert!(!streamed.is_empty());
         assert_eq!(streamed[0], offline[0]);
+    }
+
+    #[test]
+    fn telemetry_sees_gateway_and_engine_layers_in_one_recorder() {
+        let (_, sensors, model) = training_home();
+        let telemetry = Telemetry::recording();
+        let events = live_events(&sensors, 60, true);
+        let parts = partition_by_device(&events, 3);
+        let mut receivers = Vec::new();
+        let mut handles = Vec::new();
+        for (i, part) in parts.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            handles.push(spawn_aggregator(format!("a{i}"), part, tx));
+            receivers.push(rx);
+        }
+        let (alarm_tx, _alarm_rx) = unbounded();
+        let gateway =
+            HomeGateway::with_telemetry(&model, TimeDelta::from_mins(60), telemetry.clone());
+        let stats = gateway.run(
+            receivers,
+            &alarm_tx,
+            Timestamp::ZERO,
+            Timestamp::from_mins(60),
+        );
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snapshot = telemetry.snapshot().unwrap();
+        assert_eq!(
+            snapshot.counter("dice_gateway_windows_total"),
+            Some(stats.windows)
+        );
+        assert_eq!(
+            snapshot.counter("dice_gateway_events_total"),
+            Some(stats.events)
+        );
+        // Every frame carried one event; out-of-range events are received
+        // but not accepted, so frames >= accepted events.
+        assert!(snapshot.counter("dice_gateway_frames_total").unwrap() >= stats.events);
+        assert_eq!(
+            snapshot.counter("dice_gateway_alarms_total"),
+            Some(stats.alarms)
+        );
+        // The engine shares the recorder: its windows match the gateway's.
+        assert_eq!(
+            snapshot.counter("dice_engine_windows_total"),
+            Some(stats.windows)
+        );
+        // All aggregators hung up by the end of the run.
+        assert_eq!(snapshot.gauge("dice_gateway_streams_connected"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! The DICE metric catalog: every metric the engine, gateway, and eval
+//! stack record, registered once with static handles.
+//!
+//! Names follow the Prometheus convention `dice_<layer>_<what>[_total]`.
+//! The DESIGN.md section 5e table is generated from the help strings here;
+//! [`crate::validate_snapshot_json`] requires every catalog name to be
+//! present in an exported snapshot.
+
+use std::sync::Arc;
+
+use crate::registry::{Counter, Gauge, Histogram, Registry};
+
+/// Latency bucket bounds in nanoseconds: powers of four from 1 µs to 4 s.
+pub const LATENCY_BOUNDS_NS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+/// Trial-duration bucket bounds in nanoseconds: 1 ms to ~4 min.
+pub const TRIAL_BOUNDS_NS: [u64; 9] = [
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+    16_000_000_000,
+    256_000_000_000,
+];
+
+/// Identification-convergence bucket bounds, in windows.
+pub const WINDOW_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Engine-layer metrics (`dice-core`): per-window check outcomes, scan
+/// prefilter effectiveness, and the Figure 5.3 latency split.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Windows processed by any engine in this process.
+    pub windows_total: Arc<Counter>,
+    /// Windows whose state set matched a main group exactly.
+    pub main_group_hits_total: Arc<Counter>,
+    /// Windows flagged by the correlation check.
+    pub correlation_violations_total: Arc<Counter>,
+    /// Windows flagged by the transition check.
+    pub transition_violations_total: Arc<Counter>,
+    /// Zero-probability G2G cases found.
+    pub transition_cases_g2g_total: Arc<Counter>,
+    /// Zero-probability G2A cases found.
+    pub transition_cases_g2a_total: Arc<Counter>,
+    /// Zero-probability A2G cases found.
+    pub transition_cases_a2g_total: Arc<Counter>,
+    /// Group rows visited by candidate scans.
+    pub scan_rows_total: Arc<Counter>,
+    /// Group rows skipped by the popcount prefilter before any XOR work.
+    pub scan_rows_pruned_total: Arc<Counter>,
+    /// Candidate groups admitted by candidate scans.
+    pub scan_candidates_total: Arc<Counter>,
+    /// Fault reports emitted.
+    pub reports_total: Arc<Counter>,
+    /// Fault reports that converged below `numThre`.
+    pub reports_conclusive_total: Arc<Counter>,
+    /// Wall-clock time of binarization + the correlation check, per window.
+    pub correlation_check_ns: Arc<Histogram>,
+    /// Wall-clock time of the transition check, per checked window.
+    pub transition_check_ns: Arc<Histogram>,
+    /// Wall-clock time of the identification step, per window.
+    pub identification_ns: Arc<Histogram>,
+    /// Windows from detection to an emitted report.
+    pub identification_windows: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn register(r: &Registry) -> Self {
+        EngineMetrics {
+            windows_total: r.counter("dice_engine_windows_total", "Windows processed"),
+            main_group_hits_total: r.counter(
+                "dice_engine_main_group_hits_total",
+                "Windows with an exact main-group match",
+            ),
+            correlation_violations_total: r.counter(
+                "dice_engine_correlation_violations_total",
+                "Windows flagged by the correlation check",
+            ),
+            transition_violations_total: r.counter(
+                "dice_engine_transition_violations_total",
+                "Windows flagged by the transition check",
+            ),
+            transition_cases_g2g_total: r.counter(
+                "dice_engine_transition_cases_g2g_total",
+                "Zero-probability group-to-group cases",
+            ),
+            transition_cases_g2a_total: r.counter(
+                "dice_engine_transition_cases_g2a_total",
+                "Zero-probability group-to-actuator cases",
+            ),
+            transition_cases_a2g_total: r.counter(
+                "dice_engine_transition_cases_a2g_total",
+                "Zero-probability actuator-to-group cases",
+            ),
+            scan_rows_total: r.counter(
+                "dice_engine_scan_rows_total",
+                "Group rows visited by candidate scans",
+            ),
+            scan_rows_pruned_total: r.counter(
+                "dice_engine_scan_rows_pruned_total",
+                "Group rows pruned by the popcount prefilter",
+            ),
+            scan_candidates_total: r.counter(
+                "dice_engine_scan_candidates_total",
+                "Candidate groups admitted by candidate scans",
+            ),
+            reports_total: r.counter("dice_engine_reports_total", "Fault reports emitted"),
+            reports_conclusive_total: r.counter(
+                "dice_engine_reports_conclusive_total",
+                "Fault reports that converged below numThre",
+            ),
+            correlation_check_ns: r.histogram(
+                "dice_engine_correlation_check_ns",
+                "Binarization + correlation check time per window",
+                "ns",
+                &LATENCY_BOUNDS_NS,
+            ),
+            transition_check_ns: r.histogram(
+                "dice_engine_transition_check_ns",
+                "Transition check time per checked window",
+                "ns",
+                &LATENCY_BOUNDS_NS,
+            ),
+            identification_ns: r.histogram(
+                "dice_engine_identification_ns",
+                "Identification time per window",
+                "ns",
+                &LATENCY_BOUNDS_NS,
+            ),
+            identification_windows: r.histogram(
+                "dice_engine_identification_windows",
+                "Windows from detection to report",
+                "windows",
+                &WINDOW_BOUNDS,
+            ),
+        }
+    }
+
+    /// Fraction of scanned rows skipped by the popcount prefilter, in
+    /// `[0, 1]`; 0 when nothing was scanned.
+    pub fn scan_prefilter_hit_rate(&self) -> f64 {
+        let rows = self.scan_rows_total.get();
+        if rows == 0 {
+            0.0
+        } else {
+            self.scan_rows_pruned_total.get() as f64 / rows as f64
+        }
+    }
+}
+
+/// Gateway-layer metrics (`dice-gateway`): frame decode outcomes, merge
+/// fan-in pressure, alarms, and boot verification findings.
+#[derive(Debug, Clone)]
+pub struct GatewayMetrics {
+    /// Frames received from aggregators.
+    pub frames_total: Arc<Counter>,
+    /// Frames that failed to decode and were dropped.
+    pub decode_errors_total: Arc<Counter>,
+    /// Events accepted into the monitored range.
+    pub events_total: Arc<Counter>,
+    /// Windows closed and fed to the engine.
+    pub windows_total: Arc<Counter>,
+    /// Alarms delivered to the alarm channel.
+    pub alarms_total: Arc<Counter>,
+    /// Alarms suppressed by the per-device cooldown.
+    pub alarms_suppressed_total: Arc<Counter>,
+    /// High-water mark of queued frames across aggregator channels.
+    pub channel_depth: Arc<Gauge>,
+    /// Currently connected aggregator streams.
+    pub streams_connected: Arc<Gauge>,
+    /// Static-verification findings reported at gateway boot.
+    pub boot_findings_total: Arc<Counter>,
+}
+
+impl GatewayMetrics {
+    fn register(r: &Registry) -> Self {
+        GatewayMetrics {
+            frames_total: r.counter(
+                "dice_gateway_frames_total",
+                "Frames received from aggregators",
+            ),
+            decode_errors_total: r.counter(
+                "dice_gateway_decode_errors_total",
+                "Frames dropped as undecodable",
+            ),
+            events_total: r.counter(
+                "dice_gateway_events_total",
+                "Events accepted into the monitored range",
+            ),
+            windows_total: r.counter(
+                "dice_gateway_windows_total",
+                "Windows closed by the gateway loop",
+            ),
+            alarms_total: r.counter("dice_gateway_alarms_total", "Alarms delivered"),
+            alarms_suppressed_total: r.counter(
+                "dice_gateway_alarms_suppressed_total",
+                "Alarms suppressed by the cooldown",
+            ),
+            channel_depth: r.gauge(
+                "dice_gateway_channel_depth",
+                "High-water mark of queued frames across aggregator channels",
+            ),
+            streams_connected: r.gauge(
+                "dice_gateway_streams_connected",
+                "Currently connected aggregator streams",
+            ),
+            boot_findings_total: r.counter(
+                "dice_gateway_boot_findings_total",
+                "Verification findings at gateway boot",
+            ),
+        }
+    }
+}
+
+/// Eval-layer metrics (`dice-eval`): per-trial durations and parallel
+/// worker utilization.
+#[derive(Debug, Clone)]
+pub struct EvalMetrics {
+    /// Trials executed (faulty + faultless replays count as one trial).
+    pub trials_total: Arc<Counter>,
+    /// Datasets trained.
+    pub datasets_total: Arc<Counter>,
+    /// Wall-clock duration of one trial.
+    pub trial_ns: Arc<Histogram>,
+    /// Sum of per-trial durations (worker busy time).
+    pub worker_busy_ns: Arc<Counter>,
+    /// Wall-clock time inside parallel evaluation sections.
+    pub wall_ns: Arc<Counter>,
+    /// Parallel worker threads in the evaluation pool.
+    pub workers: Arc<Gauge>,
+}
+
+impl EvalMetrics {
+    fn register(r: &Registry) -> Self {
+        EvalMetrics {
+            trials_total: r.counter("dice_eval_trials_total", "Evaluation trials executed"),
+            datasets_total: r.counter("dice_eval_datasets_total", "Datasets trained"),
+            trial_ns: r.histogram(
+                "dice_eval_trial_ns",
+                "Wall-clock duration of one trial",
+                "ns",
+                &TRIAL_BOUNDS_NS,
+            ),
+            worker_busy_ns: r.counter(
+                "dice_eval_worker_busy_ns",
+                "Sum of per-trial durations across workers",
+            ),
+            wall_ns: r.counter(
+                "dice_eval_wall_ns",
+                "Wall-clock time inside parallel evaluation sections",
+            ),
+            workers: r.gauge("dice_eval_workers", "Parallel evaluation worker threads"),
+        }
+    }
+
+    /// Parallel worker utilization in `[0, 1]`: busy time divided by wall
+    /// time times workers. 0 before any parallel section ran.
+    pub fn worker_utilization(&self) -> f64 {
+        let workers = self.workers.get().max(1) as f64;
+        let wall = self.wall_ns.get() as f64 * workers;
+        if wall <= 0.0 {
+            0.0
+        } else {
+            (self.worker_busy_ns.get() as f64 / wall).min(1.0)
+        }
+    }
+}
+
+/// The full DICE metric catalog, one instance per recording [`Registry`].
+#[derive(Debug, Clone)]
+pub struct DiceMetrics {
+    /// Engine-layer metrics.
+    pub engine: EngineMetrics,
+    /// Gateway-layer metrics.
+    pub gateway: GatewayMetrics,
+    /// Eval-layer metrics.
+    pub eval: EvalMetrics,
+}
+
+impl DiceMetrics {
+    /// Registers the whole catalog into `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        DiceMetrics {
+            engine: EngineMetrics::register(registry),
+            gateway: GatewayMetrics::register(registry),
+            eval: EvalMetrics::register(registry),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_registers_all_layers() {
+        let registry = Registry::new();
+        let metrics = DiceMetrics::register(&registry);
+        assert!(registry.len() >= 25);
+        metrics.engine.windows_total.inc();
+        metrics.gateway.frames_total.inc();
+        metrics.eval.trials_total.inc();
+        let names: Vec<_> = registry.entries().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"dice_engine_windows_total"));
+        assert!(names.contains(&"dice_gateway_channel_depth"));
+        assert!(names.contains(&"dice_eval_trial_ns"));
+    }
+
+    #[test]
+    fn prefilter_hit_rate_and_utilization_handle_zero() {
+        let registry = Registry::new();
+        let metrics = DiceMetrics::register(&registry);
+        assert_eq!(metrics.engine.scan_prefilter_hit_rate(), 0.0);
+        assert_eq!(metrics.eval.worker_utilization(), 0.0);
+        metrics.engine.scan_rows_total.add(100);
+        metrics.engine.scan_rows_pruned_total.add(80);
+        assert!((metrics.engine.scan_prefilter_hit_rate() - 0.8).abs() < 1e-12);
+        metrics.eval.workers.set(2);
+        metrics.eval.wall_ns.add(1_000);
+        metrics.eval.worker_busy_ns.add(1_500);
+        assert!((metrics.eval.worker_utilization() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,435 @@
+//! Exporters: a schema-versioned JSON snapshot and a Prometheus-style text
+//! exposition, plus the snapshot validator used by CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::catalog::DiceMetrics;
+use crate::json::{self, Value};
+use crate::registry::{MetricKind, Registry};
+use crate::ring::{EventRing, TelemetryEvent};
+
+/// The JSON snapshot schema version. Bump when keys change shape.
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// The `kind` discriminator every snapshot carries.
+pub const SNAPSHOT_KIND: &str = "dice-telemetry-snapshot";
+
+/// A point-in-time copy of a registry and event ring, decoupled from the
+/// live atomics so both exporters render identical numbers.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    counters: Vec<CounterRow>,
+    gauges: Vec<GaugeRow>,
+    histograms: Vec<HistogramRow>,
+    events: Vec<TelemetryEvent>,
+    dropped_events: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CounterRow {
+    name: &'static str,
+    help: &'static str,
+    value: u64,
+}
+
+#[derive(Debug, Clone)]
+struct GaugeRow {
+    name: &'static str,
+    help: &'static str,
+    value: i64,
+}
+
+#[derive(Debug, Clone)]
+struct HistogramRow {
+    name: &'static str,
+    help: &'static str,
+    unit: &'static str,
+    bounds: Vec<u64>,
+    /// Cumulative counts per bound, then the total (the `+Inf` bucket).
+    cumulative: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Snapshot {
+    /// Captures every metric in `registry` and the retained `events`.
+    pub fn collect(registry: &Registry, events: &EventRing) -> Self {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for entry in registry.entries() {
+            match entry.kind() {
+                MetricKind::Counter => {
+                    let counter = entry.as_counter().expect("kind checked");
+                    counters.push(CounterRow {
+                        name: entry.name,
+                        help: entry.help,
+                        value: counter.get(),
+                    });
+                }
+                MetricKind::Gauge => {
+                    let gauge = entry.as_gauge().expect("kind checked");
+                    gauges.push(GaugeRow {
+                        name: entry.name,
+                        help: entry.help,
+                        value: gauge.get(),
+                    });
+                }
+                MetricKind::Histogram => {
+                    let histogram = entry.as_histogram().expect("kind checked");
+                    let buckets = histogram.bucket_counts();
+                    let mut cumulative = Vec::with_capacity(buckets.len());
+                    let mut running = 0u64;
+                    for count in &buckets {
+                        running += count;
+                        cumulative.push(running);
+                    }
+                    histograms.push(HistogramRow {
+                        name: entry.name,
+                        help: entry.help,
+                        unit: entry.unit,
+                        bounds: histogram.bounds().to_vec(),
+                        cumulative,
+                        sum: histogram.sum(),
+                        count: running,
+                    });
+                }
+            }
+        }
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: events.snapshot(),
+            dropped_events: events.dropped(),
+        }
+    }
+
+    /// The value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of a gauge by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The (count, sum) of a histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<(u64, u64)> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| (h.count, h.sum))
+    }
+
+    /// Renders the schema-versioned JSON snapshot document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {SNAPSHOT_SCHEMA},");
+        let _ = writeln!(out, "  \"kind\": \"{SNAPSHOT_KIND}\",");
+        out.push_str("  \"counters\": {\n");
+        for (i, row) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{}\": {}{comma}", row.name, row.value);
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"gauges\": {\n");
+        for (i, row) in self.gauges.iter().enumerate() {
+            let comma = if i + 1 < self.gauges.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{}\": {}{comma}", row.name, row.value);
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"histograms\": {\n");
+        for (i, row) in self.histograms.iter().enumerate() {
+            let _ = writeln!(out, "    \"{}\": {{", row.name);
+            let _ = writeln!(out, "      \"unit\": \"{}\",", json::escape(row.unit));
+            let _ = writeln!(out, "      \"count\": {},", row.count);
+            let _ = writeln!(out, "      \"sum\": {},", row.sum);
+            out.push_str("      \"buckets\": [");
+            for (j, (&bound, &cum)) in row.bounds.iter().zip(&row.cumulative).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{{\"le\": {bound}, \"count\": {cum}}}");
+            }
+            if row.cumulative.len() > row.bounds.len() {
+                // Overflow bucket: le is null, meaning +Inf.
+                if !row.bounds.is_empty() {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\": null, \"count\": {}}}",
+                    row.cumulative[row.cumulative.len() - 1]
+                );
+            }
+            out.push_str("]\n");
+            let comma = if i + 1 < self.histograms.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(out, "  \"dropped_events\": {},", self.dropped_events);
+        out.push_str("  \"events\": [\n");
+        for (i, event) in self.events.iter().enumerate() {
+            let comma = if i + 1 < self.events.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"seq\": {}, \"kind\": \"{}\", \"message\": \"{}\"}}{comma}",
+                event.seq,
+                json::escape(event.kind),
+                json::escape(&event.message)
+            );
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Histograms follow the `_bucket{le=...}` / `_sum` / `_count`
+    /// convention with cumulative buckets ending at `le="+Inf"`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for row in &self.counters {
+            let _ = writeln!(out, "# HELP {} {}", row.name, row.help);
+            let _ = writeln!(out, "# TYPE {} counter", row.name);
+            let _ = writeln!(out, "{} {}", row.name, row.value);
+        }
+        for row in &self.gauges {
+            let _ = writeln!(out, "# HELP {} {}", row.name, row.help);
+            let _ = writeln!(out, "# TYPE {} gauge", row.name);
+            let _ = writeln!(out, "{} {}", row.name, row.value);
+        }
+        for row in &self.histograms {
+            let _ = writeln!(out, "# HELP {} {}", row.name, row.help);
+            let _ = writeln!(out, "# TYPE {} histogram", row.name);
+            for (&bound, &cum) in row.bounds.iter().zip(&row.cumulative) {
+                let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cum}", row.name);
+            }
+            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", row.name, row.count);
+            let _ = writeln!(out, "{}_sum {}", row.name, row.sum);
+            let _ = writeln!(out, "{}_count {}", row.name, row.count);
+        }
+        out
+    }
+}
+
+/// Validates a JSON snapshot document against the documented schema:
+/// schema version, kind discriminator, the four sections, and presence of
+/// every metric in the [`DiceMetrics`] catalog with internally consistent
+/// histogram buckets.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
+    let value = json::parse(document).map_err(|e| e.to_string())?;
+    let root = value.as_obj().ok_or("snapshot root must be an object")?;
+
+    let schema = root
+        .get("schema")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric \"schema\"")?;
+    if schema as u32 != SNAPSHOT_SCHEMA {
+        return Err(format!(
+            "schema version {schema} != expected {SNAPSHOT_SCHEMA}"
+        ));
+    }
+    if root.get("kind").and_then(Value::as_str) != Some(SNAPSHOT_KIND) {
+        return Err(format!(
+            "missing or wrong \"kind\" (want {SNAPSHOT_KIND:?})"
+        ));
+    }
+
+    let counters = section(root, "counters")?;
+    let gauges = section(root, "gauges")?;
+    let histograms = section(root, "histograms")?;
+    root.get("events")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"events\" array")?;
+    root.get("dropped_events")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric \"dropped_events\"")?;
+
+    // Every catalog metric must be present under its kind's section.
+    let reference = Registry::new();
+    let _ = DiceMetrics::register(&reference);
+    for entry in reference.entries() {
+        let (map, label) = match entry.kind() {
+            MetricKind::Counter => (counters, "counters"),
+            MetricKind::Gauge => (gauges, "gauges"),
+            MetricKind::Histogram => (histograms, "histograms"),
+        };
+        if !map.contains_key(entry.name) {
+            return Err(format!(
+                "catalog metric {:?} missing from {label}",
+                entry.name
+            ));
+        }
+    }
+
+    for (name, histogram) in histograms {
+        let count = histogram
+            .get("count")
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("histogram {name:?} missing count"))?;
+        let buckets = histogram
+            .get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("histogram {name:?} missing buckets"))?;
+        let mut previous = 0.0;
+        for bucket in buckets {
+            let cum = bucket
+                .get("count")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("histogram {name:?} bucket missing count"))?;
+            if cum < previous {
+                return Err(format!("histogram {name:?} buckets are not cumulative"));
+            }
+            previous = cum;
+        }
+        if let Some(last) = buckets.last() {
+            let total = last.get("count").and_then(Value::as_num).unwrap_or(-1.0);
+            if (total - count).abs() > 0.5 {
+                return Err(format!(
+                    "histogram {name:?} +Inf bucket {total} != count {count}"
+                ));
+            }
+        }
+        histogram
+            .get("unit")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("histogram {name:?} missing unit"))?;
+    }
+    Ok(())
+}
+
+fn section<'a>(
+    root: &'a BTreeMap<String, Value>,
+    name: &str,
+) -> Result<&'a BTreeMap<String, Value>, String> {
+    root.get(name)
+        .and_then(Value::as_obj)
+        .ok_or_else(|| format!("missing {name:?} object"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Registry, EventRing) {
+        let registry = Registry::new();
+        let metrics = DiceMetrics::register(&registry);
+        metrics.engine.windows_total.add(42);
+        metrics.engine.correlation_violations_total.add(3);
+        metrics.gateway.channel_depth.set_max(9);
+        metrics.engine.correlation_check_ns.record(5_000);
+        metrics.engine.correlation_check_ns.record(9_000_000_000);
+        let events = EventRing::new(8);
+        events.push("fault_report", "devices {3} window 17 \"quoted\"");
+        (registry, events)
+    }
+
+    #[test]
+    fn json_snapshot_validates_and_round_trips() {
+        let (registry, events) = sample();
+        let snapshot = Snapshot::collect(&registry, &events);
+        let doc = snapshot.to_json();
+        validate_snapshot_json(&doc).unwrap();
+
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("dice_engine_windows_total")
+                .unwrap()
+                .as_num(),
+            Some(42.0)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .unwrap()
+                .get("dice_gateway_channel_depth")
+                .unwrap()
+                .as_num(),
+            Some(9.0)
+        );
+        let h = parsed
+            .get("histograms")
+            .unwrap()
+            .get("dice_engine_correlation_check_ns")
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_num(), Some(2.0));
+        // Overflow sample lands in the +Inf (le: null) bucket.
+        let buckets = h.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.last().unwrap().get("le"), Some(&Value::Null));
+        assert_eq!(
+            buckets.last().unwrap().get("count").unwrap().as_num(),
+            Some(2.0)
+        );
+        let event = &parsed.get("events").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            event.get("message").unwrap().as_str(),
+            Some("devices {3} window 17 \"quoted\"")
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_matches_snapshot() {
+        let (registry, events) = sample();
+        let snapshot = Snapshot::collect(&registry, &events);
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("# TYPE dice_engine_windows_total counter"));
+        assert!(text.contains("dice_engine_windows_total 42"));
+        assert!(text.contains("# TYPE dice_gateway_channel_depth gauge"));
+        assert!(text.contains("dice_gateway_channel_depth 9"));
+        assert!(text.contains("dice_engine_correlation_check_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dice_engine_correlation_check_ns_count 2"));
+        assert!(text.contains("dice_engine_correlation_check_ns_sum 9000005000"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_snapshot_json("not json").is_err());
+        assert!(validate_snapshot_json("{}").is_err());
+        let wrong_schema = format!(
+            "{{\"schema\": 999, \"kind\": \"{SNAPSHOT_KIND}\", \"counters\": {{}}, \
+             \"gauges\": {{}}, \"histograms\": {{}}, \"events\": [], \"dropped_events\": 0}}"
+        );
+        let err = validate_snapshot_json(&wrong_schema).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        let missing_metric = format!(
+            "{{\"schema\": {SNAPSHOT_SCHEMA}, \"kind\": \"{SNAPSHOT_KIND}\", \"counters\": {{}}, \
+             \"gauges\": {{}}, \"histograms\": {{}}, \"events\": [], \"dropped_events\": 0}}"
+        );
+        let err = validate_snapshot_json(&missing_metric).unwrap_err();
+        assert!(err.contains("missing from"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_accessors_find_metrics() {
+        let (registry, events) = sample();
+        let snapshot = Snapshot::collect(&registry, &events);
+        assert_eq!(snapshot.counter("dice_engine_windows_total"), Some(42));
+        assert_eq!(snapshot.gauge("dice_gateway_channel_depth"), Some(9));
+        let (count, sum) = snapshot
+            .histogram("dice_engine_correlation_check_ns")
+            .unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(sum, 9_000_005_000);
+        assert_eq!(snapshot.counter("nope"), None);
+    }
+}

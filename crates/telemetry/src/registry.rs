@@ -1,0 +1,459 @@
+//! The lock-free metrics registry and its three primitives.
+//!
+//! Hot-path operations ([`Counter::inc`], [`Gauge::set_max`],
+//! [`Histogram::record`]) are single relaxed atomic read-modify-writes on
+//! handles resolved once at registration time; the registry's mutex guards
+//! only registration and snapshotting, never a recording call.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is below it — a high-water mark.
+    pub fn set_max(&self, value: i64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// Bucket `i` counts samples `<= bounds[i]` (non-cumulative internally); one
+/// extra overflow bucket counts samples above every bound. The sample count
+/// is derived from the buckets at snapshot time, so a record is exactly two
+/// relaxed atomic adds (bucket + sum) after a short linear bound search.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[self.bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The bucket index `value` falls into (overflow bucket last).
+    pub fn bucket_index(&self, value: u64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// Merges a batch of pre-bucketed counts (overflow bucket last, as laid
+    /// out by [`Histogram::bucket_index`]) plus their sample sum — the flush
+    /// half of [`LocalHistogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not have one entry per bucket.
+    pub fn merge(&self, counts: &[u64], sum: u64) {
+        assert_eq!(counts.len(), self.buckets.len(), "bucket count mismatch");
+        for (bucket, &n) in self.buckets.iter().zip(counts) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if sum > 0 {
+            self.sum.fetch_add(sum, Ordering::Relaxed);
+        }
+    }
+
+    /// The bucket upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Mean sample value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+}
+
+/// An unsynchronized accumulation buffer over a shared [`Histogram`].
+///
+/// Hot loops that record every iteration (the engine records three check
+/// latencies per window) buffer into plain integers here and publish in one
+/// [`LocalHistogram::flush`], turning two atomic read-modify-writes per
+/// sample into two per batch. Buffered samples are invisible to snapshots
+/// until flushed; dropping the buffer flushes it.
+#[derive(Debug)]
+pub struct LocalHistogram {
+    shared: Arc<Histogram>,
+    counts: Box<[u64]>,
+    sum: u64,
+    pending: u64,
+}
+
+impl LocalHistogram {
+    /// Wraps `shared` with an empty local buffer.
+    pub fn new(shared: Arc<Histogram>) -> Self {
+        let counts = vec![0; shared.bounds().len() + 1].into_boxed_slice();
+        LocalHistogram {
+            shared,
+            counts,
+            sum: 0,
+            pending: 0,
+        }
+    }
+
+    /// Buffers one sample locally — no atomics.
+    pub fn record(&mut self, value: u64) {
+        self.counts[self.shared.bucket_index(value)] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.pending += 1;
+    }
+
+    /// Samples buffered since the last flush.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// The shared histogram this buffer publishes into.
+    pub fn shared(&self) -> &Arc<Histogram> {
+        &self.shared
+    }
+
+    /// Publishes the buffered samples to the shared histogram.
+    pub fn flush(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        self.shared.merge(&self.counts, self.sum);
+        self.counts.fill(0);
+        self.sum = 0;
+        self.pending = 0;
+    }
+}
+
+impl Drop for LocalHistogram {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// What a registered metric is, for exposition formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonic counter.
+    Counter,
+    /// A bidirectional gauge.
+    Gauge,
+    /// A fixed-bucket histogram.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One registered metric, read back during a snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricEntry {
+    /// The metric name (Prometheus-style, `dice_<layer>_<what>[_total]`).
+    pub name: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+    /// The sample unit (`"ns"`, `"windows"`, ... — empty for counters).
+    pub unit: &'static str,
+    metric: Metric,
+}
+
+impl MetricEntry {
+    /// The metric's kind.
+    pub fn kind(&self) -> MetricKind {
+        match self.metric {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+
+    /// The counter behind this entry, if it is one.
+    pub fn as_counter(&self) -> Option<&Counter> {
+        match &self.metric {
+            Metric::Counter(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The gauge behind this entry, if it is one.
+    pub fn as_gauge(&self) -> Option<&Gauge> {
+        match &self.metric {
+            Metric::Gauge(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The histogram behind this entry, if it is one.
+    pub fn as_histogram(&self) -> Option<&Histogram> {
+        match &self.metric {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Registration returns an [`Arc`] handle the caller stores once (the
+/// "static handle" discipline); recording through the handle never touches
+/// the registry again.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} metrics)", self.entries.lock().len())
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn insert(&self, name: &'static str, help: &'static str, unit: &'static str, metric: Metric) {
+        let mut entries = self.entries.lock();
+        assert!(
+            entries.iter().all(|e| e.name != name),
+            "duplicate metric name {name:?}"
+        );
+        entries.push(MetricEntry {
+            name,
+            help,
+            unit,
+            metric,
+        });
+    }
+
+    /// Registers a counter and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let counter = Arc::new(Counter::default());
+        self.insert(name, help, "", Metric::Counter(Arc::clone(&counter)));
+        counter
+    }
+
+    /// Registers a gauge and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let gauge = Arc::new(Gauge::default());
+        self.insert(name, help, "", Metric::Gauge(Arc::clone(&gauge)));
+        gauge
+    }
+
+    /// Registers a histogram over `bounds` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered, `bounds` is empty, or
+    /// `bounds` is not strictly ascending.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+        bounds: &'static [u64],
+    ) -> Arc<Histogram> {
+        let histogram = Arc::new(Histogram::new(bounds));
+        self.insert(name, help, unit, Metric::Histogram(Arc::clone(&histogram)));
+        histogram
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn entries(&self) -> Vec<MetricEntry> {
+        let mut entries = self.entries.lock().clone();
+        entries.sort_by_key(|e| e.name);
+        entries
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let registry = Registry::new();
+        let c = registry.counter("c_total", "a counter");
+        let g = registry.gauge("g", "a gauge");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        g.set_max(3); // below current 5: no effect
+        g.set_max(11);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 11);
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        static BOUNDS: [u64; 3] = [10, 100, 1000];
+        let registry = Registry::new();
+        let h = registry.histogram("h_ns", "latency", "ns", &BOUNDS);
+        for v in [1, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        // <=10: {1, 10}; <=100: {11, 100}; <=1000: {}; overflow: {5000}.
+        assert_eq!(h.bucket_counts(), vec![2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1 + 10 + 11 + 100 + 5000);
+        assert!((h.mean() - 1024.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_entries_sort_by_name() {
+        let registry = Registry::new();
+        let _ = registry.counter("z_total", "");
+        let _ = registry.counter("a_total", "");
+        let names: Vec<_> = registry.entries().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a_total", "z_total"]);
+    }
+
+    #[test]
+    fn local_histogram_batches_and_flushes_on_drop() {
+        static BOUNDS: [u64; 2] = [10, 100];
+        let registry = Registry::new();
+        let shared = registry.histogram("h_ns", "latency", "ns", &BOUNDS);
+        let mut local = LocalHistogram::new(Arc::clone(&shared));
+        local.record(5);
+        local.record(50);
+        local.record(500);
+        assert_eq!(local.pending(), 3);
+        assert_eq!(shared.count(), 0, "buffered samples stay invisible");
+        local.flush();
+        assert_eq!(local.pending(), 0);
+        assert_eq!(shared.bucket_counts(), vec![1, 1, 1]);
+        assert_eq!(shared.sum(), 555);
+        local.record(7);
+        drop(local);
+        assert_eq!(shared.count(), 4, "drop publishes the tail");
+        assert_eq!(shared.sum(), 562);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_are_rejected() {
+        let registry = Registry::new();
+        let _ = registry.counter("dup_total", "");
+        let _ = registry.gauge("dup_total", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_are_rejected() {
+        static BAD: [u64; 2] = [10, 10];
+        let _ = Histogram::new(&BAD);
+    }
+}

@@ -1,0 +1,125 @@
+//! A bounded ring buffer of recent structured events for post-mortem
+//! inspection: fault reports, verify findings, decode errors.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Monotonic sequence number (process-wide per ring, never reused).
+    pub seq: u64,
+    /// Event class, e.g. `"fault_report"`, `"verify_finding"`,
+    /// `"decode_error"`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    next_seq: u64,
+    slots: VecDeque<TelemetryEvent>,
+}
+
+/// A bounded ring of recent [`TelemetryEvent`]s.
+///
+/// When full, pushing drops the oldest event; [`EventRing::dropped`] reports
+/// how many were lost so exported snapshots are honest about truncation.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        EventRing {
+            capacity,
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, kind: &'static str, message: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.slots.len() == self.capacity {
+            inner.slots.pop_front();
+        }
+        inner.slots.push_back(TelemetryEvent {
+            seq,
+            kind,
+            message: message.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetryEvent> {
+        self.inner.lock().slots.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Events evicted by wraparound.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.next_seq - inner.slots.len() as u64
+    }
+
+    /// The maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_snapshot_preserve_order() {
+        let ring = EventRing::new(4);
+        ring.push("a", "first");
+        ring.push("b", "second");
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[1].message, "second");
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_and_counts_drops() {
+        let ring = EventRing::new(3);
+        for i in 0..10 {
+            ring.push("e", format!("event {i}"));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        // Oldest retained is event 7; sequence numbers keep counting.
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[2].seq, 9);
+        assert_eq!(events[2].message, "event 9");
+        assert_eq!(ring.total(), 10);
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = EventRing::new(0);
+    }
+}

@@ -1,0 +1,102 @@
+//! RAII span timers feeding latency histograms.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// An RAII timer: started against a histogram handle, it records the
+/// elapsed nanoseconds (saturated to `u64`) when dropped.
+///
+/// When constructed from a disabled telemetry handle the timer is inert —
+/// it never calls [`Instant::now`], so the no-op path stays free of clock
+/// syscalls.
+#[derive(Debug)]
+pub struct SpanTimer {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl SpanTimer {
+    /// Starts a timer recording into `histogram` on drop; pass `None` for
+    /// an inert timer.
+    pub fn start(histogram: Option<&Arc<Histogram>>) -> Self {
+        SpanTimer {
+            inner: histogram.map(|h| (Arc::clone(h), Instant::now())),
+        }
+    }
+
+    /// An inert timer that records nothing.
+    pub fn noop() -> Self {
+        SpanTimer { inner: None }
+    }
+
+    /// Whether the timer will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Stops the timer now and records, instead of waiting for drop.
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    fn record_now(&mut self) {
+        if let Some((histogram, started)) = self.inner.take() {
+            histogram.record(saturating_ns(started.elapsed().as_nanos()));
+        }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+/// Clamps a `u128` nanosecond duration into `u64` (584 years of headroom).
+pub fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    static BOUNDS: [u64; 2] = [1_000_000_000, 4_000_000_000];
+
+    #[test]
+    fn active_timer_records_one_sample_on_drop() {
+        let registry = Registry::new();
+        let h = registry.histogram("span_ns", "", "ns", &BOUNDS);
+        {
+            let timer = SpanTimer::start(Some(&h));
+            assert!(timer.is_active());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let registry = Registry::new();
+        let h = registry.histogram("span_ns", "", "ns", &BOUNDS);
+        let timer = SpanTimer::start(Some(&h));
+        timer.finish();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn noop_timer_records_nothing() {
+        let timer = SpanTimer::noop();
+        assert!(!timer.is_active());
+        drop(timer);
+        let timer = SpanTimer::start(None);
+        assert!(!timer.is_active());
+    }
+
+    #[test]
+    fn saturating_ns_clamps() {
+        assert_eq!(saturating_ns(42), 42);
+        assert_eq!(saturating_ns(u128::from(u64::MAX) + 1), u64::MAX);
+    }
+}

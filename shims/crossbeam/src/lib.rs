@@ -2,13 +2,16 @@
 //!
 //! Only the `channel` module surface the DICE workspace uses is provided:
 //! [`channel::unbounded`], [`channel::bounded`], cloneable senders, and
-//! blocking receivers with an `iter()` drain. Receivers are single-consumer
-//! (the gateway fan-in owns each receiver exclusively, so MPMC receive
-//! semantics are not needed).
+//! blocking receivers with an `iter()` drain and a `len()` depth probe
+//! (mirroring real crossbeam's queue-length accessor, used by the gateway
+//! for channel-depth telemetry). Receivers are single-consumer (the gateway
+//! fan-in owns each receiver exclusively, so MPMC receive semantics are not
+//! needed).
 
 pub mod channel {
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,12 +52,14 @@ pub mod channel {
     /// The sending half of a channel.
     pub struct Sender<T> {
         kind: SenderKind<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 kind: self.kind.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
@@ -72,16 +77,32 @@ pub mod channel {
         ///
         /// Returns the value back if the receiver has disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match &self.kind {
+            let sent = match &self.kind {
                 SenderKind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
                 SenderKind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            };
+            if sent.is_ok() {
+                self.depth.fetch_add(1, Ordering::Relaxed);
             }
+            sent
+        }
+
+        /// Messages currently queued in the channel (approximate under
+        /// concurrent sends/receives, exact when quiescent).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// The receiving half of a channel.
     pub struct Receiver<T> {
         rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> fmt::Debug for Receiver<T> {
@@ -98,37 +119,76 @@ pub mod channel {
         /// Returns [`RecvError`] when the channel is empty and every sender
         /// has disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.rx.recv().map_err(|_| RecvError)
+            let value = self.rx.recv().map_err(|_| RecvError)?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(value)
         }
 
         /// Receives a value if one is immediately available.
         pub fn try_recv(&self) -> Option<T> {
-            self.rx.try_recv().ok()
+            let value = self.rx.try_recv().ok()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Some(value)
         }
 
         /// A blocking iterator that drains the channel until disconnection.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.rx.iter()
+            self.rx.iter().map(|value| {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                value
+            })
+        }
+
+        /// Messages currently queued in the channel (approximate under
+        /// concurrent sends/receives, exact when quiescent).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// Whether no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Draining iterator returned by [`Receiver::into_iter`].
+    pub struct IntoIter<T> {
+        rx: mpsc::IntoIter<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            let value = self.rx.next()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Some(value)
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.rx.into_iter()
+            IntoIter {
+                rx: self.rx.into_iter(),
+                depth: self.depth,
+            }
         }
     }
 
     /// Creates a channel with unlimited capacity.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
         (
             Sender {
                 kind: SenderKind::Unbounded(tx),
+                depth: Arc::clone(&depth),
             },
-            Receiver { rx },
+            Receiver { rx, depth },
         )
     }
 
@@ -136,11 +196,13 @@ pub mod channel {
     /// senders block when it is full.
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(capacity);
+        let depth = Arc::new(AtomicUsize::new(0));
         (
             Sender {
                 kind: SenderKind::Bounded(tx),
+                depth: Arc::clone(&depth),
             },
-            Receiver { rx },
+            Receiver { rx, depth },
         )
     }
 
@@ -180,6 +242,24 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn len_tracks_queue_depth() {
+            let (tx, rx) = unbounded();
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+            assert_eq!(tx.len(), 3);
+            assert_eq!(rx.len(), 3);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.len(), 1);
+            drop(tx);
+            let rest: Vec<i32> = rx.into_iter().collect();
+            assert_eq!(rest, vec![3]);
         }
     }
 }

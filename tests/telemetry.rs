@@ -1,0 +1,113 @@
+//! Telemetry end-to-end: enabled-vs-noop determinism, exporter round trips,
+//! and the recording-overhead guard.
+//!
+//! Everything runs inside a single `#[test]` so the process-global telemetry
+//! handle is installed exactly once, before any code path in this binary
+//! reads it.
+
+use std::time::Instant;
+
+use dice_core::{DiceConfig, DiceEngine, EngineOptions, FaultReport};
+use dice_eval::{evaluate_sensor_faults, train_scenario, RunnerConfig, TrainedDataset};
+use dice_sim::testbed;
+use dice_telemetry::{validate_snapshot_json, Telemetry};
+use dice_types::TimeDelta;
+
+fn quick_cfg() -> RunnerConfig {
+    RunnerConfig {
+        seed: 23,
+        trials: 4,
+        precompute: TimeDelta::from_hours(72),
+        segment_len: TimeDelta::from_hours(6),
+        dice: DiceConfig::default(),
+    }
+}
+
+/// Replays trial 0's segment through a fresh engine wired to `telemetry`,
+/// returning the reports and the wall-clock nanoseconds of the replay.
+fn replay(td: &TrainedDataset, telemetry: Telemetry) -> (Vec<FaultReport>, u128) {
+    let segment = td.plan.segment_for_trial(0);
+    let mut log = td.sim.log_between(segment.start, segment.end);
+    let mut engine = DiceEngine::with_options(
+        &td.model,
+        EngineOptions {
+            telemetry,
+            ..EngineOptions::default()
+        },
+    );
+    let start = Instant::now();
+    let mut reports = engine.process_range(&mut log, segment.start, segment.end);
+    reports.extend(engine.flush());
+    (reports, start.elapsed().as_nanos())
+}
+
+#[test]
+fn telemetry_is_deterministic_exportable_and_cheap() {
+    let recording = Telemetry::recording();
+    assert!(
+        Telemetry::install_global(recording.clone()),
+        "this test binary must be the first reader of the global handle"
+    );
+
+    let cfg = quick_cfg();
+    let spec = testbed::dice_testbed("telemetry", 23, TimeDelta::from_hours(96), 12, 1);
+    let td = train_scenario(spec, &cfg);
+
+    // 1. Determinism and overhead: interleaved replays, min-of-N per mode.
+    //    The engine reads one clock per check either way (the CostProfile
+    //    bridge), so recording adds only atomic updates; the guard bounds
+    //    that at 5% in release builds (debug codegen gets more slack).
+    let reps = if cfg!(debug_assertions) { 8 } else { 24 };
+    let mut noop_best = u128::MAX;
+    let mut recording_best = u128::MAX;
+    let mut reference: Option<Vec<FaultReport>> = None;
+    for _ in 0..reps {
+        let (noop_reports, noop_ns) = replay(&td, Telemetry::noop());
+        let (rec_reports, rec_ns) = replay(&td, Telemetry::recording());
+        assert_eq!(
+            noop_reports, rec_reports,
+            "recording telemetry must not change fault reports"
+        );
+        if let Some(reference) = &reference {
+            assert_eq!(reference, &rec_reports, "replay must be reproducible");
+        } else {
+            reference = Some(rec_reports);
+        }
+        noop_best = noop_best.min(noop_ns);
+        recording_best = recording_best.min(rec_ns);
+    }
+    assert!(noop_best > 0, "replay too short to time");
+    #[allow(clippy::cast_precision_loss)]
+    let overhead_pct = (recording_best as f64 - noop_best as f64) / noop_best as f64 * 100.0;
+    let budget_pct = if cfg!(debug_assertions) { 30.0 } else { 5.0 };
+    assert!(
+        overhead_pct < budget_pct,
+        "telemetry overhead {overhead_pct:.2}% exceeds {budget_pct}% \
+         (noop {noop_best} ns vs recording {recording_best} ns)"
+    );
+
+    // 2. The eval runner reports to the installed global recorder.
+    let eval = evaluate_sensor_faults(&td, &cfg);
+    assert_eq!(
+        eval.detection.true_positives + eval.detection.false_negatives,
+        cfg.trials
+    );
+    let snapshot = Telemetry::global()
+        .snapshot()
+        .expect("global handle is recording");
+    assert!(snapshot.counter("dice_eval_trials_total").unwrap() >= cfg.trials);
+    assert!(snapshot.counter("dice_eval_datasets_total").unwrap() >= 1);
+    assert!(snapshot.counter("dice_engine_windows_total").unwrap() > 0);
+    let (trial_count, trial_sum) = snapshot.histogram("dice_eval_trial_ns").unwrap();
+    assert!(trial_count >= cfg.trials && trial_sum > 0);
+
+    // 3. Exporters: the JSON snapshot satisfies its own schema and the
+    //    Prometheus rendition exposes the same registry.
+    let json = snapshot.to_json();
+    validate_snapshot_json(&json).expect("snapshot must satisfy its schema");
+    let prom = snapshot.to_prometheus();
+    assert!(prom.contains("# TYPE dice_engine_windows_total counter"));
+    assert!(prom.contains("# TYPE dice_gateway_channel_depth gauge"));
+    assert!(prom.contains("# TYPE dice_eval_trial_ns histogram"));
+    assert!(prom.contains("dice_engine_correlation_check_ns_bucket{le=\"+Inf\"}"));
+}
