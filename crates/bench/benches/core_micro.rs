@@ -5,8 +5,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dice_bench::{bench_simulator, bench_trained};
-use dice_core::{BitSet, Detector, GroupTable, Identifier, PrevWindow, ScanIndex};
-use dice_types::{GroupId, TimeDelta, Timestamp};
+use dice_core::{
+    BitSet, ContextExtractor, Detector, DiceConfig, GroupTable, Identifier, ParallelTrainer,
+    PrevWindow, ScanIndex,
+};
+use dice_types::{
+    ActuatorEvent, ActuatorKind, DeviceRegistry, EventLog, GroupId, Room, SensorId, SensorKind,
+    SensorReading, TimeDelta, Timestamp,
+};
 
 fn bench_binarize(c: &mut Criterion) {
     let td = bench_trained();
@@ -102,6 +108,73 @@ fn bench_scan_index(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs 4-way-chunked training over an hh102-scale log (33 binary +
+/// 79 numeric sensors = 270 state bits, 12 h at one-minute windows). The
+/// parallel path is bit-identical to serial, so on one core this measures
+/// pure map-reduce orchestration overhead and on multi-core machines the
+/// actual chunked speedup.
+fn bench_trainer_hh102(c: &mut Criterion) {
+    let mut registry = DeviceRegistry::new();
+    for i in 0..33 {
+        registry.add_sensor(SensorKind::Motion, format!("m{i:02}"), Room::Kitchen);
+    }
+    for i in 0..79 {
+        registry.add_sensor(SensorKind::Temperature, format!("t{i:02}"), Room::Kitchen);
+    }
+    let bulb = registry.add_actuator(ActuatorKind::SmartBulb, "bulb", Room::Kitchen);
+    let mut log = EventLog::new();
+    for minute in 0..(12 * 60) {
+        let at = Timestamp::from_mins(minute);
+        for k in 0..4 {
+            let sensor = u32::try_from((minute * 13 + k * 7) % 33).unwrap();
+            log.push_sensor(SensorReading::new(
+                SensorId::new(sensor),
+                at + TimeDelta::from_secs(k * 11),
+                true.into(),
+            ));
+        }
+        for k in 0..6 {
+            let sensor = 33 + u32::try_from((minute * 5 + k * 17) % 79).unwrap();
+            let value = 18.0 + ((minute + k) % 13) as f64 * 0.5;
+            log.push_sensor(SensorReading::new(
+                SensorId::new(sensor),
+                at + TimeDelta::from_secs(20 + k * 5),
+                value.into(),
+            ));
+        }
+        if minute % 7 == 0 {
+            log.push_actuator(ActuatorEvent::new(
+                bulb,
+                at + TimeDelta::from_secs(45),
+                minute % 14 == 0,
+            ));
+        }
+    }
+    let _ = log.events(); // normalize once so clones in the loop are pre-sorted
+    let mut group = c.benchmark_group("trainer_hh102");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            ContextExtractor::new(DiceConfig::default())
+                .extract(&registry, &mut std::hint::black_box(log.clone()))
+                .unwrap()
+                .groups()
+                .len()
+        });
+    });
+    group.bench_function("parallel_4_chunks", |b| {
+        b.iter(|| {
+            ParallelTrainer::new(DiceConfig::default())
+                .with_chunks(4)
+                .extract(&registry, &mut std::hint::black_box(log.clone()))
+                .unwrap()
+                .groups()
+                .len()
+        });
+    });
+    group.finish();
+}
+
 fn bench_checks(c: &mut Criterion) {
     let td = bench_trained();
     let sim = bench_simulator();
@@ -186,6 +259,7 @@ criterion_group!(
     bench_binarize,
     bench_candidate_search,
     bench_scan_index,
+    bench_trainer_hh102,
     bench_checks,
     bench_end_to_end_window
 );

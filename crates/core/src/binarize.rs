@@ -14,7 +14,7 @@ use dice_types::{ActuatorId, DeviceRegistry, Event, SensorClass, SensorValue, Ti
 
 use crate::bitset::BitSet;
 use crate::layout::BitLayout;
-use crate::stats::{RunningMean, WindowStats};
+use crate::stats::{MeanAccumulator, WindowStats};
 
 /// Per-sensor `valueThre` thresholds (Eq. 3.4), learned from fault-free data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,10 +54,14 @@ impl Thresholds {
 /// Streaming trainer for [`Thresholds`].
 ///
 /// Feed it every sensor reading of the precomputation period, then call
-/// [`ThresholdTrainer::finish`].
+/// [`ThresholdTrainer::finish`]. Internally each sensor's mean is an exact
+/// [`MeanAccumulator`], so trainers over disjoint chunks of the period can
+/// be [`ThresholdTrainer::merge`]d into bit-for-bit the same thresholds as
+/// one serial pass — the pass-one half of the parallel trainer
+/// (see [`crate::train_par`]).
 #[derive(Debug, Clone)]
 pub struct ThresholdTrainer {
-    means: Vec<RunningMean>,
+    means: Vec<MeanAccumulator>,
     numeric: Vec<bool>,
 }
 
@@ -65,7 +69,7 @@ impl ThresholdTrainer {
     /// Creates a trainer sized for `registry`.
     pub fn new(registry: &DeviceRegistry) -> Self {
         ThresholdTrainer {
-            means: vec![RunningMean::new(); registry.num_sensors()],
+            means: vec![MeanAccumulator::new(); registry.num_sensors()],
             numeric: registry
                 .sensors()
                 .map(|s| s.class() == SensorClass::Numeric)
@@ -82,6 +86,23 @@ impl ThresholdTrainer {
                     m.push(v);
                 }
             }
+        }
+    }
+
+    /// Folds another trainer's samples into this one. Exact: merging
+    /// per-chunk trainers in any order reproduces the serial pass bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trainers were built for different registries.
+    pub fn merge(&mut self, other: &ThresholdTrainer) {
+        assert_eq!(
+            self.means.len(),
+            other.means.len(),
+            "merged trainers must cover the same sensors"
+        );
+        for (a, b) in self.means.iter_mut().zip(&other.means) {
+            a.merge(b);
         }
     }
 

@@ -39,7 +39,7 @@ impl fmt::Display for Severity {
 /// Grouped by family: `DV0xx` container, `DV10x` transition matrices,
 /// `DV11x` group table, `DV12x` binarizer thresholds, `DV13x` G2G graph
 /// shape, `DV14x` configuration, `DV15x` cross-section consistency,
-/// `DV16x` model-level sanity.
+/// `DV16x` model-level sanity, `DV17x` parallel-merge conservation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DiagnosticCode {
@@ -100,6 +100,14 @@ pub enum DiagnosticCode {
     TrainingWindowMismatch,
     /// DV160: the model has no groups at all.
     EmptyModel,
+    /// DV170: a merged group table's observation counts are not the sum of
+    /// its parts (a chunk's observations were lost or double-counted).
+    MergeGroupCountNotPreserved,
+    /// DV171: a merged group table holds the same state set under two ids.
+    MergeDuplicateGroupState,
+    /// DV172: a merged transition matrix's row total is not the sum of the
+    /// parts' row totals.
+    MergeRowTotalMismatch,
 }
 
 impl DiagnosticCode {
@@ -128,6 +136,9 @@ impl DiagnosticCode {
             DiagnosticCode::ZeroCountParameter => "DV145",
             DiagnosticCode::TrainingWindowMismatch => "DV150",
             DiagnosticCode::EmptyModel => "DV160",
+            DiagnosticCode::MergeGroupCountNotPreserved => "DV170",
+            DiagnosticCode::MergeDuplicateGroupState => "DV171",
+            DiagnosticCode::MergeRowTotalMismatch => "DV172",
         }
     }
 
@@ -146,7 +157,10 @@ impl DiagnosticCode {
             | DiagnosticCode::ThresholdTableLengthMismatch
             | DiagnosticCode::NonPositiveWindow
             | DiagnosticCode::ZeroCountParameter
-            | DiagnosticCode::TrainingWindowMismatch => Severity::Error,
+            | DiagnosticCode::TrainingWindowMismatch
+            | DiagnosticCode::MergeGroupCountNotPreserved
+            | DiagnosticCode::MergeDuplicateGroupState
+            | DiagnosticCode::MergeRowTotalMismatch => Severity::Error,
             DiagnosticCode::ThresholdOnBinarySensor
             | DiagnosticCode::UnreachableGroup
             | DiagnosticCode::AbsorbingGroup
@@ -240,6 +254,9 @@ mod tests {
             DiagnosticCode::ZeroCountParameter,
             DiagnosticCode::TrainingWindowMismatch,
             DiagnosticCode::EmptyModel,
+            DiagnosticCode::MergeGroupCountNotPreserved,
+            DiagnosticCode::MergeDuplicateGroupState,
+            DiagnosticCode::MergeRowTotalMismatch,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

@@ -18,6 +18,7 @@ use crate::error::DiceError;
 use crate::groups::GroupTable;
 use crate::layout::BitLayout;
 use crate::model::DiceModel;
+use crate::scan::ScanIndex;
 use crate::transition::TransitionModel;
 
 /// Streaming builder for a [`DiceModel`].
@@ -33,6 +34,9 @@ pub struct ModelBuilder {
     num_actuators: usize,
     prev: Option<(GroupId, Vec<dice_types::ActuatorId>)>,
     windows: u64,
+    /// For a resumed build: the source model's scan index and window count,
+    /// so `finish` can skip the index rebuild when nothing was observed.
+    resumed: Option<(ScanIndex, u64)>,
 }
 
 impl ModelBuilder {
@@ -55,6 +59,7 @@ impl ModelBuilder {
             num_actuators: registry.num_actuators(),
             prev: None,
             windows: 0,
+            resumed: None,
         })
     }
 
@@ -102,6 +107,22 @@ impl ModelBuilder {
         if self.windows == 0 {
             return Err(DiceError::EmptyTrainingData);
         }
+        // A resumed build that observed no new windows left the group table
+        // untouched, so the source model's scan index is still exact — reuse
+        // it instead of rebuilding.
+        if let Some((scan, baseline)) = self.resumed {
+            if baseline == self.windows {
+                return Ok(DiceModel::from_parts_with_scan(
+                    self.config,
+                    self.binarizer,
+                    self.groups,
+                    self.transitions,
+                    self.num_actuators,
+                    self.windows,
+                    scan,
+                ));
+            }
+        }
         Ok(DiceModel::from_parts(
             self.config,
             self.binarizer,
@@ -126,7 +147,7 @@ impl ModelBuilder {
     pub fn resume(model: DiceModel) -> Self {
         let num_actuators = model.num_actuators();
         let windows = model.training_windows();
-        let (config, binarizer, groups, transitions) = model.into_parts();
+        let (config, binarizer, groups, transitions, scan) = model.into_parts();
         ModelBuilder {
             config,
             binarizer,
@@ -135,6 +156,7 @@ impl ModelBuilder {
             num_actuators,
             prev: None,
             windows,
+            resumed: Some((scan, windows)),
         }
     }
 }
@@ -337,6 +359,28 @@ mod tests {
             .lookup(&crate::bitset::BitSet::from_indices(1, [0]))
             .unwrap();
         assert!(extended.transitions().g2g_observed(g_on, g_on));
+    }
+
+    #[test]
+    fn resume_then_finish_without_windows_keeps_the_model_intact() {
+        let (reg, m, _) = reg_with_motion_and_bulb();
+        let mut log = EventLog::new();
+        for minute in 0..10 {
+            log.push_sensor(SensorReading::new(
+                m,
+                Timestamp::from_mins(minute),
+                (minute % 2 == 0).into(),
+            ));
+        }
+        let model = ContextExtractor::new(DiceConfig::default())
+            .extract(&reg, &mut log)
+            .unwrap();
+        let expected = model.clone();
+        // No new window: finish must reuse the resumed scan index (not
+        // rebuild) and reproduce the model exactly, scan included.
+        let roundtripped = ModelBuilder::resume(model).finish().unwrap();
+        assert_eq!(roundtripped, expected);
+        assert_eq!(roundtripped.scan().len(), expected.groups().len());
     }
 
     #[test]

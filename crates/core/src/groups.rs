@@ -267,6 +267,38 @@ impl GroupTable {
         total as f64 / self.groups.len() as f64
     }
 
+    /// Folds another table's groups into this one, returning the local→
+    /// global id map: `map[other_id.index()]` is the id `other_id`'s state
+    /// set has in `self` after the merge.
+    ///
+    /// Existing states accumulate counts; new states are appended in
+    /// `other`'s id order. Because chunk-local tables assign ids by first
+    /// occurrence within the chunk, merging chunk tables in time order
+    /// reproduces exactly the serial first-seen-in-time-order id assignment
+    /// (the parallel trainer's determinism hinge; see [`crate::train_par`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables hold state sets of different widths.
+    pub fn merge(&mut self, other: &GroupTable) -> Vec<GroupId> {
+        assert_eq!(
+            self.num_bits, other.num_bits,
+            "merged tables must hold equally wide state sets"
+        );
+        other
+            .entries()
+            .map(|(_, state, count)| {
+                if let Some(&id) = self.index.get(state) {
+                    self.counts[id.index()] += count;
+                    self.total += count;
+                    id
+                } else {
+                    self.insert_with_count(state.clone(), count)
+                }
+            })
+            .collect()
+    }
+
     /// Rebuilds the exact-match index (needed after deserialization, where
     /// the index is skipped).
     pub fn rebuild_index(&mut self) {
@@ -393,5 +425,54 @@ mod tests {
         let t = table();
         let ids: Vec<u32> = t.iter().map(|(id, _)| id.index() as u32).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_maps_shared_states_and_appends_new_ones() {
+        let mut base = table(); // G0={0,1}x2, G1={3,4}, G2={0,1,2}
+        let mut other = GroupTable::new(5);
+        other.observe(&BitSet::from_indices(5, [3, 4])); // shared -> G1
+        other.observe(&BitSet::from_indices(5, [2])); // new -> G3
+        other.observe(&BitSet::from_indices(5, [3, 4])); // count 2
+        other.observe(&BitSet::from_indices(5, [0, 1, 2])); // shared -> G2
+
+        let map = base.merge(&other);
+        assert_eq!(map, vec![GroupId::new(1), GroupId::new(3), GroupId::new(2)]);
+        assert_eq!(base.len(), 4);
+        assert_eq!(base.count(GroupId::new(1)), 3);
+        assert_eq!(base.count(GroupId::new(3)), 1);
+        assert_eq!(base.total_observations(), 8);
+        assert_eq!(
+            base.lookup(&BitSet::from_indices(5, [2])),
+            Some(GroupId::new(3))
+        );
+    }
+
+    #[test]
+    fn merging_chunk_tables_in_order_matches_one_serial_table() {
+        let states: Vec<BitSet> = [vec![0], vec![1], vec![0], vec![2], vec![1], vec![3]]
+            .into_iter()
+            .map(|idx| BitSet::from_indices(4, idx))
+            .collect();
+        let mut serial = GroupTable::new(4);
+        for s in &states {
+            serial.observe(s);
+        }
+        let mut merged = GroupTable::new(4);
+        for chunk in states.chunks(2) {
+            let mut local = GroupTable::new(4);
+            for s in chunk {
+                local.observe(s);
+            }
+            merged.merge(&local);
+        }
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally wide")]
+    fn merge_rejects_width_mismatch() {
+        let mut t = GroupTable::new(5);
+        t.merge(&GroupTable::new(4));
     }
 }

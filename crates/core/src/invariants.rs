@@ -356,6 +356,112 @@ fn check_counts(model: &DiceModel, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Checks that a [`GroupTable::merge`](crate::GroupTable::merge) result
+/// conserved its inputs (family `DV17x`): every observation of every part is
+/// accounted for exactly once (`DV170`), and no state set appears under two
+/// ids after the merge (`DV171`).
+///
+/// The parallel trainer runs this over every chunk merge in debug builds;
+/// `dice-verify` re-exports it for offline auditing of merged models.
+pub fn check_group_merge(
+    merged: &crate::groups::GroupTable,
+    parts: &[&crate::groups::GroupTable],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let mut seen: HashMap<&crate::bitset::BitSet, usize> = HashMap::new();
+    for (id, state, _) in merged.entries() {
+        if let Some(&other) = seen.get(state) {
+            out.push(Diagnostic::new(
+                DiagnosticCode::MergeDuplicateGroupState,
+                format!(
+                    "groups {other} and {} hold the same state set after the \
+                     merge; merged ids must stay unique per state",
+                    id.index()
+                ),
+            ));
+        } else {
+            seen.insert(state, id.index());
+        }
+    }
+
+    let mut expected: HashMap<&crate::bitset::BitSet, u64> = HashMap::new();
+    for part in parts {
+        for (_, state, count) in part.entries() {
+            *expected.entry(state).or_insert(0) += count;
+        }
+    }
+    for (state, want) in &expected {
+        let got = merged.lookup(state).map_or(0, |id| merged.count(id));
+        if got != *want {
+            out.push(Diagnostic::new(
+                DiagnosticCode::MergeGroupCountNotPreserved,
+                format!(
+                    "a state set observed {want} times across the parts is \
+                     counted {got} times after the merge"
+                ),
+            ));
+        }
+    }
+    let parts_total: u64 = parts.iter().map(|p| p.total_observations()).sum();
+    if merged.total_observations() != parts_total {
+        out.push(Diagnostic::new(
+            DiagnosticCode::MergeGroupCountNotPreserved,
+            format!(
+                "parts hold {parts_total} observations but the merged table \
+                 holds {}",
+                merged.total_observations()
+            ),
+        ));
+    }
+    out
+}
+
+/// Checks that a [`TransitionCounts::merge`] result conserved its inputs
+/// (`DV172`): every row total of the merged matrix is the sum of the parts'
+/// row totals. Applies to same-id-space merges (the id-mapped chunk merge is
+/// covered by the model-level `DV100`/`DV150` checks after assembly).
+pub fn check_transition_merge(
+    merged: &TransitionCounts,
+    parts: &[&TransitionCounts],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut expected: HashMap<u32, u64> = HashMap::new();
+    for part in parts {
+        for (from, total) in part.row_totals() {
+            *expected.entry(from).or_insert(0) += total;
+        }
+    }
+    for (from, total) in merged.row_totals() {
+        if expected.get(&from).copied().unwrap_or(0) != total {
+            out.push(Diagnostic::new(
+                DiagnosticCode::MergeRowTotalMismatch,
+                format!(
+                    "row {from} totals {total} after the merge but the parts \
+                     sum to {}",
+                    expected.get(&from).copied().unwrap_or(0)
+                ),
+            ));
+        }
+    }
+    for (from, want) in &expected {
+        if merged.row_total(*from) != *want {
+            // Rows present in the parts but missing from the merge; rows
+            // that exist on both sides were compared above.
+            if merged.row_totals().iter().all(|(f, _)| f != from) {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::MergeRowTotalMismatch,
+                    format!(
+                        "row {from} totals {want} across the parts but is \
+                         absent after the merge"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// The worst severity present, if any finding exists.
 pub fn max_severity(diagnostics: &[Diagnostic]) -> Option<Severity> {
     diagnostics.iter().map(Diagnostic::severity).max()
@@ -545,5 +651,68 @@ mod tests {
     #[test]
     fn default_config_is_clean() {
         assert!(check_config(&DiceConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn clean_group_merge_passes_dv17x() {
+        let mut a = GroupTable::new(3);
+        a.observe(&BitSet::from_indices(3, [0]));
+        a.observe(&BitSet::from_indices(3, [1]));
+        let mut b = GroupTable::new(3);
+        b.observe(&BitSet::from_indices(3, [1]));
+        b.observe(&BitSet::from_indices(3, [2]));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(check_group_merge(&merged, &[&a, &b]).is_empty());
+    }
+
+    #[test]
+    fn group_merge_checks_catch_lost_counts_and_duplicates() {
+        let mut a = GroupTable::new(3);
+        a.observe(&BitSet::from_indices(3, [0]));
+        let mut b = GroupTable::new(3);
+        b.observe(&BitSet::from_indices(3, [0]));
+
+        // A "merge" that dropped b's observation entirely.
+        let codes: Vec<DiagnosticCode> = check_group_merge(&a, &[&a, &b])
+            .iter()
+            .map(Diagnostic::code)
+            .collect();
+        assert!(codes.contains(&DiagnosticCode::MergeGroupCountNotPreserved));
+
+        // A "merge" that inserted the shared state twice.
+        let mut dup = a.clone();
+        dup.insert_unchecked(BitSet::from_indices(3, [0]), 1);
+        let codes: Vec<DiagnosticCode> = check_group_merge(&dup, &[&a, &b])
+            .iter()
+            .map(Diagnostic::code)
+            .collect();
+        assert!(codes.contains(&DiagnosticCode::MergeDuplicateGroupState));
+    }
+
+    #[test]
+    fn transition_merge_checks_row_totals() {
+        let mut a = TransitionCounts::new();
+        a.record(0, 1);
+        a.record(2, 2);
+        let mut b = TransitionCounts::new();
+        b.record(0, 3);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(check_transition_merge(&merged, &[&a, &b]).is_empty());
+
+        // Dropping b's row 0 contribution is a DV172.
+        let codes: Vec<DiagnosticCode> = check_transition_merge(&a, &[&a, &b])
+            .iter()
+            .map(Diagnostic::code)
+            .collect();
+        assert_eq!(codes, vec![DiagnosticCode::MergeRowTotalMismatch]);
+
+        // A merged-only phantom row is also a DV172.
+        let mut phantom = merged.clone();
+        phantom.record(9, 9);
+        assert!(check_transition_merge(&phantom, &[&a, &b])
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::MergeRowTotalMismatch));
     }
 }

@@ -76,6 +76,7 @@ mod model_io;
 mod partition;
 mod scan;
 mod stats;
+mod train_par;
 mod transition;
 mod weights;
 
@@ -95,6 +96,7 @@ pub use model::DiceModel;
 pub use model_io::{read_model, read_model_unverified, write_model, ModelIoError};
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
 pub use scan::{ScanIndex, ScanProfile};
-pub use stats::{RunningMean, WindowStats};
+pub use stats::{ExactSum, MeanAccumulator, RunningMean, WindowStats};
+pub use train_par::{merge_partials, ChunkExtractor, ParallelTrainer, PartialModel};
 pub use transition::{TransitionCounts, TransitionModel};
 pub use weights::DeviceWeights;

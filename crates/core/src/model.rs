@@ -157,9 +157,55 @@ impl DiceModel {
     }
 
     /// Decomposes the model into the parts a resumed
-    /// [`ModelBuilder`](crate::ModelBuilder) needs.
-    pub(crate) fn into_parts(self) -> (DiceConfig, Binarizer, GroupTable, TransitionModel) {
-        (self.config, self.binarizer, self.groups, self.transitions)
+    /// [`ModelBuilder`](crate::ModelBuilder) needs, including the built scan
+    /// index so an unchanged table can skip the rebuild on `finish`.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        DiceConfig,
+        Binarizer,
+        GroupTable,
+        TransitionModel,
+        ScanIndex,
+    ) {
+        (
+            self.config,
+            self.binarizer,
+            self.groups,
+            self.transitions,
+            self.scan,
+        )
+    }
+
+    /// Like [`DiceModel::from_parts`], but reuses an already-built scan
+    /// index instead of rebuilding it from `groups`.
+    ///
+    /// The caller must guarantee `scan` was built from exactly this group
+    /// table; [`ModelBuilder::finish`](crate::ModelBuilder::finish) uses it
+    /// when a resumed build observed no new windows.
+    pub(crate) fn from_parts_with_scan(
+        config: DiceConfig,
+        binarizer: Binarizer,
+        groups: GroupTable,
+        transitions: TransitionModel,
+        num_actuators: usize,
+        training_windows: u64,
+        scan: ScanIndex,
+    ) -> Self {
+        debug_assert_eq!(
+            scan.len(),
+            groups.len(),
+            "reused scan index must cover exactly the group table"
+        );
+        DiceModel {
+            config,
+            binarizer,
+            groups,
+            transitions,
+            num_actuators,
+            training_windows,
+            scan,
+        }
     }
 
     /// Validates basic invariants against a registry (sensor counts match).

@@ -13,12 +13,11 @@ use dice_types::{
     ActuatorId, DeviceId, DeviceRegistry, Event, EventLog, Room, SensorId, Timestamp,
 };
 
-use crate::binarize::ThresholdTrainer;
 use crate::config::DiceConfig;
 use crate::engine::{DiceEngine, FaultReport};
 use crate::error::DiceError;
-use crate::extract::ModelBuilder;
 use crate::model::DiceModel;
+use crate::train_par::ParallelTrainer;
 
 /// One partition of the deployment: a named sub-registry plus the id maps
 /// between the global deployment and the partition-local dense ids.
@@ -152,6 +151,11 @@ pub struct PartitionedModel {
 impl PartitionedModel {
     /// Trains one DICE model per partition over the same training log.
     ///
+    /// Each partition runs the chunked [`ParallelTrainer`], whose merged
+    /// model is bit-identical to the serial two-pass extraction; windows
+    /// tile the *global* training range so quiet partitions still learn
+    /// their silent context.
+    ///
     /// # Errors
     ///
     /// Returns the first extraction error (e.g. an empty training range).
@@ -160,6 +164,11 @@ impl PartitionedModel {
         partitions: Vec<Partition>,
         training: &mut EventLog,
     ) -> Result<Self, DiceError> {
+        let (from, to) = match (training.start(), training.end()) {
+            (Some(s), Some(e)) => (s.align_down(config.window()), e),
+            _ => return Err(DiceError::EmptyTrainingData),
+        };
+        let trainer = ParallelTrainer::new(config.clone());
         let mut parts = Vec::with_capacity(partitions.len());
         for partition in partitions {
             // Project the training log into the partition.
@@ -169,23 +178,12 @@ impl PartitionedModel {
                     local.push(projected);
                 }
             }
-            // Two passes, exactly like the whole-home extractor, but windows
-            // tile the *global* training range so quiet partitions still
-            // learn their silent context.
-            let (from, to) = match (training.start(), training.end()) {
-                (Some(s), Some(e)) => (s.align_down(config.window()), e),
-                _ => return Err(DiceError::EmptyTrainingData),
-            };
-            let mut trainer = ThresholdTrainer::new(partition.registry());
-            for event in local.events() {
-                trainer.observe(event);
-            }
-            let mut builder =
-                ModelBuilder::new(config.clone(), partition.registry(), trainer.finish())?;
-            for window in local.windows_between(from, to + config.window(), config.window()) {
-                builder.observe_window(window.start, window.end, window.events);
-            }
-            let model = builder.finish()?;
+            let model = trainer.extract_between(
+                partition.registry(),
+                &mut local,
+                from,
+                to + config.window(),
+            )?;
             parts.push((partition, model));
         }
         Ok(PartitionedModel { parts })

@@ -147,6 +147,200 @@ impl RunningMean {
     }
 }
 
+/// Number of `i128` bins in an [`ExactSum`]. Finite `f64` exponents after
+/// the subnormal offset span `[0, 2045]`; 32 exponent values share a bin.
+const EXACT_SUM_BINS: usize = 64;
+
+/// An exact, associative accumulator for `f64` sums.
+///
+/// The serial threshold trainer and the chunked parallel trainer must learn
+/// *bit-identical* `valueThre` values, but floating-point addition is not
+/// associative: summing per-chunk partial sums in merge order would drift
+/// from the serial left-to-right sum by a few ulps. `ExactSum` sidesteps
+/// this by accumulating the exact real-number sum: each finite sample is
+/// decomposed into its integer mantissa and exponent (`v = m * 2^e`) and
+/// added into one of 64 `i128` bins by exponent range, so addition and
+/// [`ExactSum::merge`] are integer operations — exact, associative, and
+/// commutative. [`ExactSum::value`] rounds the exact total to the nearest
+/// `f64` once, at the end.
+///
+/// Capacity: each sample contributes less than `2^85` to a bin, so the bins
+/// cannot overflow before roughly `2^42` samples — far beyond any training
+/// log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSum {
+    bins: [i128; EXACT_SUM_BINS],
+    non_finite: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum {
+            bins: [0; EXACT_SUM_BINS],
+            non_finite: false,
+        }
+    }
+}
+
+impl ExactSum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample. Non-finite samples poison the sum: [`ExactSum::value`]
+    /// returns NaN once any was seen (deterministically, regardless of order).
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.non_finite = true;
+            return;
+        }
+        let bits = value.to_bits();
+        let biased = ((bits >> 52) & 0x7FF) as i32;
+        let frac = (bits & ((1u64 << 52) - 1)) as i64;
+        // v = m * 2^e exactly; subnormals have e = -1074, normals an implicit
+        // leading mantissa bit.
+        let (mut m, e) = if biased == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1i64 << 52), biased - 1075)
+        };
+        if bits >> 63 == 1 {
+            m = -m;
+        }
+        let offset = (e + 1074) as usize;
+        self.bins[offset / 32] += i128::from(m) << (offset % 32);
+    }
+
+    /// Adds another accumulator's total into this one. Exact, so the result
+    /// is independent of merge order and grouping.
+    pub fn merge(&mut self, other: &ExactSum) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.non_finite |= other.non_finite;
+    }
+
+    /// The sum, rounded once to the nearest `f64`. A pure function of the
+    /// accumulated bins: any partition of the same samples into chunks and
+    /// merges yields the same bits.
+    pub fn value(&self) -> f64 {
+        if self.non_finite {
+            return f64::NAN;
+        }
+        match Self::normalize(&self.bins) {
+            Some(digits) => Self::digits_to_f64(&digits),
+            None => {
+                let mut negated = self.bins;
+                for b in &mut negated {
+                    *b = -*b;
+                }
+                let digits = Self::normalize(&negated).expect("negated sum is non-negative");
+                -Self::digits_to_f64(&digits)
+            }
+        }
+    }
+
+    /// Carry-normalizes the bins into unsigned base-`2^32` digits of the
+    /// magnitude `sum * 2^1074`, or `None` if the sum is negative.
+    fn normalize(bins: &[i128; EXACT_SUM_BINS]) -> Option<[u32; EXACT_SUM_BINS + 4]> {
+        let mut digits = [0u32; EXACT_SUM_BINS + 4];
+        let mut carry: i128 = 0;
+        for (i, &bin) in bins.iter().enumerate() {
+            let t = bin + carry;
+            let d = t.rem_euclid(1 << 32);
+            digits[i] = d as u32;
+            carry = (t - d) >> 32;
+        }
+        let mut i = EXACT_SUM_BINS;
+        while carry > 0 {
+            digits[i] = (carry & 0xFFFF_FFFF) as u32;
+            carry >>= 32;
+            i += 1;
+        }
+        (carry == 0).then_some(digits)
+    }
+
+    /// Rounds the non-negative integer `digits * 2^-1074` to the nearest
+    /// `f64` (ties to even, with a sticky bit for the discarded tail).
+    fn digits_to_f64(digits: &[u32; EXACT_SUM_BINS + 4]) -> f64 {
+        let Some(hi) = digits.iter().rposition(|&d| d != 0) else {
+            return 0.0;
+        };
+        let msb = 32 * hi + (31 - digits[hi].leading_zeros() as usize);
+        let bit = |b: usize| (digits[b / 32] >> (b % 32)) & 1 != 0;
+        // Take the top (up to) 128 bits; everything below collapses into a
+        // sticky bit so the single u128 -> f64 conversion rounds correctly.
+        let lo = msb.saturating_sub(127);
+        let mut window: u128 = 0;
+        for b in (lo..=msb).rev() {
+            window = (window << 1) | u128::from(bit(b));
+        }
+        let mut sticky = digits[..lo / 32].iter().any(|&d| d != 0);
+        if !sticky && !lo.is_multiple_of(32) {
+            sticky = digits[lo / 32] & ((1u32 << (lo % 32)) - 1) != 0;
+        }
+        if sticky {
+            window |= 1;
+        }
+        Self::mul_pow2(window as f64, lo as i32 - 1074)
+    }
+
+    /// `x * 2^e` via exact power-of-two multiplies (stepwise near the
+    /// exponent range edges; overflow saturates to infinity).
+    fn mul_pow2(mut x: f64, mut e: i32) -> f64 {
+        while e > 1023 {
+            x *= 2f64.powi(1023);
+            e -= 1023;
+        }
+        while e < -1022 {
+            x *= 2f64.powi(-1022);
+            e += 1022;
+        }
+        x * 2f64.powi(e)
+    }
+}
+
+/// An exactly mergeable mean accumulator: sample count plus an [`ExactSum`].
+///
+/// Replaces the incremental-update running mean on the threshold-training
+/// path so that per-chunk partial trainers merge to the same bits as one
+/// serial pass (see [`ExactSum`] for why).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeanAccumulator {
+    n: u64,
+    sum: ExactSum,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        self.sum.push(value);
+    }
+
+    /// Folds another accumulator's samples into this one.
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        self.n += other.n;
+        self.sum.merge(&other.sum);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The mean (exact sum, two roundings), or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum.value() / self.n as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +419,107 @@ mod tests {
         }
         assert_eq!(rm.count(), 4);
         assert!((rm.mean().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    fn exact(values: &[f64]) -> ExactSum {
+        let mut s = ExactSum::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    #[test]
+    fn exact_sum_matches_simple_sums() {
+        assert_eq!(exact(&[]).value(), 0.0);
+        assert_eq!(exact(&[1.5]).value(), 1.5);
+        assert_eq!(exact(&[1.0, 2.0, 3.0, 4.0]).value(), 10.0);
+        assert_eq!(exact(&[-2.5, 2.5]).value(), 0.0);
+        assert_eq!(exact(&[1e300, -1e300, 7.0]).value(), 7.0);
+        assert_eq!(exact(&[-1.0, -2.0]).value(), -3.0);
+    }
+
+    #[test]
+    fn exact_sum_is_exact_where_float_addition_is_not() {
+        // Serially, (1e16 + 1) - 1e16 == 0.0 in f64; the exact sum keeps
+        // the unit.
+        assert_eq!(exact(&[1e16, 1.0, -1e16]).value(), 1.0);
+        // Cancellation across magnitudes.
+        assert_eq!(exact(&[1e100, 0.5, -1e100]).value(), 0.5);
+    }
+
+    #[test]
+    fn exact_sum_handles_subnormals_and_extremes() {
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(exact(&[tiny]).value(), tiny);
+        assert_eq!(exact(&[tiny, tiny]).value(), 2.0 * tiny);
+        assert_eq!(exact(&[f64::MAX]).value(), f64::MAX);
+        assert_eq!(exact(&[f64::MIN]).value(), f64::MIN);
+        // An exactly representable overflow saturates to infinity.
+        assert_eq!(exact(&[f64::MAX, f64::MAX]).value(), f64::INFINITY);
+    }
+
+    #[test]
+    fn exact_sum_poisons_on_non_finite() {
+        assert!(exact(&[1.0, f64::NAN]).value().is_nan());
+        assert!(exact(&[f64::INFINITY, 1.0]).value().is_nan());
+    }
+
+    #[test]
+    fn exact_sum_merge_is_order_and_grouping_invariant() {
+        let values = [
+            0.1,
+            -7.25,
+            1e16,
+            3.0e-9,
+            42.0,
+            -0.30000000000000004,
+            1e-300,
+            2.5e8,
+            -1e16,
+            0.7,
+        ];
+        let reference = exact(&values).value();
+        // Every contiguous 3-way split, merged in both orders.
+        for i in 0..values.len() {
+            for j in i..values.len() {
+                let (a, b, c) = (
+                    exact(&values[..i]),
+                    exact(&values[i..j]),
+                    exact(&values[j..]),
+                );
+                let mut left = a.clone();
+                left.merge(&b);
+                left.merge(&c);
+                let mut right = c;
+                right.merge(&b);
+                right.merge(&a);
+                assert_eq!(left.value().to_bits(), reference.to_bits());
+                assert_eq!(right.value().to_bits(), reference.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mean_accumulator_merges_exactly() {
+        let values = [18.0, 22.0, 21.0, 0.125, -3.5];
+        let mut serial = MeanAccumulator::new();
+        for &v in &values {
+            serial.push(v);
+        }
+        let mut chunked = MeanAccumulator::new();
+        for part in values.chunks(2) {
+            let mut m = MeanAccumulator::new();
+            for &v in part {
+                m.push(v);
+            }
+            chunked.merge(&m);
+        }
+        assert_eq!(serial.count(), chunked.count());
+        assert_eq!(
+            serial.mean().unwrap().to_bits(),
+            chunked.mean().unwrap().to_bits()
+        );
+        assert_eq!(MeanAccumulator::new().mean(), None);
     }
 }

@@ -124,6 +124,28 @@ impl TransitionCounts {
         }
     }
 
+    /// Folds another matrix's counts into this one. Counts are additive, so
+    /// the result is independent of merge order and grouping.
+    pub fn merge(&mut self, other: &TransitionCounts) {
+        for (&(from, to), &n) in &other.counts {
+            self.record_n(from, to, n);
+        }
+    }
+
+    /// Like [`TransitionCounts::merge`], but maps row and column indices
+    /// through `map_from` / `map_to` first — used when folding a chunk-local
+    /// matrix (group axes carry chunk-local ids) into the global one.
+    pub fn merge_mapped(
+        &mut self,
+        other: &TransitionCounts,
+        map_from: impl Fn(u32) -> u32,
+        map_to: impl Fn(u32) -> u32,
+    ) {
+        for (&(from, to), &n) in &other.counts {
+            self.record_n(map_from(from), map_to(to), n);
+        }
+    }
+
     /// Number of distinct `(from, to)` pairs observed.
     pub fn num_entries(&self) -> usize {
         self.counts.len()
@@ -300,6 +322,23 @@ impl TransitionModel {
         &mut self.a2g
     }
 
+    /// Folds a chunk-local model into this one, mapping chunk-local group
+    /// ids through `group_map` (see [`crate::GroupTable::merge`]). Actuator
+    /// ids are global already and pass through unchanged: G2G maps both
+    /// sides, G2A only the row, A2G only the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` references a local group id not covered by
+    /// `group_map`.
+    pub fn merge_mapped(&mut self, other: &TransitionModel, group_map: &[GroupId]) {
+        let group = |local: u32| group_map[local as usize].index() as u32;
+        let actuator = |id: u32| id;
+        self.g2g.merge_mapped(&other.g2g, group, group);
+        self.g2a.merge_mapped(&other.g2a, group, actuator);
+        self.a2g.merge_mapped(&other.a2g, actuator, group);
+    }
+
     /// Direct access to the raw G2A counts.
     pub fn g2a(&self) -> &TransitionCounts {
         &self.g2a
@@ -400,6 +439,42 @@ mod tests {
             m.g2g_successors(GroupId::new(0)),
             vec![GroupId::new(1), GroupId::new(3)]
         );
+    }
+
+    #[test]
+    fn merge_adds_counts_and_row_totals() {
+        let mut a = TransitionCounts::new();
+        a.record(0, 1);
+        a.record(0, 1);
+        a.record(2, 0);
+        let mut b = TransitionCounts::new();
+        b.record(0, 1);
+        b.record(0, 3);
+        a.merge(&b);
+        assert_eq!(a.count(0, 1), 3);
+        assert_eq!(a.count(0, 3), 1);
+        assert_eq!(a.row_total(0), 4);
+        assert_eq!(a.row_total(2), 1);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    fn merge_mapped_remaps_the_right_axes() {
+        // Chunk-local ids: group 0 -> global 5, group 1 -> global 2.
+        let map = [GroupId::new(5), GroupId::new(2)];
+        let mut local = TransitionModel::new();
+        local.record_g2g(GroupId::new(0), GroupId::new(1));
+        local.record_g2a(GroupId::new(1), ActuatorId::new(7));
+        local.record_a2g(ActuatorId::new(7), GroupId::new(0));
+
+        let mut global = TransitionModel::new();
+        global.record_g2a(GroupId::new(2), ActuatorId::new(7));
+        global.merge_mapped(&local, &map);
+
+        assert!(global.g2g_observed(GroupId::new(5), GroupId::new(2)));
+        assert_eq!(global.g2a().count(2, 7), 2);
+        assert!(global.a2g_observed(ActuatorId::new(7), GroupId::new(5)));
+        assert!(!global.g2g_observed(GroupId::new(0), GroupId::new(1)));
     }
 
     #[test]

@@ -27,9 +27,47 @@ fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<String> {
     None
 }
 
+/// Strips a `--train-jobs <N>` / `--train-jobs=<N>` flag from `args`,
+/// returning the worker count when present.
+fn extract_train_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
+    let parse = |value: &str| -> usize {
+        match value.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --train-jobs needs a positive worker count");
+                std::process::exit(2);
+            }
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--train-jobs" {
+            if i + 1 >= args.len() {
+                eprintln!("error: --train-jobs needs a positive worker count");
+                std::process::exit(2);
+            }
+            let jobs = parse(&args.remove(i + 1));
+            args.remove(i);
+            return Some(jobs);
+        }
+        if let Some(value) = args[i].strip_prefix("--train-jobs=") {
+            let jobs = parse(value);
+            args.remove(i);
+            return Some(jobs);
+        }
+        i += 1;
+    }
+    None
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry_path = extract_telemetry_flag(&mut args);
+    if let Some(jobs) = extract_train_jobs_flag(&mut args) {
+        // The rayon shim (and real rayon) size their pools from this; set it
+        // before the first parallel section runs.
+        std::env::set_var("RAYON_NUM_THREADS", jobs.to_string());
+    }
     if telemetry_path.is_some() {
         let _ = Telemetry::install_global(Telemetry::recording());
     }

@@ -9,10 +9,15 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use dice_core::{BitSet, DiceEngine, EngineOptions, GroupTable, ScanIndex};
+use dice_core::{
+    BitSet, DiceConfig, DiceEngine, EngineOptions, GroupTable, ParallelTrainer, ScanIndex,
+};
 use dice_sim::testbed;
 use dice_telemetry::Telemetry;
-use dice_types::TimeDelta;
+use dice_types::{
+    ActuatorEvent, ActuatorId, ActuatorKind, DeviceRegistry, EventLog, Room, SensorId, SensorKind,
+    SensorReading, TimeDelta, Timestamp,
+};
 
 use crate::runner::{train_scenario, RunnerConfig, TrainedDataset};
 
@@ -241,9 +246,149 @@ fn engine_throughput() -> (Throughput, TelemetryOverhead) {
     )
 }
 
+/// Parallel-training throughput: serial vs chunked extraction of an
+/// hh102-scale synthetic log.
+#[derive(Debug, Clone, Copy)]
+struct TrainingBench {
+    windows: u64,
+    events: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    workers: usize,
+    available_parallelism: usize,
+}
+
+impl TrainingBench {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An hh102-scale deployment: 33 binary + 79 numeric sensors (270 state
+/// bits) and a few actuators.
+fn hh102_home() -> (
+    DeviceRegistry,
+    Vec<SensorId>,
+    Vec<SensorId>,
+    Vec<ActuatorId>,
+) {
+    let mut reg = DeviceRegistry::new();
+    let binary: Vec<SensorId> = (0..33)
+        .map(|i| reg.add_sensor(SensorKind::Motion, format!("m{i}"), Room::Kitchen))
+        .collect();
+    let numeric: Vec<SensorId> = (0..79)
+        .map(|i| reg.add_sensor(SensorKind::Temperature, format!("t{i}"), Room::Kitchen))
+        .collect();
+    let actuators: Vec<ActuatorId> = (0..4)
+        .map(|i| reg.add_actuator(ActuatorKind::SmartBulb, format!("a{i}"), Room::Kitchen))
+        .collect();
+    (reg, binary, numeric, actuators)
+}
+
+/// A deterministic synthetic training log at hh102 width: every minute a
+/// handful of binary sensors fire and several numeric sensors report twice,
+/// so windows mix all three numeric bit kinds with binary activity.
+fn hh102_training_log(
+    binary: &[SensorId],
+    numeric: &[SensorId],
+    actuators: &[ActuatorId],
+    hours: i64,
+) -> EventLog {
+    let mut log = EventLog::new();
+    for minute in 0..hours * 60 {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(11);
+        let m = minute as usize;
+        for k in 0..5 {
+            let s = binary[(m * 7 + k * 13) % binary.len()];
+            log.push_sensor(SensorReading::new(
+                s,
+                at + TimeDelta::from_secs(k as i64),
+                true.into(),
+            ));
+        }
+        for k in 0..8 {
+            let s = numeric[(m * 5 + k * 11) % numeric.len()];
+            let v = 18.0 + ((minute + k as i64) % 17) as f64 * 0.5;
+            log.push_sensor(SensorReading::new(s, at, v.into()));
+            log.push_sensor(SensorReading::new(
+                s,
+                at + TimeDelta::from_secs(30),
+                (v + (minute % 3) as f64 - 1.0).into(),
+            ));
+        }
+        if minute % 7 == 0 {
+            let a = actuators[(m / 7) % actuators.len()];
+            log.push_actuator(ActuatorEvent::new(a, at, true));
+        }
+    }
+    log
+}
+
+/// Measures serial vs `TRAIN_WORKERS`-chunk training on the hh102-scale
+/// log (min-of-N, interleaved), asserting the two models are identical.
+///
+/// The worker-pool width is pinned via `RAYON_NUM_THREADS` for each
+/// measurement; on machines with fewer cores than `TRAIN_WORKERS` the
+/// recorded `available_parallelism` explains a flat speedup.
+fn training_bench(hours: i64) -> TrainingBench {
+    const TRAIN_WORKERS: usize = 4;
+    let (reg, binary, numeric, actuators) = hh102_home();
+    let mut log = hh102_training_log(&binary, &numeric, &actuators, hours);
+    log.normalize();
+    let events = log.len();
+    let config = DiceConfig::default();
+    let serial_trainer = ParallelTrainer::new(config.clone()).with_chunks(1);
+    let parallel_trainer = ParallelTrainer::new(config).with_chunks(TRAIN_WORKERS);
+
+    let previous = std::env::var("RAYON_NUM_THREADS").ok();
+    let mut serial_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    let mut windows = 0;
+    for _ in 0..3 {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let start = Instant::now();
+        let serial = serial_trainer
+            .extract(&reg, &mut log.clone())
+            .expect("log is non-empty");
+        serial_ms = serial_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+
+        std::env::set_var("RAYON_NUM_THREADS", TRAIN_WORKERS.to_string());
+        let start = Instant::now();
+        let parallel = parallel_trainer
+            .extract(&reg, &mut log.clone())
+            .expect("log is non-empty");
+        parallel_ms = parallel_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+
+        assert_eq!(serial, parallel, "parallel training must be bit-identical");
+        windows = serial.training_windows();
+    }
+    match previous {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    TrainingBench {
+        windows,
+        events,
+        serial_ms,
+        parallel_ms,
+        workers: TRAIN_WORKERS,
+        available_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
 /// Renders the benchmark results as a stable, hand-rolled JSON document
 /// (the serde shim does not serialize, so the emitter formats directly).
-fn render_json(rows: &[ScanRow], throughput: &Throughput, overhead: &TelemetryOverhead) -> String {
+fn render_json(
+    rows: &[ScanRow],
+    throughput: &Throughput,
+    training: &TrainingBench,
+    overhead: &TelemetryOverhead,
+) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": 1,\n");
     let _ = writeln!(
@@ -268,6 +413,17 @@ fn render_json(rows: &[ScanRow], throughput: &Throughput, overhead: &TelemetryOv
     );
     let _ = writeln!(
         json,
+        "  \"training\": {{\"dataset\": \"hh102-synthetic\", \"num_bits\": {HH102_BITS}, \"windows\": {}, \"events\": {}, \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"workers\": {}, \"available_parallelism\": {}, \"speedup\": {:.2}}},",
+        training.windows,
+        training.events,
+        training.serial_ms,
+        training.parallel_ms,
+        training.workers,
+        training.available_parallelism,
+        training.speedup()
+    );
+    let _ = writeln!(
+        json,
         "  \"telemetry_overhead\": {{\"noop_ns_per_window\": {:.0}, \"recording_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}}",
         overhead.noop_ns_per_window,
         overhead.recording_ns_per_window,
@@ -287,7 +443,8 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let path = path.unwrap_or("BENCH_core.json");
     let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000]);
     let (throughput, overhead) = engine_throughput();
-    let json = render_json(&rows, &throughput, &overhead);
+    let training = training_bench(48);
+    let json = render_json(&rows, &throughput, &training, &overhead);
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
 
     let mut out = String::new();
@@ -312,6 +469,17 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         throughput.windows,
         throughput.elapsed_ms,
         throughput.windows_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "training (hh102 scale, {} windows, {} events): serial {:.1} ms, {} workers {:.1} ms ({:.2}x, {} cores available)",
+        training.windows,
+        training.events,
+        training.serial_ms,
+        training.workers,
+        training.parallel_ms,
+        training.speedup(),
+        training.available_parallelism
     );
     let _ = writeln!(
         out,
@@ -354,12 +522,33 @@ mod tests {
             noop_ns_per_window: 1800.0,
             recording_ns_per_window: 1836.0,
         };
-        let json = render_json(&rows, &throughput, &overhead);
+        let training = TrainingBench {
+            windows: 2880,
+            events: 60_000,
+            serial_ms: 90.0,
+            parallel_ms: 30.0,
+            workers: 4,
+            available_parallelism: 8,
+        };
+        let json = render_json(&rows, &throughput, &training, &overhead);
         assert!(json.contains("\"candidate_scan\""));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"windows_per_sec\": 30000"));
+        assert!(json.contains("\"training\""));
+        assert!(json.contains("\"speedup\": 3.00"));
+        assert!(json.contains("\"available_parallelism\": 8"));
         assert!(json.contains("\"telemetry_overhead\""));
         assert!(json.contains("\"overhead_pct\": 2.00"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn hh102_training_log_is_hh102_wide_and_sorted() {
+        let (reg, binary, numeric, actuators) = hh102_home();
+        assert_eq!(reg.num_sensors(), 33 + 79);
+        let mut log = hh102_training_log(&binary, &numeric, &actuators, 1);
+        assert!(!log.is_empty());
+        let events = log.events();
+        assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
     }
 }

@@ -72,7 +72,9 @@ pub fn usage() -> String {
        telemetry-check <path>         validate an exported telemetry snapshot\n\
      global flags:\n\
        --telemetry <path>             record runtime metrics and dump a JSON\n\
-                                      snapshot of engine/gateway/eval telemetry"
+                                      snapshot of engine/gateway/eval telemetry\n\
+       --train-jobs <N>               worker threads for parallel training and\n\
+                                      trial evaluation (sets RAYON_NUM_THREADS)"
         .to_string()
 }
 

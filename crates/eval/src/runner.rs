@@ -5,8 +5,8 @@
 use std::collections::BTreeMap;
 
 use dice_core::{
-    CheckKind, CostProfile, DiceConfig, DiceEngine, DiceModel, FaultReport, ModelBuilder,
-    ThresholdTrainer,
+    merge_partials, Binarizer, BitLayout, CheckKind, ChunkExtractor, CostProfile, DiceConfig,
+    DiceEngine, DiceModel, FaultReport, PartialModel, ThresholdTrainer,
 };
 use dice_datasets::{DatasetId, SegmentPlan, TimeRange};
 use dice_faults::{
@@ -129,49 +129,106 @@ pub fn train_scenario(spec: ScenarioSpec, cfg: &RunnerConfig) -> TrainedDataset 
     }
 }
 
-/// Runs the two-pass precomputation phase over the training range.
+/// Runs `body` as one chunk of a parallel training pass, adding its
+/// wall-clock duration to the trainer's worker-busy counter.
+fn timed_train_chunk<T>(body: impl FnOnce() -> T) -> T {
+    let telemetry = Telemetry::global();
+    let Some(recorder) = telemetry.recorder() else {
+        return body();
+    };
+    let start = std::time::Instant::now();
+    let result = body();
+    recorder
+        .metrics
+        .train
+        .worker_busy_ns
+        .add(saturating_ns(start.elapsed().as_nanos()));
+    result
+}
+
+/// Runs the two-pass precomputation phase over the training range as a
+/// parallel map-reduce: per-chunk simulation + extraction on the worker
+/// pool, then a deterministic merge. The merged model is bit-identical to
+/// one serial pass over the whole range.
 fn train_model(sim: &Simulator, plan: &SegmentPlan, cfg: &RunnerConfig) -> DiceModel {
     let registry = sim.registry();
     let training = plan.training();
-    let chunk = TimeDelta::from_hours(6);
-
-    // Pass 1: numeric thresholds.
-    let mut trainer = ThresholdTrainer::new(registry);
-    for_each_chunk(training, chunk, |range| {
-        let mut log = sim.log_between(range.start, range.end);
-        for event in log.events() {
-            trainer.observe(event);
-        }
-    });
-
-    // Pass 2: groups and transitions. Windows tile the whole training
-    // range (silent windows included), so the chunk size must be a multiple
-    // of the window duration for chunk boundaries to fall on window
-    // boundaries.
-    let mut builder = ModelBuilder::new(cfg.dice.clone(), registry, trainer.finish())
-        .expect("registry has sensors");
     let window = cfg.dice.window();
+    // Chunk boundaries must fall on window boundaries so the per-chunk
+    // window tilings concatenate into exactly the serial tiling.
+    let chunk = TimeDelta::from_hours(6);
     let chunk = if chunk.as_secs() % window.as_secs() == 0 {
         chunk
     } else {
         training.len()
     };
-    for_each_chunk(training, chunk, |range| {
-        let mut log = sim.log_between(range.start, range.end);
-        for w in log.windows_between(range.start, range.end, window) {
-            builder.observe_window(w.start, w.end, w.events);
-        }
-    });
-    builder.finish().expect("training range is non-empty")
+    let ranges = chunk_ranges(training, chunk);
+    let wall_started = std::time::Instant::now();
+
+    // Pass 1: per-chunk threshold accumulation, merged exactly.
+    let trained: Vec<ThresholdTrainer> = ranges
+        .par_iter()
+        .map(|range| {
+            timed_train_chunk(|| {
+                let mut log = sim.log_between(range.start, range.end);
+                let mut trainer = ThresholdTrainer::new(registry);
+                for event in log.events() {
+                    trainer.observe(event);
+                }
+                trainer
+            })
+        })
+        .collect();
+    let mut trainer = ThresholdTrainer::new(registry);
+    for partial in &trained {
+        trainer.merge(partial);
+    }
+    let binarizer = Binarizer::new(BitLayout::for_registry(registry), trainer.finish());
+
+    // Pass 2: per-chunk window extraction with chunk-local group ids,
+    // stitched back together by the deterministic merge.
+    let partials: Vec<PartialModel> = ranges
+        .par_iter()
+        .map(|range| {
+            timed_train_chunk(|| {
+                let mut log = sim.log_between(range.start, range.end);
+                let mut extractor = ChunkExtractor::new(&binarizer);
+                for w in log.windows_between(range.start, range.end, window) {
+                    extractor.observe_window(w.start, w.end, w.events);
+                }
+                extractor.finish()
+            })
+        })
+        .collect();
+    let model = merge_partials(
+        cfg.dice.clone(),
+        binarizer,
+        registry.num_actuators(),
+        &partials,
+    )
+    .expect("training range is non-empty");
+
+    if let Some(recorder) = Telemetry::global().recorder() {
+        let train = &recorder.metrics.train;
+        train.windows_total.add(model.training_windows());
+        train.chunks_total.add(ranges.len() as u64);
+        train
+            .wall_ns
+            .add(saturating_ns(wall_started.elapsed().as_nanos()));
+        train.workers.set_max(rayon::current_num_threads() as i64);
+    }
+    model
 }
 
-fn for_each_chunk(range: TimeRange, chunk: TimeDelta, mut f: impl FnMut(TimeRange)) {
+fn chunk_ranges(range: TimeRange, chunk: TimeDelta) -> Vec<TimeRange> {
+    let mut ranges = Vec::new();
     let mut start = range.start;
     while start < range.end {
         let end = (start + chunk).min(range.end);
-        f(TimeRange { start, end });
+        ranges.push(TimeRange { start, end });
         start = end;
     }
+    ranges
 }
 
 /// How a faulty trial was detected, per fault type (Figure 5.4).
@@ -585,6 +642,7 @@ fn record_actuator_outcome(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dice_core::ModelBuilder;
     use dice_sim::testbed;
 
     fn quick_cfg() -> RunnerConfig {
@@ -632,12 +690,7 @@ mod tests {
             builder.observe_window(w.start, w.end, w.events);
         }
         let model = builder.finish().unwrap();
-        assert_eq!(td.model.groups().len(), model.groups().len());
-        assert_eq!(
-            td.model.transitions().g2g().total(),
-            model.transitions().g2g().total()
-        );
-        assert_eq!(td.model.training_windows(), model.training_windows());
+        assert_eq!(td.model, model, "parallel training must be bit-identical");
     }
 
     #[test]

@@ -282,6 +282,66 @@ impl EvalMetrics {
     }
 }
 
+/// Training-layer metrics (`dice-core`'s parallel trainer): chunked
+/// precomputation throughput, merge cost, and worker utilization.
+#[derive(Debug, Clone)]
+pub struct TrainMetrics {
+    /// Training windows consumed across all chunks.
+    pub windows_total: Arc<Counter>,
+    /// Chunks extracted by parallel training runs.
+    pub chunks_total: Arc<Counter>,
+    /// Wall-clock time of one deterministic partial-model merge.
+    pub merge_ns: Arc<Histogram>,
+    /// Sum of per-chunk extraction durations (worker busy time).
+    pub worker_busy_ns: Arc<Counter>,
+    /// Wall-clock time inside parallel training sections.
+    pub wall_ns: Arc<Counter>,
+    /// Parallel worker threads available to the trainer.
+    pub workers: Arc<Gauge>,
+}
+
+impl TrainMetrics {
+    fn register(r: &Registry) -> Self {
+        TrainMetrics {
+            windows_total: r.counter(
+                "dice_train_windows_total",
+                "Training windows consumed by the parallel trainer",
+            ),
+            chunks_total: r.counter(
+                "dice_train_chunks_total",
+                "Chunks extracted by parallel training runs",
+            ),
+            merge_ns: r.histogram(
+                "dice_train_merge_ns",
+                "Deterministic partial-model merge time",
+                "ns",
+                &LATENCY_BOUNDS_NS,
+            ),
+            worker_busy_ns: r.counter(
+                "dice_train_worker_busy_ns",
+                "Sum of per-chunk extraction durations across workers",
+            ),
+            wall_ns: r.counter(
+                "dice_train_wall_ns",
+                "Wall-clock time inside parallel training sections",
+            ),
+            workers: r.gauge("dice_train_workers", "Parallel training worker threads"),
+        }
+    }
+
+    /// Parallel worker utilization in `[0, 1]`: busy time divided by wall
+    /// time times workers. 0 before any training section ran.
+    pub fn worker_utilization(&self) -> f64 {
+        let workers = self.workers.get().max(1) as f64;
+        let wall = self.wall_ns.get() as f64 * workers;
+        if wall <= 0.0 {
+            0.0
+        } else {
+            (self.worker_busy_ns.get() as f64 / wall).min(1.0)
+        }
+    }
+}
+
 /// The full DICE metric catalog, one instance per recording [`Registry`].
 #[derive(Debug, Clone)]
 pub struct DiceMetrics {
@@ -291,6 +351,8 @@ pub struct DiceMetrics {
     pub gateway: GatewayMetrics,
     /// Eval-layer metrics.
     pub eval: EvalMetrics,
+    /// Training-layer metrics.
+    pub train: TrainMetrics,
 }
 
 impl DiceMetrics {
@@ -300,6 +362,7 @@ impl DiceMetrics {
             engine: EngineMetrics::register(registry),
             gateway: GatewayMetrics::register(registry),
             eval: EvalMetrics::register(registry),
+            train: TrainMetrics::register(registry),
         }
     }
 }
@@ -320,6 +383,18 @@ mod tests {
         assert!(names.contains(&"dice_engine_windows_total"));
         assert!(names.contains(&"dice_gateway_channel_depth"));
         assert!(names.contains(&"dice_eval_trial_ns"));
+        assert!(names.contains(&"dice_train_merge_ns"));
+    }
+
+    #[test]
+    fn train_utilization_mirrors_eval() {
+        let registry = Registry::new();
+        let metrics = DiceMetrics::register(&registry);
+        assert_eq!(metrics.train.worker_utilization(), 0.0);
+        metrics.train.workers.set(4);
+        metrics.train.wall_ns.add(1_000);
+        metrics.train.worker_busy_ns.add(3_000);
+        assert!((metrics.train.worker_utilization() - 0.75).abs() < 1e-12);
     }
 
     #[test]

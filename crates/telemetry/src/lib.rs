@@ -31,8 +31,8 @@ mod ring;
 mod span;
 
 pub use catalog::{
-    DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, LATENCY_BOUNDS_NS, TRIAL_BOUNDS_NS,
-    WINDOW_BOUNDS,
+    DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, TrainMetrics, LATENCY_BOUNDS_NS,
+    TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
 };
 pub use export::{validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA};
 pub use json::{escape as json_escape, parse as json_parse, ParseError, Value};

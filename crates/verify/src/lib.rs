@@ -41,7 +41,9 @@ use std::io::Read;
 use dice_core::invariants::{check_config, check_model};
 use dice_core::{read_model_unverified, DiceConfig, DiceModel};
 
-pub use dice_core::invariants::{max_severity, ROW_SUM_EPSILON};
+pub use dice_core::invariants::{
+    check_group_merge, check_transition_merge, max_severity, ROW_SUM_EPSILON,
+};
 pub use dice_core::{has_errors, Diagnostic, DiagnosticCode, Severity};
 
 /// Runs every check — structural invariants, configuration sanity, and the
@@ -254,6 +256,35 @@ mod tests {
         assert_eq!(diags[0].severity(), Severity::Error);
         let rendered = render_report(&diags);
         assert!(rendered.lines().next().unwrap().starts_with("error:"));
+    }
+
+    #[test]
+    fn merge_conservation_checks_carry_stable_codes() {
+        use dice_core::TransitionCounts;
+
+        // A faithful merge is clean.
+        let mut part = GroupTable::new(2);
+        part.observe(&BitSet::from_indices(2, [0]));
+        let mut merged = GroupTable::new(2);
+        merged.merge(&part);
+        assert!(check_group_merge(&merged, &[&part]).is_empty());
+
+        // The same merged table against twice the parts: observations were
+        // lost relative to what the parts claim (DV170).
+        let diags = check_group_merge(&merged, &[&part, &part]);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::MergeGroupCountNotPreserved));
+        assert!(has_errors(&diags));
+
+        // A merged transition matrix that dropped a row (DV172).
+        let mut part_counts = TransitionCounts::new();
+        part_counts.record(0, 1);
+        let empty = TransitionCounts::new();
+        let diags = check_transition_merge(&empty, &[&part_counts]);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == DiagnosticCode::MergeRowTotalMismatch));
     }
 
     #[test]

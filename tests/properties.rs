@@ -1,11 +1,12 @@
 //! Cross-crate property-based tests (proptest) for the core invariants.
 
 use dice_core::{
-    read_model, write_model, BitSet, ContextExtractor, DiceConfig, GroupTable, ScanIndex,
-    TransitionCounts,
+    read_model, write_model, BitSet, ContextExtractor, DiceConfig, GroupTable, ParallelTrainer,
+    ScanIndex, TransitionCounts,
 };
 use dice_types::{
-    DeviceRegistry, EventLog, Room, SensorId, SensorKind, SensorReading, TimeDelta, Timestamp,
+    ActuatorEvent, ActuatorKind, DeviceRegistry, EventLog, Room, SensorId, SensorKind,
+    SensorReading, TimeDelta, Timestamp,
 };
 use proptest::prelude::*;
 
@@ -160,6 +161,82 @@ proptest! {
         }
         corrupted.truncate((truncate_at % corrupted.len()).max(1));
         let _ = read_model(corrupted.as_slice());
+    }
+
+    /// Chunked parallel training is bit-identical to the serial extractor —
+    /// same model *and* same serialized bytes — for any log (binary-only,
+    /// numeric-heavy, with or without actuators, down to a single window)
+    /// and any chunk count (1, 2, 7, exactly the window count, and more
+    /// chunks than windows, which leaves some chunks empty).
+    #[test]
+    fn parallel_training_is_byte_identical_to_serial(
+        binary_fires in prop::collection::vec((0u32..3, 0i64..90), 1..60),
+        numeric_reads in prop::collection::vec((0u32..2, 0i64..90, -50i32..150), 0..60),
+        actuations in prop::collection::vec((0u32..2, 0i64..90, any::<bool>()), 0..20),
+        collapse in any::<bool>(),
+    ) {
+        let mut registry = DeviceRegistry::new();
+        for i in 0..3 {
+            registry.add_sensor(SensorKind::Motion, format!("m{i}"), Room::Kitchen);
+        }
+        for i in 0..2 {
+            registry.add_sensor(SensorKind::Temperature, format!("t{i}"), Room::Kitchen);
+        }
+        let bulbs = [
+            registry.add_actuator(ActuatorKind::SmartBulb, "a0", Room::Kitchen),
+            registry.add_actuator(ActuatorKind::SmartBulb, "a1", Room::Kitchen),
+        ];
+        // `collapse` squeezes every event into minute zero, so the log
+        // covers exactly one window.
+        let at = |minute: i64, offset: i64| {
+            Timestamp::from_mins(if collapse { 0 } else { minute })
+                + TimeDelta::from_secs(offset % 60)
+        };
+        let mut log = EventLog::new();
+        for &(sensor, minute) in &binary_fires {
+            log.push_sensor(SensorReading::new(
+                SensorId::new(sensor),
+                at(minute, i64::from(sensor) * 13),
+                true.into(),
+            ));
+        }
+        for &(sensor, minute, value) in &numeric_reads {
+            log.push_sensor(SensorReading::new(
+                SensorId::new(3 + sensor),
+                at(minute, i64::from(value.unsigned_abs())),
+                (f64::from(value) * 0.25).into(),
+            ));
+        }
+        for &(actuator, minute, active) in &actuations {
+            log.push_actuator(ActuatorEvent::new(
+                bulbs[actuator as usize],
+                at(minute, i64::from(actuator) * 29),
+                active,
+            ));
+        }
+
+        let serial = ContextExtractor::new(DiceConfig::default())
+            .extract(&registry, &mut log.clone())
+            .unwrap();
+        let mut serial_bytes = Vec::new();
+        write_model(&serial, &mut serial_bytes).unwrap();
+
+        let num_windows = serial.training_windows() as usize;
+        for chunks in [1, 2, 7, num_windows, num_windows + 5] {
+            let parallel = ParallelTrainer::new(DiceConfig::default())
+                .with_chunks(chunks.max(1))
+                .extract(&registry, &mut log.clone())
+                .unwrap();
+            prop_assert_eq!(&parallel, &serial, "model mismatch at {} chunks", chunks);
+            let mut parallel_bytes = Vec::new();
+            write_model(&parallel, &mut parallel_bytes).unwrap();
+            prop_assert_eq!(
+                &parallel_bytes,
+                &serial_bytes,
+                "serialized bytes differ at {} chunks",
+                chunks
+            );
+        }
     }
 
     /// A model trained on any binary event log never raises a correlation
