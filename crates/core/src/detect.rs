@@ -59,6 +59,18 @@ pub enum TransitionCase {
     },
 }
 
+impl fmt::Display for TransitionCase {
+    /// Renders the conditional probability that was consulted, e.g.
+    /// `P(G4 | G1)` for a G2G case.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionCase::G2G { from, to } => write!(f, "P({to} | {from})"),
+            TransitionCase::G2A { from, actuator } => write!(f, "P({actuator} | {from})"),
+            TransitionCase::A2G { actuator, to } => write!(f, "P({to} | {actuator})"),
+        }
+    }
+}
+
 /// Summary of the previous window that the transition check needs: its group
 /// (main group if one existed, else the nearest group) and its actuator
 /// activations.

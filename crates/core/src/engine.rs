@@ -12,7 +12,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use dice_telemetry::{saturating_ns, EngineMetrics, LocalHistogram, Telemetry};
+use dice_telemetry::{saturating_ns, Counter, EngineMetrics, LocalHistogram, Telemetry};
 use dice_types::{DeviceId, Event, GroupId, TimeDelta, Timestamp};
 
 use crate::binarize::{BinarizeScratch, WindowObservation};
@@ -21,10 +21,40 @@ use crate::groups::Candidate;
 use crate::identify::{Identifier, IntersectionTracker};
 use crate::model::DiceModel;
 use crate::scan::ScanProfile;
+use crate::trace::{
+    DecisionTrace, FlightRecorder, SharedTraceSink, TraceOptions, TracePhase, TraceTransition,
+    TraceVerdict,
+};
 use crate::weights::DeviceWeights;
 
+/// The numeric evidence behind a detection: what the triggering check
+/// actually measured. Captured on the first violating window regardless of
+/// whether tracing is enabled, so it is deterministic engine output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectionDetail {
+    /// A correlation violation: no exact group match; the nearest group and
+    /// its Hamming distance from the observed state set.
+    Correlation {
+        /// The nearest candidate group.
+        nearest: GroupId,
+        /// Hamming distance between the observed state set and `nearest`.
+        distance: u32,
+    },
+    /// A transition violation: the first flagged transition triple with the
+    /// probability the model assigned to it and the violation threshold
+    /// (flagged because `observed <= threshold`).
+    Transition {
+        /// The transition triple that was checked.
+        case: TransitionCase,
+        /// The probability the model assigns to this transition.
+        observed: f64,
+        /// The violation threshold (the paper's zero-probability rule).
+        threshold: f64,
+    },
+}
+
 /// A completed fault report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FaultReport {
     /// End of the window in which the first violation was detected.
     pub detected_at: Timestamp,
@@ -39,6 +69,27 @@ pub struct FaultReport {
     pub conclusive: bool,
     /// Number of windows consumed from detection through identification.
     pub windows_examined: usize,
+    /// What the triggering check measured (always captured; deterministic).
+    pub detail: Option<DetectionDetail>,
+    /// The flight recorder's most recent traces at report time. Empty
+    /// unless tracing is enabled; diagnostic provenance, not part of the
+    /// report's semantic identity (excluded from `PartialEq`).
+    pub evidence: Vec<DecisionTrace>,
+}
+
+/// Equality ignores `evidence`: traces are diagnostic provenance, and
+/// trace-enabled and trace-disabled engines must produce equal report
+/// streams on identical input.
+impl PartialEq for FaultReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.detected_at == other.detected_at
+            && self.identified_at == other.identified_at
+            && self.detected_by == other.detected_by
+            && self.devices == other.devices
+            && self.conclusive == other.conclusive
+            && self.windows_examined == other.windows_examined
+            && self.detail == other.detail
+    }
 }
 
 impl FaultReport {
@@ -60,6 +111,19 @@ impl fmt::Display for FaultReport {
                 write!(f, ", ")?;
             }
             write!(f, "{d}")?;
+        }
+        match &self.detail {
+            Some(DetectionDetail::Correlation { nearest, distance }) => {
+                write!(f, " (nearest group {nearest} at distance {distance})")?;
+            }
+            Some(DetectionDetail::Transition {
+                case,
+                observed,
+                threshold,
+            }) => {
+                write!(f, " ({case} = {observed}, threshold {threshold})")?;
+            }
+            None => {}
         }
         if !self.conclusive {
             write!(f, " (inconclusive)")?;
@@ -154,6 +218,35 @@ impl CostProfile {
     }
 }
 
+/// What the triggering check measured, for [`FaultReport::detail`]. Cheap
+/// (two table lookups at most) and deterministic, so it is computed on
+/// every first violation regardless of tracing.
+fn detection_detail(model: &DiceModel, result: &CheckResult) -> Option<DetectionDetail> {
+    match result {
+        CheckResult::Normal { .. } => None,
+        CheckResult::CorrelationViolation { candidates } => {
+            // `candidates_into` sorts ascending by distance.
+            candidates.first().map(|c| DetectionDetail::Correlation {
+                nearest: c.group,
+                distance: c.distance,
+            })
+        }
+        CheckResult::TransitionViolation { cases, .. } => cases.first().map(|case| {
+            let transitions = model.transitions();
+            let observed = match *case {
+                TransitionCase::G2G { from, to } => transitions.g2g_prob(from, to),
+                TransitionCase::G2A { from, actuator } => transitions.g2a_prob(from, actuator),
+                TransitionCase::A2G { actuator, to } => transitions.a2g_prob(actuator, to),
+            };
+            DetectionDetail::Transition {
+                case: *case,
+                observed,
+                threshold: 0.0,
+            }
+        }),
+    }
+}
+
 /// Converts a `u128` nanosecond total into whole milliseconds, saturating
 /// to `u64` (585 million years of headroom — effectively "never wrong, and
 /// never a silent truncation").
@@ -175,6 +268,11 @@ pub struct EngineOptions {
     /// anywhere in the stack report to the process-wide recorder when one
     /// is installed. Never affects detection or identification output.
     pub telemetry: Telemetry,
+    /// Decision tracing (flight recorder + optional streaming sink).
+    /// Defaults to [`TraceOptions::global`] (disabled unless
+    /// `TraceOptions::install_global` ran), mirroring `telemetry`. Never
+    /// affects detection or identification output.
+    pub trace: TraceOptions,
 }
 
 impl Default for EngineOptions {
@@ -183,6 +281,7 @@ impl Default for EngineOptions {
             weights: DeviceWeights::default(),
             early_fire_threshold: None,
             telemetry: Telemetry::global(),
+            trace: TraceOptions::global(),
         }
     }
 }
@@ -193,6 +292,7 @@ enum Phase {
     Identifying {
         detected_at: Timestamp,
         detected_by: CheckKind,
+        detail: Option<DetectionDetail>,
         tracker: IntersectionTracker,
         windows_since_detection: usize,
         violations_seen: usize,
@@ -249,6 +349,9 @@ pub struct DiceEngine<M: Borrow<DiceModel>> {
     /// Local batching buffers for the every-window metrics; `None` when
     /// telemetry is disabled.
     tel_batch: Option<TelBatch>,
+    /// Flight recorder + sink; `None` when tracing is disabled, making the
+    /// disabled path a single branch per window.
+    tracer: Option<Tracer>,
 }
 
 /// Engine-local telemetry buffers for the metrics touched on every window
@@ -327,7 +430,172 @@ impl Drop for TelBatch {
 struct StaleSuspects {
     detected_at: Timestamp,
     detected_by: CheckKind,
+    detail: Option<DetectionDetail>,
     devices: std::collections::BTreeSet<DeviceId>,
+}
+
+/// Per-engine tracing state: the flight recorder plus the knobs and sinks
+/// from [`TraceOptions`]. `None` on the engine when tracing is disabled, so
+/// the steady-state cost of "off" is one `Option` discriminant check.
+struct Tracer {
+    recorder: FlightRecorder,
+    top_k: usize,
+    snapshot_last: usize,
+    sink: Option<SharedTraceSink>,
+    records_total: Option<Arc<Counter>>,
+    ring_dropped_total: Option<Arc<Counter>>,
+}
+
+impl Tracer {
+    fn new(options: &TraceOptions, telemetry: &Telemetry) -> Self {
+        let trace_metrics = telemetry.recorder().map(|r| &r.metrics.trace);
+        Tracer {
+            recorder: FlightRecorder::new(options.capacity),
+            top_k: options.top_k,
+            snapshot_last: options.snapshot_last,
+            sink: options.sink.clone(),
+            records_total: trace_metrics.map(|m| Arc::clone(&m.records_total)),
+            ring_dropped_total: trace_metrics.map(|m| Arc::clone(&m.ring_dropped_total)),
+        }
+    }
+
+    /// Records one window's decision into a (recycled) ring slot; on the
+    /// rare report path, additionally snapshots the newest traces into the
+    /// report as evidence. Allocation-free at steady state: the slot's
+    /// buffers are reused and every probability below is a table lookup.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        model: &DiceModel,
+        prev: Option<&PrevWindow>,
+        obs: &WindowObservation,
+        result: &CheckResult,
+        start: Timestamp,
+        end: Timestamp,
+        phase_before: TracePhase,
+        phase_after: TracePhase,
+        report: Option<&mut FaultReport>,
+    ) {
+        let transitions = model.transitions();
+        let min_support = model.config().min_row_support().max(1);
+        let top_k = self.top_k;
+        let dropped_before = self.recorder.dropped();
+        let (reported, conclusive) = report
+            .as_ref()
+            .map_or((false, false), |r| (true, r.conclusive));
+        self.recorder.record_with(|seq, slot| {
+            slot.reset();
+            slot.window = seq;
+            slot.start = start;
+            slot.end = end;
+            slot.bits = obs.state.len();
+            slot.ones = obs.state.count_ones();
+            slot.state_words.extend_from_slice(obs.state.as_words());
+            match result {
+                CheckResult::Normal { group } => {
+                    slot.main_group = Some(*group);
+                    slot.verdict = TraceVerdict::Normal;
+                    // Context: the G2G row the transition check consulted.
+                    if let Some(prev) = prev.filter(|p| p.exact) {
+                        slot.transitions.push(TraceTransition {
+                            case: TransitionCase::G2G {
+                                from: prev.group,
+                                to: *group,
+                            },
+                            observed: transitions.g2g_prob(prev.group, *group),
+                            threshold: 0.0,
+                            support: transitions.g2g_row_support(prev.group),
+                            min_support,
+                        });
+                    }
+                }
+                CheckResult::CorrelationViolation { candidates } => {
+                    slot.verdict = TraceVerdict::Correlation;
+                    for c in candidates.iter().take(top_k) {
+                        slot.candidates.push((c.group, c.distance));
+                    }
+                    // `candidates_into` sorts ascending by distance, so the
+                    // first candidate is the nearest group.
+                    if let Some(c) = candidates.first() {
+                        slot.nearest = Some((c.group, c.distance));
+                        slot.nearest_state
+                            .extend_from_slice(model.groups().state(c.group).as_words());
+                    }
+                }
+                CheckResult::TransitionViolation { group, cases } => {
+                    slot.main_group = Some(*group);
+                    slot.verdict = TraceVerdict::Transition;
+                    for case in cases {
+                        let (observed, support) = match *case {
+                            TransitionCase::G2G { from, to } => (
+                                transitions.g2g_prob(from, to),
+                                transitions.g2g_row_support(from),
+                            ),
+                            TransitionCase::G2A { from, actuator } => (
+                                transitions.g2a_prob(from, actuator),
+                                transitions.g2g_row_support(from),
+                            ),
+                            TransitionCase::A2G { actuator, to } => (
+                                transitions.a2g_prob(actuator, to),
+                                transitions.a2g_row_total(actuator),
+                            ),
+                        };
+                        slot.transitions.push(TraceTransition {
+                            case: *case,
+                            observed,
+                            threshold: 0.0,
+                            support,
+                            min_support,
+                        });
+                    }
+                }
+            }
+            slot.phase_before = phase_before;
+            slot.phase_after = phase_after;
+            slot.reported = reported;
+            slot.conclusive = conclusive;
+        });
+        if let Some(counter) = &self.records_total {
+            counter.inc();
+        }
+        if self.recorder.dropped() > dropped_before {
+            if let Some(counter) = &self.ring_dropped_total {
+                counter.inc();
+            }
+        }
+        if let Some(sink) = &self.sink {
+            if let (Some(trace), Ok(mut guard)) = (self.recorder.latest(), sink.lock()) {
+                guard.record(model.layout(), trace);
+            }
+        }
+        if let Some(report) = report {
+            report.evidence = self.recorder.last_n(self.snapshot_last);
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("recorder", &self.recorder)
+            .field("top_k", &self.top_k)
+            .field("snapshot_last", &self.snapshot_last)
+            .field("sink", &self.sink.as_ref().map(|_| "..."))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for Tracer {
+    fn clone(&self) -> Self {
+        Tracer {
+            recorder: self.recorder.clone(),
+            top_k: self.top_k,
+            snapshot_last: self.snapshot_last,
+            sink: self.sink.clone(),
+            records_total: self.records_total.clone(),
+            ring_dropped_total: self.ring_dropped_total.clone(),
+        }
+    }
 }
 
 impl<M: Borrow<DiceModel>> DiceEngine<M> {
@@ -342,6 +610,10 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             .telemetry
             .recorder()
             .map(|r| TelBatch::new(&r.metrics.engine));
+        let tracer = options
+            .trace
+            .enabled
+            .then(|| Tracer::new(&options.trace, &options.telemetry));
         DiceEngine {
             model,
             options,
@@ -353,6 +625,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             bin_scratch: BinarizeScratch::default(),
             cand_scratch: Vec::new(),
             tel_batch,
+            tracer,
         }
     }
 
@@ -394,6 +667,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             Phase::Identifying {
                 detected_at,
                 detected_by,
+                detail,
                 tracker,
                 windows_since_detection,
                 violations_seen,
@@ -402,14 +676,20 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                     return None; // unconfirmed blip
                 }
                 let devices = tracker.current().cloned().unwrap_or_default();
-                Some(FaultReport {
+                let mut report = FaultReport {
                     detected_at,
                     identified_at: detected_at,
                     detected_by,
                     devices: devices.into_iter().collect(),
                     conclusive: false,
                     windows_examined: windows_since_detection,
-                })
+                    detail,
+                    evidence: Vec::new(),
+                };
+                if let Some(tracer) = self.tracer.as_ref() {
+                    report.evidence = tracer.recorder.last_n(tracer.snapshot_last);
+                }
+                Some(report)
             }
         }
     }
@@ -496,10 +776,37 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         self.cost.windows += 1;
 
         // Identification.
+        let phase_before = self.trace_phase();
         let t2 = Instant::now();
-        let report = self.advance_phase(&obs, &result, end);
+        let mut report = self.advance_phase(&obs, &result, end);
         let ident_ns = t2.elapsed().as_nanos();
         self.cost.identification_ns += ident_ns;
+
+        // Decision tracing. Disabled (the default) costs this one branch;
+        // enabled refills a recycled ring slot — before `update_prev` so the
+        // trace can name the G2G row the transition check consulted.
+        if self.tracer.is_some() {
+            let phase_after = self.trace_phase();
+            let DiceEngine {
+                model,
+                tracer,
+                prev,
+                ..
+            } = self;
+            if let Some(tracer) = tracer.as_mut() {
+                tracer.record(
+                    (*model).borrow(),
+                    prev.as_ref(),
+                    &obs,
+                    &result,
+                    start,
+                    end,
+                    phase_before,
+                    phase_after,
+                    report.as_mut(),
+                );
+            }
+        }
 
         // Update previous-window context for the next round.
         self.update_prev(&obs, &result);
@@ -563,6 +870,14 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         report
     }
 
+    /// The identification phase as a trace discriminant.
+    fn trace_phase(&self) -> TracePhase {
+        match self.phase {
+            Phase::Monitoring => TracePhase::Monitoring,
+            Phase::Identifying { .. } => TracePhase::Identifying,
+        }
+    }
+
     /// Runs the phase state machine for one checked window.
     fn advance_phase(
         &mut self,
@@ -581,6 +896,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         match phase {
             Phase::Monitoring => {
                 let kind = result.violated_check()?;
+                let detail = detection_detail(model, result);
                 let probable = identifier.probable_devices(self.prev.as_ref(), obs, result);
 
                 // A fresh violation implicating a stale suspect confirms it.
@@ -591,7 +907,9 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         .copied()
                         .collect();
                     if !overlap.is_empty() {
-                        let (detected_at, detected_by) = (stale.detected_at, stale.detected_by);
+                        // Report evidence credits the original detection.
+                        let (detected_at, detected_by, detail) =
+                            (stale.detected_at, stale.detected_by, stale.detail);
                         self.stale = None;
                         let mut tracker = IntersectionTracker::new();
                         tracker.feed(&overlap);
@@ -604,11 +922,14 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                                 devices: devices.into_iter().collect(),
                                 conclusive: true,
                                 windows_examined: 2,
+                                detail,
+                                evidence: Vec::new(),
                             });
                         }
                         self.phase = Phase::Identifying {
                             detected_at,
                             detected_by,
+                            detail,
                             tracker,
                             windows_since_detection: 2,
                             violations_seen: confirm.max(2),
@@ -630,11 +951,14 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         devices: devices.into_iter().collect(),
                         conclusive: true,
                         windows_examined: 1,
+                        detail,
+                        evidence: Vec::new(),
                     });
                 }
                 self.phase = Phase::Identifying {
                     detected_at: window_end,
                     detected_by: kind,
+                    detail,
                     tracker,
                     windows_since_detection: 1,
                     violations_seen: 1,
@@ -644,6 +968,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
             Phase::Identifying {
                 detected_at,
                 detected_by,
+                detail,
                 mut tracker,
                 mut windows_since_detection,
                 mut violations_seen,
@@ -665,6 +990,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                             self.stale = Some(StaleSuspects {
                                 detected_at,
                                 detected_by,
+                                detail,
                                 devices: devices.clone(),
                             });
                         }
@@ -673,6 +999,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                     self.phase = Phase::Identifying {
                         detected_at,
                         detected_by,
+                        detail,
                         tracker,
                         windows_since_detection,
                         violations_seen,
@@ -696,6 +1023,8 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                             devices: heavy,
                             conclusive: false,
                             windows_examined: windows_since_detection,
+                            detail,
+                            evidence: Vec::new(),
                         });
                     }
                 }
@@ -709,6 +1038,8 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         devices: devices.into_iter().collect(),
                         conclusive: true,
                         windows_examined: windows_since_detection,
+                        detail,
+                        evidence: Vec::new(),
                     });
                 }
 
@@ -721,12 +1052,15 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         devices: devices.into_iter().collect(),
                         conclusive: false,
                         windows_examined: windows_since_detection,
+                        detail,
+                        evidence: Vec::new(),
                     });
                 }
 
                 self.phase = Phase::Identifying {
                     detected_at,
                     detected_by,
+                    detail,
                     tracker,
                     windows_since_detection,
                     violations_seen,
@@ -1130,11 +1464,103 @@ mod tests {
             devices: vec![DeviceId::Sensor(SensorId::new(1))],
             conclusive: true,
             windows_examined: 3,
+            detail: None,
+            evidence: Vec::new(),
         };
         let text = report.to_string();
         assert!(text.contains("S1"));
         assert!(text.contains("correlation"));
         assert_eq!(report.identification_lag(), TimeDelta::from_mins(2));
+    }
+
+    #[test]
+    fn report_display_includes_numeric_evidence() {
+        let base = FaultReport {
+            detected_at: Timestamp::from_mins(1),
+            identified_at: Timestamp::from_mins(3),
+            detected_by: CheckKind::Correlation,
+            devices: vec![DeviceId::Sensor(SensorId::new(1))],
+            conclusive: false,
+            windows_examined: 3,
+            detail: Some(DetectionDetail::Correlation {
+                nearest: GroupId::new(4),
+                distance: 2,
+            }),
+            evidence: Vec::new(),
+        };
+        let text = base.to_string();
+        assert!(
+            text.contains("nearest group G4 at distance 2"),
+            "correlation detail missing: {text}"
+        );
+        assert!(text.contains("(inconclusive)"), "{text}");
+
+        let transition = FaultReport {
+            detected_by: CheckKind::Transition,
+            detail: Some(DetectionDetail::Transition {
+                case: TransitionCase::G2G {
+                    from: GroupId::new(1),
+                    to: GroupId::new(4),
+                },
+                observed: 0.0,
+                threshold: 0.0,
+            }),
+            conclusive: true,
+            ..base
+        };
+        let text = transition.to_string();
+        assert!(
+            text.contains("P(G4 | G1) = 0, threshold 0"),
+            "transition detail missing: {text}"
+        );
+    }
+
+    #[test]
+    fn reports_carry_detail_and_equality_ignores_evidence() {
+        let (model, sensors) = trained_model();
+        let mut engine = DiceEngine::new(&model);
+        let reports = engine.process_log(&mut faulty_log(&sensors, 30));
+        assert!(!reports.is_empty());
+        let report = &reports[0];
+        assert!(
+            matches!(
+                report.detail,
+                Some(DetectionDetail::Correlation { distance, .. }) if distance > 0
+            ),
+            "correlation-detected report must carry nearest-group detail: {report:?}"
+        );
+        // Evidence is provenance, not identity.
+        let mut with_evidence = report.clone();
+        with_evidence.evidence.push(DecisionTrace::default());
+        assert_eq!(&with_evidence, report);
+    }
+
+    #[test]
+    fn tracing_records_windows_and_snapshots_evidence() {
+        let (model, sensors) = trained_model();
+        let options = EngineOptions {
+            trace: TraceOptions::recording(),
+            ..EngineOptions::default()
+        };
+        let mut engine = DiceEngine::with_options(&model, options);
+        let reports = engine.process_log(&mut faulty_log(&sensors, 30));
+        assert!(!reports.is_empty());
+        let report = &reports[0];
+        assert!(
+            !report.evidence.is_empty(),
+            "traced engine must attach evidence"
+        );
+        // The newest evidence trace is the reporting window itself.
+        let last = report.evidence.last().unwrap();
+        assert!(last.reported);
+        assert_eq!(last.conclusive, report.conclusive);
+        assert!(report.evidence.iter().any(|t| t.nearest.is_some()));
+
+        // Disabled tracing produces the same report stream.
+        let mut plain = DiceEngine::new(&model);
+        let plain_reports = plain.process_log(&mut faulty_log(&sensors, 30));
+        assert_eq!(reports, plain_reports);
+        assert!(plain_reports.iter().all(|r| r.evidence.is_empty()));
     }
 
     #[test]

@@ -76,6 +76,7 @@ mod model_io;
 mod partition;
 mod scan;
 mod stats;
+pub mod trace;
 mod train_par;
 mod transition;
 mod weights;
@@ -86,7 +87,7 @@ pub use bitset::BitSet;
 pub use config::{DiceConfig, DiceConfigBuilder};
 pub use detect::{CheckKind, CheckResult, Detector, PrevWindow, TransitionCase};
 pub use diag::{has_errors, Diagnostic, DiagnosticCode, Severity};
-pub use engine::{CostProfile, DiceEngine, EngineOptions, FaultReport};
+pub use engine::{CostProfile, DetectionDetail, DiceEngine, EngineOptions, FaultReport};
 pub use error::DiceError;
 pub use extract::{ContextExtractor, ModelBuilder};
 pub use groups::{Candidate, GroupTable};
@@ -97,6 +98,12 @@ pub use model_io::{read_model, read_model_unverified, write_model, ModelIoError}
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
 pub use scan::{ScanIndex, ScanProfile};
 pub use stats::{ExactSum, MeanAccumulator, RunningMean, WindowStats};
+pub use trace::{
+    parse_trace_jsonl, render_explain, write_header_line, write_trace_jsonl, write_trace_line,
+    DecisionTrace, FlightRecorder, JsonlTraceWriter, SharedTraceSink, TraceHeader, TraceLog,
+    TraceOptions, TracePhase, TraceSink, TraceTransition, TraceVerdict, DEFAULT_TRACE_CAPACITY,
+    DEFAULT_TRACE_SNAPSHOT_LAST, DEFAULT_TRACE_TOP_K, TRACE_KIND, TRACE_SCHEMA,
+};
 pub use train_par::{merge_partials, ChunkExtractor, ParallelTrainer, PartialModel};
 pub use transition::{TransitionCounts, TransitionModel};
 pub use weights::DeviceWeights;

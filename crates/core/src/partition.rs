@@ -224,6 +224,22 @@ impl<'m> PartitionedEngine<'m> {
         }
     }
 
+    /// Creates engines with explicit options (cloned per partition). Each
+    /// partition gets its own flight recorder, but a shared trace sink in
+    /// the options is shared by every partition engine.
+    pub fn with_options(model: &'m PartitionedModel, options: &crate::EngineOptions) -> Self {
+        PartitionedEngine {
+            engines: model
+                .parts
+                .iter()
+                .map(|(partition, model)| {
+                    (partition, DiceEngine::with_options(model, options.clone()))
+                })
+                .collect(),
+            projected: Vec::new(),
+        }
+    }
+
     /// Processes one window across all partitions; returns every report
     /// (device ids global) raised in this window.
     pub fn process_window(
@@ -389,6 +405,39 @@ mod tests {
         reports.extend(engine.flush());
         assert!(!reports.is_empty());
         assert!(reports[0].devices.contains(&DeviceId::Sensor(sensors[1])));
+    }
+
+    #[test]
+    fn with_options_wires_tracing_through_partitions() {
+        let (reg, sensors) = two_room_home();
+        let config = DiceConfig::builder().min_row_support(1).build();
+        let mut training = training_log(&sensors, 240);
+        let model =
+            PartitionedModel::train(&config, Partition::by_room(&reg), &mut training).unwrap();
+        let options = crate::EngineOptions {
+            trace: crate::TraceOptions::recording(),
+            ..crate::EngineOptions::default()
+        };
+        let mut engine = PartitionedEngine::with_options(&model, &options);
+        // Fail-stop k1: k0 fires alone on even minutes.
+        let mut faulty = EventLog::new();
+        for minute in 0..40 {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            if minute % 2 == 0 {
+                faulty.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+            } else {
+                faulty.push_sensor(SensorReading::new(sensors[2], at, true.into()));
+            }
+        }
+        let mut reports =
+            engine.process_range(&mut faulty, Timestamp::ZERO, Timestamp::from_mins(40));
+        reports.extend(engine.flush());
+        assert!(!reports.is_empty());
+        assert!(reports[0].devices.contains(&DeviceId::Sensor(sensors[1])));
+        assert!(
+            !reports[0].evidence.is_empty(),
+            "partition engines built with tracing options attach evidence"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Command-line interface regenerating every table and figure of the paper.
 
+use dice_core::{JsonlTraceWriter, TraceOptions};
 use dice_eval::experiments;
 use dice_telemetry::Telemetry;
 
@@ -18,6 +19,30 @@ fn extract_telemetry_flag(args: &mut Vec<String>) -> Option<String> {
             return Some(path);
         }
         if let Some(path) = args[i].strip_prefix("--telemetry=") {
+            let path = path.to_string();
+            args.remove(i);
+            return Some(path);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Strips a `--trace <path>` / `--trace=<path>` flag from `args`, returning
+/// the JSONL output path when present.
+fn extract_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--trace" {
+            if i + 1 >= args.len() {
+                eprintln!("error: --trace needs an output path");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            return Some(path);
+        }
+        if let Some(path) = args[i].strip_prefix("--trace=") {
             let path = path.to_string();
             args.remove(i);
             return Some(path);
@@ -63,6 +88,7 @@ fn extract_train_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry_path = extract_telemetry_flag(&mut args);
+    let trace_path = extract_trace_flag(&mut args);
     if let Some(jobs) = extract_train_jobs_flag(&mut args) {
         // The rayon shim (and real rayon) size their pools from this; set it
         // before the first parallel section runs.
@@ -70,6 +96,19 @@ fn main() {
     }
     if telemetry_path.is_some() {
         let _ = Telemetry::install_global(Telemetry::recording());
+    }
+    if let Some(path) = &trace_path {
+        let file = match std::fs::File::create(path) {
+            Ok(file) => file,
+            Err(error) => {
+                eprintln!("error: cannot create trace file {path:?}: {error}");
+                std::process::exit(2);
+            }
+        };
+        let sink = JsonlTraceWriter::with_telemetry(file, &Telemetry::global()).into_shared();
+        if !TraceOptions::install_global(TraceOptions::recording().with_sink(sink)) {
+            eprintln!("warning: trace options were already installed; --trace ignored");
+        }
     }
     let mut iter = args.iter().map(String::as_str);
     let command = iter.next().unwrap_or("help");
@@ -87,6 +126,11 @@ fn main() {
                     std::process::exit(1);
                 }
                 eprintln!("telemetry snapshot written to {path}");
+            }
+            if let Some(path) = trace_path {
+                // The JSONL sink flushes after every trace line, so the file
+                // is complete once the command returns.
+                eprintln!("decision traces written to {path}");
             }
         }
         Err(message) => {

@@ -19,6 +19,7 @@ mod security;
 mod tables;
 mod telemetry_exp;
 mod timing;
+mod trace_exp;
 mod weights;
 
 pub use accuracy::fig_5_1;
@@ -36,6 +37,7 @@ pub use security::{run_attacks, security, spoof_sensor, AttackOutcome};
 pub use tables::{table_2_1, table_4_1};
 pub use telemetry_exp::telemetry_check;
 pub use timing::{fig_5_2, fig_5_3, table_5_1, table_5_2};
+pub use trace_exp::{explain, trace_check};
 pub use weights::weights;
 
 /// The CLI usage text.
@@ -70,9 +72,13 @@ pub fn usage() -> String {
        misses <dataset> [trials]      list undetected injected faults\n\
        bench-json [path]              candidate-scan + throughput baseline (BENCH_core.json)\n\
        telemetry-check <path>         validate an exported telemetry snapshot\n\
+       trace-check <path>             validate a decision-trace JSONL export\n\
+       explain <trace.jsonl> [window] render why a window was flagged\n\
      global flags:\n\
        --telemetry <path>             record runtime metrics and dump a JSON\n\
                                       snapshot of engine/gateway/eval telemetry\n\
+       --trace <path>                 record per-window decision traces from\n\
+                                      every engine to a JSONL file\n\
        --train-jobs <N>               worker threads for parallel training and\n\
                                       trial evaluation (sets RAYON_NUM_THREADS)"
         .to_string()
@@ -226,6 +232,18 @@ pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
                 .first()
                 .ok_or("telemetry-check needs a snapshot path")?;
             Ok(telemetry_check(path)?)
+        }
+        "trace-check" => {
+            let path = args.first().ok_or("trace-check needs a trace path")?;
+            Ok(trace_check(path)?)
+        }
+        "explain" => {
+            let path = args.first().ok_or("explain needs a trace path")?;
+            let window = args
+                .get(1)
+                .map(|w| w.parse::<u64>().map_err(|_| format!("bad window {w:?}")))
+                .transpose()?;
+            Ok(explain(path, window)?)
         }
         "misses" => {
             let dataset = args.first().ok_or("misses needs a dataset name")?;

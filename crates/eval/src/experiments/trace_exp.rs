@@ -1,0 +1,145 @@
+//! Decision-trace tooling for `dice-repro`: the `explain` renderer and the
+//! `trace-check` round-trip validator.
+//!
+//! CI's telemetry-smoke job runs `dice-repro --trace out.jsonl ...`, then
+//! `dice-repro trace-check out.jsonl` (parse → re-serialize must be
+//! byte-stable) and `dice-repro explain out.jsonl` (render the first
+//! alarm's why-was-this-flagged narrative, which must name the implicated
+//! device).
+
+use std::time::Instant;
+
+use dice_core::{parse_trace_jsonl, render_explain, write_trace_jsonl, TraceVerdict};
+use dice_telemetry::{saturating_ns, Telemetry};
+
+/// Renders a why-was-this-flagged narrative from a JSONL trace file.
+/// Explains `window` when given, otherwise the first reported trace (then
+/// the first violation, then the first trace).
+///
+/// # Errors
+///
+/// Returns an I/O, parse, or selection error.
+pub fn explain(path: &str, window: Option<u64>) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let log = parse_trace_jsonl(&text)?;
+    let started = Instant::now();
+    let rendered = render_explain(&log, window)?;
+    if let Some(rec) = Telemetry::global().recorder() {
+        rec.metrics
+            .trace
+            .explain_render_ns
+            .record(saturating_ns(started.elapsed().as_nanos()));
+    }
+    Ok(rendered)
+}
+
+/// Validates a JSONL trace file: parses it, re-serializes it, and requires
+/// the result to be byte-identical to the input. Summarizes the stream.
+///
+/// # Errors
+///
+/// Returns an I/O or parse error, or a message when the round trip is not
+/// byte-stable.
+pub fn trace_check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let log = parse_trace_jsonl(&text)?;
+    let rewritten = write_trace_jsonl(&log);
+    if rewritten != text {
+        return Err(format!(
+            "{path}: round trip is not byte-stable ({} bytes in, {} bytes out)",
+            text.len(),
+            rewritten.len()
+        ));
+    }
+    let violations = log
+        .traces
+        .iter()
+        .filter(|t| t.verdict != TraceVerdict::Normal)
+        .count();
+    let reported = log.traces.iter().filter(|t| t.reported).count();
+    Ok(format!(
+        "{path}: valid dice-trace jsonl (schema {schema}), byte-stable round trip\n\
+         {bits} state bits over {sensors} sensors; {traces} traces, \
+         {violations} violations, {reported} reported",
+        schema = dice_core::TRACE_SCHEMA,
+        bits = log.header.num_bits,
+        sensors = log.header.spans.len(),
+        traces = log.traces.len(),
+        violations = violations,
+        reported = reported,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_core::{
+        ContextExtractor, DiceConfig, DiceEngine, EngineOptions, JsonlTraceWriter, TraceOptions,
+    };
+    use dice_types::{
+        DeviceRegistry, EventLog, Room, SensorKind, SensorReading, TimeDelta, Timestamp,
+    };
+
+    /// Trains the three-sensor home from the engine tests, replays an
+    /// s1-fail-stop log with tracing on, and exercises both commands on the
+    /// resulting file.
+    #[test]
+    fn explain_and_trace_check_work_end_to_end() {
+        let mut reg = DeviceRegistry::new();
+        let s0 = reg.add_sensor(SensorKind::Motion, "s0", Room::Kitchen);
+        let s1 = reg.add_sensor(SensorKind::Motion, "s1", Room::Kitchen);
+        let s2 = reg.add_sensor(SensorKind::Motion, "s2", Room::Bedroom);
+        let mut training = EventLog::new();
+        for minute in 0..120 {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            if minute % 2 == 0 {
+                training.push_sensor(SensorReading::new(s0, at, true.into()));
+                training.push_sensor(SensorReading::new(s1, at, true.into()));
+            } else {
+                training.push_sensor(SensorReading::new(s2, at, true.into()));
+            }
+        }
+        let model = ContextExtractor::new(DiceConfig::default())
+            .extract(&reg, &mut training)
+            .unwrap();
+
+        let dir = std::env::temp_dir();
+        let path = dir.join("dice_trace_check_e2e.jsonl");
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let options = EngineOptions {
+                trace: TraceOptions::recording()
+                    .with_sink(JsonlTraceWriter::new(file).into_shared()),
+                ..EngineOptions::default()
+            };
+            let mut engine = DiceEngine::with_options(&model, options);
+            // s1 fail-stops: s0 fires alone on even minutes.
+            let mut live = EventLog::new();
+            for minute in 0..30 {
+                let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+                if minute % 2 == 0 {
+                    live.push_sensor(SensorReading::new(s0, at, true.into()));
+                } else {
+                    live.push_sensor(SensorReading::new(s2, at, true.into()));
+                }
+            }
+            let reports = engine.process_log(&mut live);
+            assert!(!reports.is_empty());
+        }
+
+        let path_str = path.to_str().unwrap();
+        let summary = trace_check(path_str).unwrap();
+        assert!(summary.contains("byte-stable round trip"), "{summary}");
+        assert!(summary.contains("30 traces"), "{summary}");
+
+        let rendered = explain(path_str, None).unwrap();
+        assert!(
+            rendered.contains(&s1.to_string()),
+            "explain must name the fail-stopped sensor:\n{rendered}"
+        );
+        let _ = std::fs::remove_file(&path);
+
+        assert!(explain("/nonexistent/trace.jsonl", None).is_err());
+        assert!(trace_check("/nonexistent/trace.jsonl").is_err());
+    }
+}

@@ -15,8 +15,9 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
-use dice_core::{DiceEngine, DiceModel, EngineOptions, FaultReport};
-use dice_telemetry::Telemetry;
+use dice_core::trace::{write_header_line, write_trace_line};
+use dice_core::{DecisionTrace, DiceEngine, DiceModel, EngineOptions, FaultReport, TraceHeader};
+use dice_telemetry::{Recorder, Telemetry};
 use dice_types::{DeviceId, Event, Timestamp};
 
 use crate::message::{decode_event, FrameError};
@@ -58,6 +59,65 @@ pub struct HomeGateway<M: Borrow<DiceModel>> {
     engine: Mutex<DiceEngine<M>>,
     alarm_cooldown: dice_types::TimeDelta,
     telemetry: Telemetry,
+    /// When set, every alarm's trace evidence is appended here as JSONL
+    /// (one layout header for the whole stream, then the evidence traces of
+    /// each alarm in order). Requires tracing to be enabled in the engine
+    /// options, or alarms carry no evidence and nothing is written.
+    trace_snapshots: Option<Mutex<SnapshotWriter>>,
+}
+
+/// The alarm-snapshot sink: a boxed writer plus header/failure state.
+struct SnapshotWriter {
+    out: Box<dyn std::io::Write + Send>,
+    header_written: bool,
+    failed: bool,
+}
+
+impl std::fmt::Debug for SnapshotWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotWriter")
+            .field("header_written", &self.header_written)
+            .field("failed", &self.failed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SnapshotWriter {
+    /// Appends one alarm's evidence. I/O errors latch `failed` and silence
+    /// the writer — a full disk must not take the alarm path down.
+    fn write_snapshot(
+        &mut self,
+        header: &TraceHeader,
+        evidence: &[DecisionTrace],
+        recorder: Option<&Recorder>,
+    ) {
+        if self.failed {
+            return;
+        }
+        let mut text = String::new();
+        if !self.header_written {
+            write_header_line(&mut text, header);
+            self.header_written = true;
+        }
+        for trace in evidence {
+            write_trace_line(&mut text, trace);
+        }
+        match self
+            .out
+            .write_all(text.as_bytes())
+            .and_then(|()| self.out.flush())
+        {
+            Ok(()) => {
+                if let Some(rec) = recorder {
+                    rec.metrics
+                        .trace
+                        .snapshot_bytes_total
+                        .add(text.len() as u64);
+                }
+            }
+            Err(_) => self.failed = true,
+        }
+    }
 }
 
 impl<M: Borrow<DiceModel>> HomeGateway<M> {
@@ -82,17 +142,44 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
         alarm_cooldown: dice_types::TimeDelta,
         telemetry: Telemetry,
     ) -> Self {
+        Self::with_engine_options(
+            model,
+            alarm_cooldown,
+            EngineOptions {
+                telemetry,
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    /// Creates a gateway with explicit engine options (weights, telemetry,
+    /// tracing). The gateway's own metrics use the same telemetry sink as
+    /// the engine.
+    pub fn with_engine_options(
+        model: M,
+        alarm_cooldown: dice_types::TimeDelta,
+        options: EngineOptions,
+    ) -> Self {
+        let telemetry = options.telemetry.clone();
         HomeGateway {
-            engine: Mutex::new(DiceEngine::with_options(
-                model,
-                EngineOptions {
-                    telemetry: telemetry.clone(),
-                    ..EngineOptions::default()
-                },
-            )),
+            engine: Mutex::new(DiceEngine::with_options(model, options)),
             alarm_cooldown,
             telemetry,
+            trace_snapshots: None,
         }
+    }
+
+    /// Persists every alarm's trace evidence to `out` as JSONL (see
+    /// [`dice_core::parse_trace_jsonl`] for the format). Pair with engine
+    /// options that enable tracing, or there is no evidence to persist.
+    #[must_use]
+    pub fn with_alarm_trace_writer(mut self, out: Box<dyn std::io::Write + Send>) -> Self {
+        self.trace_snapshots = Some(Mutex::new(SnapshotWriter {
+            out,
+            header_written: false,
+            failed: false,
+        }));
+        self
     }
 
     /// Whether the engine is currently narrowing down a detected fault.
@@ -116,9 +203,13 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
     ) -> GatewayStats {
         let mut stats = GatewayStats::default();
         let recorder = self.telemetry.recorder();
-        let window = {
+        let (window, trace_header) = {
             let engine = self.engine.lock();
-            engine.model().config().window()
+            let header = self
+                .trace_snapshots
+                .is_some()
+                .then(|| TraceHeader::from_layout(engine.model().layout()));
+            (engine.model().config().window(), header)
         };
 
         // K-way merge state: one pending event per live stream.
@@ -153,6 +244,13 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                     stats.alarms += 1;
                     if let Some(rec) = recorder {
                         rec.metrics.gateway.alarms_total.inc();
+                    }
+                    if let (Some(writer), Some(header)) = (&self.trace_snapshots, &trace_header) {
+                        if !report.evidence.is_empty() {
+                            writer
+                                .lock()
+                                .write_snapshot(header, &report.evidence, recorder);
+                        }
                     }
                     let _ = alarms.send(Alarm { report });
                 } else if let Some(rec) = recorder {
@@ -420,6 +518,65 @@ mod tests {
         );
         // All aggregators hung up by the end of the run.
         assert_eq!(snapshot.gauge("dice_gateway_streams_connected"), Some(0));
+    }
+
+    #[test]
+    fn alarm_trace_snapshots_persist_as_parseable_jsonl() {
+        let (_, sensors, model) = training_home();
+        // A Write handle over a shared buffer, so the test can read back
+        // what the gateway persisted.
+        struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buffer = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let options = EngineOptions {
+            trace: dice_core::TraceOptions::recording(),
+            ..EngineOptions::default()
+        };
+        let gateway = HomeGateway::with_engine_options(&model, TimeDelta::from_mins(60), options)
+            .with_alarm_trace_writer(Box::new(SharedBuf(std::sync::Arc::clone(&buffer))));
+
+        let events = live_events(&sensors, 60, true);
+        let parts = partition_by_device(&events, 3);
+        let mut receivers = Vec::new();
+        let mut handles = Vec::new();
+        for (i, part) in parts.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            handles.push(spawn_aggregator(format!("a{i}"), part, tx));
+            receivers.push(rx);
+        }
+        let (alarm_tx, alarm_rx) = unbounded();
+        let stats = gateway.run(
+            receivers,
+            &alarm_tx,
+            Timestamp::ZERO,
+            Timestamp::from_mins(60),
+        );
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        drop(alarm_tx);
+        let alarms: Vec<Alarm> = alarm_rx.iter().collect();
+        assert!(stats.alarms >= 1);
+        assert!(!alarms[0].report.evidence.is_empty());
+
+        let text = String::from_utf8(buffer.lock().clone()).unwrap();
+        let log = dice_core::parse_trace_jsonl(&text).expect("snapshot parses");
+        assert!(!log.traces.is_empty());
+        assert!(log.traces.iter().any(|t| t.reported));
+        // The evidence explains the alarm: the failed sensor is named.
+        let rendered = dice_core::render_explain(&log, None).unwrap();
+        assert!(
+            rendered.contains(&format!("{}", DeviceId::Sensor(sensors[1]))),
+            "explain must name the faulty sensor:\n{rendered}"
+        );
     }
 
     #[test]

@@ -342,6 +342,45 @@ impl TrainMetrics {
     }
 }
 
+/// Trace-layer metrics (`dice-core`'s decision tracing): flight-recorder
+/// volume, evidence export, and explain rendering cost.
+#[derive(Debug, Clone)]
+pub struct TraceMetrics {
+    /// Decision traces recorded into flight recorders.
+    pub records_total: Arc<Counter>,
+    /// Traces evicted from flight recorders by wraparound.
+    pub ring_dropped_total: Arc<Counter>,
+    /// Bytes of JSONL trace evidence written by sinks.
+    pub snapshot_bytes_total: Arc<Counter>,
+    /// Wall-clock time to render one `explain` narrative.
+    pub explain_render_ns: Arc<Histogram>,
+}
+
+impl TraceMetrics {
+    fn register(r: &Registry) -> Self {
+        TraceMetrics {
+            records_total: r.counter(
+                "dice_trace_records_total",
+                "Decision traces recorded into flight recorders",
+            ),
+            ring_dropped_total: r.counter(
+                "dice_trace_ring_dropped_total",
+                "Decision traces evicted by flight-recorder wraparound",
+            ),
+            snapshot_bytes_total: r.counter(
+                "dice_trace_snapshot_bytes_total",
+                "Bytes of JSONL trace evidence written",
+            ),
+            explain_render_ns: r.histogram(
+                "dice_trace_explain_render_ns",
+                "Time to render one explain narrative",
+                "ns",
+                &LATENCY_BOUNDS_NS,
+            ),
+        }
+    }
+}
+
 /// The full DICE metric catalog, one instance per recording [`Registry`].
 #[derive(Debug, Clone)]
 pub struct DiceMetrics {
@@ -353,6 +392,8 @@ pub struct DiceMetrics {
     pub eval: EvalMetrics,
     /// Training-layer metrics.
     pub train: TrainMetrics,
+    /// Trace-layer metrics.
+    pub trace: TraceMetrics,
 }
 
 impl DiceMetrics {
@@ -363,6 +404,7 @@ impl DiceMetrics {
             gateway: GatewayMetrics::register(registry),
             eval: EvalMetrics::register(registry),
             train: TrainMetrics::register(registry),
+            trace: TraceMetrics::register(registry),
         }
     }
 }
@@ -384,6 +426,8 @@ mod tests {
         assert!(names.contains(&"dice_gateway_channel_depth"));
         assert!(names.contains(&"dice_eval_trial_ns"));
         assert!(names.contains(&"dice_train_merge_ns"));
+        assert!(names.contains(&"dice_trace_records_total"));
+        assert!(names.contains(&"dice_trace_explain_render_ns"));
     }
 
     #[test]

@@ -29,16 +29,18 @@ mod json;
 mod registry;
 mod ring;
 mod span;
+mod trace;
 
 pub use catalog::{
-    DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, TrainMetrics, LATENCY_BOUNDS_NS,
-    TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
+    DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, TraceMetrics, TrainMetrics,
+    LATENCY_BOUNDS_NS, TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
 };
 pub use export::{validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA};
 pub use json::{escape as json_escape, parse as json_parse, ParseError, Value};
 pub use registry::{Counter, Gauge, Histogram, LocalHistogram, MetricEntry, MetricKind, Registry};
 pub use ring::{EventRing, TelemetryEvent};
 pub use span::{saturating_ns, SpanTimer};
+pub use trace::SlotRing;
 
 use std::sync::{Arc, OnceLock};
 

@@ -1,12 +1,16 @@
 //! A bounded ring buffer of recent structured events for post-mortem
 //! inspection: fault reports, verify findings, decode errors.
-
-use std::collections::VecDeque;
+//!
+//! The overwrite-oldest / drop-counting bookkeeping lives in the shared
+//! [`SlotRing`]; this module only adds the event shape and interior
+//! mutability.
 
 use parking_lot::Mutex;
 
+use crate::trace::SlotRing;
+
 /// One structured event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TelemetryEvent {
     /// Monotonic sequence number (process-wide per ring, never reused).
     pub seq: u64,
@@ -17,20 +21,13 @@ pub struct TelemetryEvent {
     pub message: String,
 }
 
-#[derive(Debug, Default)]
-struct RingInner {
-    next_seq: u64,
-    slots: VecDeque<TelemetryEvent>,
-}
-
 /// A bounded ring of recent [`TelemetryEvent`]s.
 ///
 /// When full, pushing drops the oldest event; [`EventRing::dropped`] reports
 /// how many were lost so exported snapshots are honest about truncation.
 #[derive(Debug)]
 pub struct EventRing {
-    capacity: usize,
-    inner: Mutex<RingInner>,
+    inner: Mutex<SlotRing<TelemetryEvent>>,
 }
 
 impl EventRing {
@@ -40,47 +37,39 @@ impl EventRing {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "event ring capacity must be positive");
         EventRing {
-            capacity,
-            inner: Mutex::new(RingInner::default()),
+            inner: Mutex::new(SlotRing::new(capacity)),
         }
     }
 
     /// Appends an event, evicting the oldest when full.
     pub fn push(&self, kind: &'static str, message: impl Into<String>) {
-        let mut inner = self.inner.lock();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        if inner.slots.len() == self.capacity {
-            inner.slots.pop_front();
-        }
-        inner.slots.push_back(TelemetryEvent {
-            seq,
-            kind,
-            message: message.into(),
+        let message = message.into();
+        self.inner.lock().push_with(|seq, slot| {
+            slot.seq = seq;
+            slot.kind = kind;
+            slot.message = message;
         });
     }
 
     /// The retained events, oldest first.
     pub fn snapshot(&self) -> Vec<TelemetryEvent> {
-        self.inner.lock().slots.iter().cloned().collect()
+        self.inner.lock().iter().cloned().collect()
     }
 
     /// Total events ever pushed.
     pub fn total(&self) -> u64 {
-        self.inner.lock().next_seq
+        self.inner.lock().total()
     }
 
     /// Events evicted by wraparound.
     pub fn dropped(&self) -> u64 {
-        let inner = self.inner.lock();
-        inner.next_seq - inner.slots.len() as u64
+        self.inner.lock().dropped()
     }
 
     /// The maximum number of retained events.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.inner.lock().capacity()
     }
 }
 

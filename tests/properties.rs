@@ -1,14 +1,125 @@
 //! Cross-crate property-based tests (proptest) for the core invariants.
 
 use dice_core::{
-    read_model, write_model, BitSet, ContextExtractor, DiceConfig, GroupTable, ParallelTrainer,
-    ScanIndex, TransitionCounts,
+    parse_trace_jsonl, read_model, write_model, write_trace_jsonl, BitSet, ContextExtractor,
+    DecisionTrace, DiceConfig, DiceEngine, DiceModel, EngineOptions, FaultReport, GroupTable,
+    ParallelTrainer, ScanIndex, TraceHeader, TraceLog, TraceOptions, TracePhase, TraceTransition,
+    TraceVerdict, TransitionCase, TransitionCounts,
 };
+use dice_telemetry::Telemetry;
 use dice_types::{
-    ActuatorEvent, ActuatorKind, DeviceRegistry, EventLog, Room, SensorId, SensorKind,
-    SensorReading, TimeDelta, Timestamp,
+    ActuatorEvent, ActuatorId, ActuatorKind, DeviceRegistry, EventLog, GroupId, Room, SensorId,
+    SensorKind, SensorReading, TimeDelta, Timestamp,
 };
 use proptest::prelude::*;
+
+/// Trains a 4-motion-sensor model on `fires` and replays `live` through an
+/// engine with the given trace options, returning in-stream reports plus
+/// the flushed tail.
+fn replay_with_trace(
+    train: &[(u32, i64)],
+    live: &[(u32, i64)],
+    trace: TraceOptions,
+) -> Result<(DiceModel, Vec<FaultReport>), dice_core::DiceError> {
+    let mut registry = DeviceRegistry::new();
+    for i in 0..4 {
+        registry.add_sensor(SensorKind::Motion, format!("s{i}"), Room::Kitchen);
+    }
+    let build = |fires: &[(u32, i64)]| {
+        let mut log = EventLog::new();
+        for &(sensor, minute) in fires {
+            log.push_sensor(SensorReading::new(
+                SensorId::new(sensor),
+                Timestamp::from_mins(minute) + TimeDelta::from_secs(7),
+                true.into(),
+            ));
+        }
+        log
+    };
+    let model =
+        ContextExtractor::new(DiceConfig::default()).extract(&registry, &mut build(train))?;
+    let mut engine = DiceEngine::with_options(
+        &model,
+        EngineOptions {
+            telemetry: Telemetry::noop(),
+            trace,
+            ..EngineOptions::default()
+        },
+    );
+    let mut reports = engine.process_log(&mut build(live));
+    reports.extend(engine.flush());
+    drop(engine);
+    Ok((model, reports))
+}
+
+/// A hand-built trace exercising serializer paths engine evidence may not
+/// hit: every transition case, empty and populated options, and a
+/// probability with a long decimal expansion.
+fn synthetic_trace(index: u64, observed: f64, bits: usize) -> DecisionTrace {
+    let words = bits.div_ceil(64);
+    let word = |salt: u64| {
+        let raw = (index + 1)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(u32::try_from(salt % 63).unwrap());
+        // Keep the top word consistent with `bits` so `state()` stays valid.
+        if bits.is_multiple_of(64) {
+            raw
+        } else {
+            raw & ((1u64 << (bits % 64)) - 1)
+        }
+    };
+    let case = match index % 3 {
+        0 => TransitionCase::G2G {
+            from: GroupId::new(1),
+            to: GroupId::new(2),
+        },
+        1 => TransitionCase::G2A {
+            from: GroupId::new(3),
+            actuator: ActuatorId::new(0),
+        },
+        _ => TransitionCase::A2G {
+            actuator: ActuatorId::new(1),
+            to: GroupId::new(4),
+        },
+    };
+    let nearest = index.is_multiple_of(2).then(|| (GroupId::new(1), 2));
+    DecisionTrace {
+        window: index,
+        start: Timestamp::from_mins(i64::try_from(index).unwrap()),
+        end: Timestamp::from_mins(i64::try_from(index).unwrap() + 1),
+        bits,
+        ones: u32::try_from(index % 7).unwrap(),
+        state_words: (0..words as u64).map(word).collect(),
+        main_group: (index % 2 == 1).then(|| GroupId::new(7)),
+        candidates: vec![(GroupId::new(1), 2), (GroupId::new(5), 3)],
+        nearest,
+        nearest_state: if nearest.is_some() {
+            (0..words as u64).map(|w| word(w + 17)).collect()
+        } else {
+            Vec::new()
+        },
+        transitions: vec![TraceTransition {
+            case,
+            observed,
+            threshold: 0.0,
+            support: index,
+            min_support: 3,
+        }],
+        phase_before: TracePhase::Monitoring,
+        phase_after: if index.is_multiple_of(2) {
+            TracePhase::Identifying
+        } else {
+            TracePhase::Monitoring
+        },
+        verdict: match index % 3 {
+            0 => TraceVerdict::Normal,
+            1 => TraceVerdict::Correlation,
+            _ => TraceVerdict::Transition,
+        },
+        reported: index.is_multiple_of(4),
+        conclusive: index.is_multiple_of(8),
+    }
+}
 
 fn bitset_strategy(len: usize) -> impl Strategy<Value = BitSet> {
     prop::collection::vec(any::<bool>(), len).prop_map(move |bits| {
@@ -237,6 +348,67 @@ proptest! {
                 chunks
             );
         }
+    }
+
+    /// Tracing is an observer: for any training data and any live stream, an
+    /// engine with the flight recorder on emits a bit-identical fault-report
+    /// stream to one with tracing off — evidence rides along on the traced
+    /// side but never changes a decision.
+    #[test]
+    fn tracing_never_changes_fault_reports(
+        train in prop::collection::vec((0u32..4, 0i64..240), 10..120),
+        live in prop::collection::vec((0u32..4, 0i64..60), 5..60),
+    ) {
+        let (_, plain) = replay_with_trace(&train, &live, TraceOptions::default()).unwrap();
+        let (_, traced) = replay_with_trace(&train, &live, TraceOptions::recording()).unwrap();
+        prop_assert_eq!(&plain, &traced, "tracing changed the report stream");
+        for report in &plain {
+            prop_assert!(report.evidence.is_empty(), "untraced engines carry no evidence");
+        }
+        for report in &traced {
+            prop_assert!(!report.evidence.is_empty(), "traced reports must carry evidence");
+        }
+        // `FaultReport` equality excludes evidence by design; everything
+        // else must agree down to the Debug rendering.
+        let mut stripped = traced.clone();
+        for report in &mut stripped {
+            report.evidence.clear();
+        }
+        prop_assert_eq!(format!("{plain:?}"), format!("{stripped:?}"));
+    }
+
+    /// The JSONL trace format round-trips byte-stably: serialize → parse →
+    /// serialize is the identity on bytes, and parse recovers the exact
+    /// structures — for engine-produced evidence and for hand-built traces
+    /// covering every transition case.
+    #[test]
+    fn trace_jsonl_round_trip_is_byte_stable(
+        train in prop::collection::vec((0u32..4, 0i64..240), 10..120),
+        live in prop::collection::vec((0u32..4, 0i64..60), 5..60),
+        probs in prop::collection::vec(0u32..=1000, 1..5),
+    ) {
+        let (model, reports) =
+            replay_with_trace(&train, &live, TraceOptions::recording()).unwrap();
+        let header = TraceHeader::from_layout(model.layout());
+        let mut traces: Vec<DecisionTrace> = reports
+            .iter()
+            .flat_map(|r| r.evidence.iter().cloned())
+            .collect();
+        let bits = header.num_bits;
+        for (i, &p) in probs.iter().enumerate() {
+            traces.push(synthetic_trace(i as u64, f64::from(p) / 999.0, bits));
+        }
+        let log = TraceLog { header, traces };
+        let text = write_trace_jsonl(&log);
+        let parsed = parse_trace_jsonl(&text);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &log, "parse must recover the exact structures");
+        prop_assert_eq!(
+            write_trace_jsonl(&parsed),
+            text,
+            "re-serialization must be byte-identical"
+        );
     }
 
     /// A model trained on any binary event log never raises a correlation
