@@ -40,6 +40,17 @@ impl Thresholds {
         self.value_thre.get(sensor.index()).copied().flatten()
     }
 
+    /// Stable fingerprint of the trained threshold table: sensor count,
+    /// per-sensor presence, and exact `valueThre` bit patterns.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.push_u64(self.value_thre.len() as u64);
+        for &value in &self.value_thre {
+            fp.push_opt_f64(value);
+        }
+        fp.finish()
+    }
+
     /// Number of sensors covered.
     pub fn len(&self) -> usize {
         self.value_thre.len()

@@ -110,6 +110,32 @@ impl DiceConfig {
         self.min_row_support
     }
 
+    /// Stable fingerprint of every tunable parameter.
+    ///
+    /// Two configs fingerprint equal exactly when every field matches, so
+    /// a model trained under one parameterization is distinguishable from
+    /// a config file that drifted (different window, thresholds, or
+    /// identification limits).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.push_i64(self.window.as_secs());
+        fp.push_u64(self.max_faults as u64);
+        fp.push_u64(self.num_thre as u64);
+        match self.candidate_distance {
+            Some(d) => {
+                fp.push_bool(true);
+                fp.push_u64(u64::from(d));
+            }
+            None => fp.push_bool(false),
+        }
+        fp.push_u64(self.max_identification_windows as u64);
+        fp.push_bool(self.nearest_only_identification);
+        fp.push_u64(self.min_row_support);
+        fp.push_u64(self.confirmation_violations as u64);
+        fp.push_u64(self.confirmation_horizon_windows as u64);
+        fp.finish()
+    }
+
     /// Whether identification diffs only against the nearest probable
     /// groups (default `true`): the nearest groups explain the observation
     /// with the fewest faulty bits, which keeps probable-device sets small

@@ -39,7 +39,9 @@ impl fmt::Display for Severity {
 /// Grouped by family: `DV0xx` container, `DV10x` transition matrices,
 /// `DV11x` group table, `DV12x` binarizer thresholds, `DV13x` G2G graph
 /// shape, `DV14x` configuration, `DV15x` cross-section consistency,
-/// `DV16x` model-level sanity, `DV17x` parallel-merge conservation.
+/// `DV16x` model-level sanity, `DV17x` parallel-merge conservation,
+/// `DV18x` transition-graph dataflow, `DV19x` cross-artifact
+/// compatibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DiagnosticCode {
@@ -108,6 +110,33 @@ pub enum DiagnosticCode {
     /// DV172: a merged transition matrix's row total is not the sum of the
     /// parts' row totals.
     MergeRowTotalMismatch,
+    /// DV180: fixed-point reachability found groups no other part of the
+    /// transition graph can flow into (an extra source component).
+    UnreachableFlowComponent,
+    /// DV181: fixed-point reachability found groups the transition graph
+    /// can never leave (an extra absorbing sink component).
+    AbsorbingSinkComponent,
+    /// DV182: the transition graph splits into disconnected components, so
+    /// parts of the model can never interact.
+    DisconnectedComponent,
+    /// DV183: an actuator context has outgoing A2G transitions but no group
+    /// ever transitions into it (no G2A entry targets it).
+    UnenterableActuator,
+    /// DV184: a transition row's support sits exactly at `min_row_support`,
+    /// so a one-count perturbation flips whether its zero-probability
+    /// transitions count as violations.
+    FragileRowSupport,
+    /// DV190: two artifacts disagree on the sensor bit layout fingerprint.
+    ArtifactLayoutMismatch,
+    /// DV191: two artifacts disagree on the configuration fingerprint.
+    ArtifactConfigMismatch,
+    /// DV192: two artifacts disagree on the trained threshold fingerprint.
+    ArtifactThresholdMismatch,
+    /// DV193: an artifact file could not be parsed as its detected kind.
+    ArtifactUnreadable,
+    /// DV194: an artifact carries no fingerprint to check (e.g. a telemetry
+    /// snapshot recorded before any engine published one).
+    ArtifactFingerprintUnavailable,
 }
 
 impl DiagnosticCode {
@@ -139,6 +168,16 @@ impl DiagnosticCode {
             DiagnosticCode::MergeGroupCountNotPreserved => "DV170",
             DiagnosticCode::MergeDuplicateGroupState => "DV171",
             DiagnosticCode::MergeRowTotalMismatch => "DV172",
+            DiagnosticCode::UnreachableFlowComponent => "DV180",
+            DiagnosticCode::AbsorbingSinkComponent => "DV181",
+            DiagnosticCode::DisconnectedComponent => "DV182",
+            DiagnosticCode::UnenterableActuator => "DV183",
+            DiagnosticCode::FragileRowSupport => "DV184",
+            DiagnosticCode::ArtifactLayoutMismatch => "DV190",
+            DiagnosticCode::ArtifactConfigMismatch => "DV191",
+            DiagnosticCode::ArtifactThresholdMismatch => "DV192",
+            DiagnosticCode::ArtifactUnreadable => "DV193",
+            DiagnosticCode::ArtifactFingerprintUnavailable => "DV194",
         }
     }
 
@@ -160,7 +199,11 @@ impl DiagnosticCode {
             | DiagnosticCode::TrainingWindowMismatch
             | DiagnosticCode::MergeGroupCountNotPreserved
             | DiagnosticCode::MergeDuplicateGroupState
-            | DiagnosticCode::MergeRowTotalMismatch => Severity::Error,
+            | DiagnosticCode::MergeRowTotalMismatch
+            | DiagnosticCode::ArtifactLayoutMismatch
+            | DiagnosticCode::ArtifactConfigMismatch
+            | DiagnosticCode::ArtifactThresholdMismatch
+            | DiagnosticCode::ArtifactUnreadable => Severity::Error,
             DiagnosticCode::ThresholdOnBinarySensor
             | DiagnosticCode::UnreachableGroup
             | DiagnosticCode::AbsorbingGroup
@@ -168,8 +211,15 @@ impl DiagnosticCode {
             | DiagnosticCode::CandidateDistanceExceedsWidth
             | DiagnosticCode::ZeroCandidateDistance
             | DiagnosticCode::ZeroRowSupport
-            | DiagnosticCode::EmptyModel => Severity::Warning,
-            DiagnosticCode::UntrainedNumericThreshold => Severity::Info,
+            | DiagnosticCode::EmptyModel
+            | DiagnosticCode::UnreachableFlowComponent
+            | DiagnosticCode::AbsorbingSinkComponent
+            | DiagnosticCode::DisconnectedComponent
+            | DiagnosticCode::UnenterableActuator
+            | DiagnosticCode::ArtifactFingerprintUnavailable => Severity::Warning,
+            DiagnosticCode::UntrainedNumericThreshold | DiagnosticCode::FragileRowSupport => {
+                Severity::Info
+            }
         }
     }
 }
@@ -257,6 +307,16 @@ mod tests {
             DiagnosticCode::MergeGroupCountNotPreserved,
             DiagnosticCode::MergeDuplicateGroupState,
             DiagnosticCode::MergeRowTotalMismatch,
+            DiagnosticCode::UnreachableFlowComponent,
+            DiagnosticCode::AbsorbingSinkComponent,
+            DiagnosticCode::DisconnectedComponent,
+            DiagnosticCode::UnenterableActuator,
+            DiagnosticCode::FragileRowSupport,
+            DiagnosticCode::ArtifactLayoutMismatch,
+            DiagnosticCode::ArtifactConfigMismatch,
+            DiagnosticCode::ArtifactThresholdMismatch,
+            DiagnosticCode::ArtifactUnreadable,
+            DiagnosticCode::ArtifactFingerprintUnavailable,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

@@ -6,6 +6,10 @@
 //! violation is detected — the identification step repeats over subsequent
 //! windows, intersecting probable-fault sets until at most `numThre` devices
 //! remain (Section 3.4).
+//
+// lint-src: allow-file(wall-clock) — the Instant reads here feed only the
+// CostProfile and telemetry span timings; no detection or identification
+// decision depends on them.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -606,6 +610,18 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
 
     /// Creates an engine with explicit options.
     pub fn with_options(model: M, options: EngineOptions) -> Self {
+        if let Some(recorder) = options.telemetry.recorder() {
+            // Publish the model's layout fingerprint so telemetry snapshots
+            // are checkable against the model/trace artifacts they were
+            // recorded with (dice-lint's cross-artifact mode).
+            recorder
+                .metrics
+                .engine
+                .model_layout_fingerprint
+                .set(crate::fingerprint::gauge_value(
+                    model.borrow().layout().fingerprint(),
+                ));
+        }
         let tel_batch = options
             .telemetry
             .recorder()

@@ -1,0 +1,171 @@
+//! Stable artifact fingerprints.
+//!
+//! Every artifact the pipeline produces — trained models, configs, trace
+//! JSONL files, telemetry snapshots — describes data laid out by one
+//! [`BitLayout`](crate::BitLayout) and interpreted under one set of
+//! thresholds. A [`Fingerprint`] hashes that shape into a single `u64` so
+//! `dice-lint` can check that N artifacts were produced against the *same*
+//! shape without deserializing the full model behind each one.
+//!
+//! The hash is FNV-1a over a canonical little-endian byte encoding. It is
+//! part of the tooling contract (fingerprints are persisted in telemetry
+//! snapshots), so the encoding of each input is append-only: new facets get
+//! new `push_*` calls, existing call sequences never change.
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over a canonical byte encoding.
+///
+/// # Example
+///
+/// ```
+/// use dice_core::fingerprint::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.push_u64(1);
+/// a.push_u64(2);
+/// let mut b = Fingerprint::new();
+/// b.push_u64(1);
+/// b.push_u64(2);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Hashes raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a `u64` in little-endian encoding.
+    pub fn push_u64(&mut self, value: u64) {
+        self.push_bytes(&value.to_le_bytes());
+    }
+
+    /// Hashes an `i64` in little-endian encoding.
+    pub fn push_i64(&mut self, value: i64) {
+        self.push_bytes(&value.to_le_bytes());
+    }
+
+    /// Hashes a boolean as one byte.
+    pub fn push_bool(&mut self, value: bool) {
+        self.push_bytes(&[u8::from(value)]);
+    }
+
+    /// Hashes an `f64` by bit pattern (`NaN` payloads included, so a
+    /// poisoned threshold table fingerprints differently from a clean one).
+    pub fn push_f64(&mut self, value: f64) {
+        self.push_u64(value.to_bits());
+    }
+
+    /// Hashes an optional `f64` as a presence byte plus the bit pattern.
+    pub fn push_opt_f64(&mut self, value: Option<f64>) {
+        match value {
+            Some(v) => {
+                self.push_bool(true);
+                self.push_f64(v);
+            }
+            None => self.push_bool(false),
+        }
+    }
+
+    /// The final hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// Folds a fingerprint into the range a telemetry gauge can carry losslessly.
+///
+/// Gauges are `i64`, but snapshots travel as JSON, whose numbers are IEEE
+/// doubles: only integers up to 2^53 survive a parse round-trip exactly. The
+/// projection therefore keeps the low 53 bits — both the engine (which
+/// records the gauge) and the artifact checker (which reads it back from a
+/// snapshot and compares against full 64-bit fingerprints) must use this
+/// same truncation.
+pub fn gauge_value(fingerprint: u64) -> i64 {
+    (fingerprint & ((1 << 53) - 1)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        let mut a = Fingerprint::new();
+        let mut b = Fingerprint::new();
+        for fp in [&mut a, &mut b] {
+            fp.push_u64(7);
+            fp.push_bool(true);
+            fp.push_opt_f64(Some(1.5));
+            fp.push_opt_f64(None);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn any_facet_change_changes_the_hash() {
+        let mut base = Fingerprint::new();
+        base.push_u64(7);
+        base.push_opt_f64(Some(1.5));
+        let base = base.finish();
+
+        let mut other = Fingerprint::new();
+        other.push_u64(8);
+        other.push_opt_f64(Some(1.5));
+        assert_ne!(base, other.finish());
+
+        let mut other = Fingerprint::new();
+        other.push_u64(7);
+        other.push_opt_f64(Some(1.25));
+        assert_ne!(base, other.finish());
+
+        let mut other = Fingerprint::new();
+        other.push_u64(7);
+        other.push_opt_f64(None);
+        assert_ne!(base, other.finish());
+    }
+
+    #[test]
+    fn nan_thresholds_are_distinguishable() {
+        let mut clean = Fingerprint::new();
+        clean.push_opt_f64(Some(20.0));
+        let mut poisoned = Fingerprint::new();
+        poisoned.push_opt_f64(Some(f64::NAN));
+        assert_ne!(clean.finish(), poisoned.finish());
+    }
+
+    #[test]
+    fn gauge_value_is_non_negative_and_stable() {
+        assert!(gauge_value(u64::MAX) >= 0);
+        assert!(gauge_value(0x8000_0000_0000_0000) >= 0);
+        assert_eq!(gauge_value(42), 42);
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(Fingerprint::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

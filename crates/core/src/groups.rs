@@ -5,6 +5,10 @@
 //! incoming state set against all groups by Hamming distance: a distance-0
 //! match is the *main group*, other groups within the fault threshold are
 //! *probable groups*.
+//
+// lint-src: allow-file(hash-container) — the state-set index is an
+// exact-match lookup only; every enumeration of groups walks the Vec of
+// states in insertion order, never the map.
 
 use std::collections::HashMap;
 

@@ -8,6 +8,10 @@
 //!
 //! Every check is pure and never panics: a corrupt model produces
 //! diagnostics, not aborts.
+//
+// lint-src: allow-file(hash-container) — maps here are check-local
+// accumulators; callers sort the diagnostic report, so hash order never
+// reaches output.
 
 use std::collections::HashMap;
 
@@ -465,6 +469,407 @@ pub fn check_transition_merge(
 /// The worst severity present, if any finding exists.
 pub fn max_severity(diagnostics: &[Diagnostic]) -> Option<Severity> {
     diagnostics.iter().map(Diagnostic::severity).max()
+}
+
+// ---------------------------------------------------------------------------
+// DV18x: fixed-point dataflow over the combined transition graph.
+// ---------------------------------------------------------------------------
+
+/// The combined transition graph: one node per group, one node per actuator,
+/// and a directed edge for every observed G2G, G2A, and A2G transition.
+/// Entries with dangling ids (the `DV10x` errors) are skipped so the
+/// analysis stays pure on corrupt input.
+struct FlowGraph {
+    num_groups: usize,
+    num_nodes: usize,
+    fwd: Vec<Vec<usize>>,
+    rev: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl FlowGraph {
+    fn build(model: &DiceModel) -> Self {
+        let num_groups = model.groups().len();
+        let num_actuators = model.num_actuators();
+        let num_nodes = num_groups + num_actuators;
+        let mut graph = FlowGraph {
+            num_groups,
+            num_nodes,
+            fwd: vec![Vec::new(); num_nodes],
+            rev: vec![Vec::new(); num_nodes],
+            num_edges: 0,
+        };
+        let t = model.transitions();
+        for (from, to, _) in t.g2g().entries() {
+            graph.add(from as usize, to as usize, num_groups, num_groups);
+        }
+        for (from, to, _) in t.g2a().entries() {
+            graph.add(
+                from as usize,
+                num_groups + to as usize,
+                num_groups,
+                num_nodes,
+            );
+        }
+        for (from, to, _) in t.a2g().entries() {
+            graph.add(
+                num_groups + from as usize,
+                to as usize,
+                num_nodes,
+                num_groups,
+            );
+        }
+        graph
+    }
+
+    fn add(&mut self, from: usize, to: usize, from_bound: usize, to_bound: usize) {
+        if from < from_bound.min(self.num_nodes) && to < to_bound.min(self.num_nodes) {
+            self.fwd[from].push(to);
+            self.rev[to].push(from);
+            self.num_edges += 1;
+        }
+    }
+
+    fn is_group(&self, node: usize) -> bool {
+        node < self.num_groups
+    }
+
+    /// Kosaraju's two-pass strongly-connected-components: the fixed point of
+    /// mutual reachability. Returns `(component_of_node, component_count)`;
+    /// component ids are deterministic for a given model because adjacency
+    /// is built from the matrices' sorted entry lists.
+    fn sccs(&self) -> (Vec<usize>, usize) {
+        let mut order = Vec::with_capacity(self.num_nodes);
+        let mut seen = vec![false; self.num_nodes];
+        for start in 0..self.num_nodes {
+            if seen[start] {
+                continue;
+            }
+            // Iterative DFS recording finish order.
+            let mut stack = vec![(start, 0usize)];
+            seen[start] = true;
+            while let Some(frame) = stack.last_mut() {
+                let node = frame.0;
+                if let Some(&succ) = self.fwd[node].get(frame.1) {
+                    frame.1 += 1;
+                    if !seen[succ] {
+                        seen[succ] = true;
+                        stack.push((succ, 0));
+                    }
+                } else {
+                    order.push(node);
+                    stack.pop();
+                }
+            }
+        }
+        let mut component = vec![usize::MAX; self.num_nodes];
+        let mut count = 0usize;
+        for &start in order.iter().rev() {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![start];
+            component[start] = count;
+            while let Some(node) = stack.pop() {
+                for &pred in &self.rev[node] {
+                    if component[pred] == usize::MAX {
+                        component[pred] = count;
+                        stack.push(pred);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (component, count)
+    }
+}
+
+/// Per-component aggregate facts, derived from one pass over the edges.
+struct ComponentFacts {
+    members: Vec<Vec<usize>>,
+    external_in: Vec<bool>,
+    external_out: Vec<bool>,
+    has_edge: Vec<bool>,
+}
+
+impl ComponentFacts {
+    fn collect(graph: &FlowGraph, component: &[usize], count: usize) -> Self {
+        let mut facts = ComponentFacts {
+            members: vec![Vec::new(); count],
+            external_in: vec![false; count],
+            external_out: vec![false; count],
+            has_edge: vec![false; count],
+        };
+        for node in 0..graph.num_nodes {
+            facts.members[component[node]].push(node);
+            for &succ in &graph.fwd[node] {
+                let (from_c, to_c) = (component[node], component[succ]);
+                facts.has_edge[from_c] = true;
+                facts.has_edge[to_c] = true;
+                if from_c != to_c {
+                    facts.external_out[from_c] = true;
+                    facts.external_in[to_c] = true;
+                }
+            }
+        }
+        facts
+    }
+}
+
+/// Renders a group's state set the way `render_explain` does: the implicated
+/// sensors with the roles of their set bits, e.g. `S2 (skewness+level)`.
+fn describe_state_spans(model: &DiceModel, group: usize) -> String {
+    let layout = model.layout();
+    let state = model.groups().state(dice_types::GroupId::new(group as u32));
+    let mut parts: Vec<String> = Vec::new();
+    for (sensor, span) in layout.spans() {
+        let mut roles: Vec<&str> = Vec::new();
+        for bit in span.indices() {
+            // A corrupt model's state set may be narrower than the layout
+            // claims; that is DV110's finding, not a reason to panic here.
+            if bit < state.len() && state.get(bit) {
+                roles.push(match layout.role_of_bit(bit) {
+                    crate::layout::BitRole::Activation => "activation",
+                    crate::layout::BitRole::Skewness => "skewness",
+                    crate::layout::BitRole::Trend => "trend",
+                    crate::layout::BitRole::Level => "level",
+                });
+            }
+        }
+        if !roles.is_empty() {
+            parts.push(format!("{sensor} ({})", roles.join("+")));
+        }
+    }
+    if parts.is_empty() {
+        "all-quiet state set".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+/// Renders a sorted member list like `G3, G7, A1` with the groups' span
+/// descriptions, capped so one huge component cannot flood the report.
+fn describe_members(model: &DiceModel, graph: &FlowGraph, members: &[usize]) -> String {
+    const SHOWN: usize = 4;
+    let mut names: Vec<String> = Vec::new();
+    for &node in members.iter().take(SHOWN) {
+        if graph.is_group(node) {
+            names.push(format!("G{node} [{}]", describe_state_spans(model, node)));
+        } else {
+            names.push(format!("A{}", node - graph.num_groups));
+        }
+    }
+    if members.len() > SHOWN {
+        names.push(format!("+{} more", members.len() - SHOWN));
+    }
+    names.join(", ")
+}
+
+/// Total training observations across a component's groups; the tiebreak key
+/// for choosing which source/sink/component is "the" legitimate one.
+fn component_observations(model: &DiceModel, graph: &FlowGraph, members: &[usize]) -> u64 {
+    members
+        .iter()
+        .filter(|&&n| graph.is_group(n))
+        .map(|&n| model.groups().count(dice_types::GroupId::new(n as u32)))
+        .sum()
+}
+
+/// Runs the `DV18x` fixed-point dataflow analyses over the combined
+/// G2G/G2A/A2G transition graph.
+///
+/// A model trained from one contiguous window stream is a single walk
+/// through the graph, which forces a characteristic shape: every node is
+/// reachable from the opening window's component, every node reaches the
+/// closing window's component, and the whole graph is (weakly) connected.
+/// The analyses flag departures from that shape:
+///
+/// * `DV180` — more than one *source* component among the groups: the extra
+///   sources are unreachable from the rest of the model, so the engine can
+///   only ever enter them cold.
+/// * `DV181` — more than one *sink* component among the groups: the extra
+///   sinks absorb the walk; once entered, every later window either stays
+///   inside or raises a violation.
+/// * `DV182` — the graph splits into disconnected components: whole
+///   sub-models that can never interact (the signature of a group table
+///   merged from the wrong shards).
+/// * `DV183` — an actuator context with outgoing A2G transitions that no
+///   G2A transition ever enters.
+/// * `DV184` — a G2G row whose escape support sits exactly at
+///   `min_row_support`: one lost observation silences its zero-probability
+///   violations (an informational fragility note).
+///
+/// All graph-shape findings are warnings (multi-segment training legitimately
+/// produces one extra source/sink per segment boundary, like `DV130`);
+/// `DV184` is informational. Messages carry the implicated `BitLayout` span
+/// names the way `render_explain` does.
+pub fn check_graph_dataflow(model: &DiceModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let graph = FlowGraph::build(model);
+    if graph.num_groups < 2 || graph.num_edges == 0 {
+        return out; // too little structure for graph shape to mean anything
+    }
+    let (component, count) = graph.sccs();
+    let facts = ComponentFacts::collect(&graph, &component, count);
+
+    // Sources and sinks, restricted to components that contain at least one
+    // group and touch at least one edge (edge-free components are the
+    // disconnection case, reported once as DV182 below).
+    let flag_extras = |keep_one_of: Vec<usize>,
+                       code: DiagnosticCode,
+                       render: &dyn Fn(&[usize]) -> String,
+                       out: &mut Vec<Diagnostic>| {
+        if keep_one_of.len() < 2 {
+            return;
+        }
+        let mut ranked = keep_one_of;
+        ranked.sort_by_key(|&c| {
+            let obs = component_observations(model, &graph, &facts.members[c]);
+            // Highest observation count first; ties break on the smaller
+            // minimum member id so the choice is deterministic.
+            (std::cmp::Reverse(obs), facts.members[c][0])
+        });
+        for &c in &ranked[1..] {
+            out.push(Diagnostic::new(code, render(&facts.members[c])));
+        }
+    };
+
+    let group_sources: Vec<usize> = (0..count)
+        .filter(|&c| {
+            !facts.external_in[c]
+                && facts.has_edge[c]
+                && facts.members[c].iter().any(|&n| graph.is_group(n))
+        })
+        .collect();
+    flag_extras(
+        group_sources,
+        DiagnosticCode::UnreachableFlowComponent,
+        &|members| {
+            format!(
+                "unreachable component: no transition path flows into {}; \
+                 the engine can only enter these contexts cold (benign only \
+                 for a training segment's opening windows)",
+                describe_members(model, &graph, members)
+            )
+        },
+        &mut out,
+    );
+
+    let group_sinks: Vec<usize> = (0..count)
+        .filter(|&c| {
+            !facts.external_out[c]
+                && facts.has_edge[c]
+                && facts.members[c].iter().any(|&n| graph.is_group(n))
+        })
+        .collect();
+    flag_extras(
+        group_sinks,
+        DiagnosticCode::AbsorbingSinkComponent,
+        &|members| {
+            format!(
+                "absorbing sink: no observed transition leaves {}; once \
+                 entered, every later window stays inside or raises a \
+                 violation (benign only for a training segment's closing \
+                 windows)",
+                describe_members(model, &graph, members)
+            )
+        },
+        &mut out,
+    );
+
+    // Weak connectivity via union-find over every edge.
+    let mut parent: Vec<usize> = (0..graph.num_nodes).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for node in 0..graph.num_nodes {
+        for i in 0..graph.fwd[node].len() {
+            let succ = graph.fwd[node][i];
+            let (a, b) = (find(&mut parent, node), find(&mut parent, succ));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+    }
+    let mut weak_members: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for node in 0..graph.num_nodes {
+        let root = find(&mut parent, node);
+        weak_members.entry(root).or_default().push(node);
+    }
+    let weak_with_groups: Vec<Vec<usize>> = weak_members
+        .into_values()
+        .filter(|members| {
+            // Actuators that never fired are isolated nodes, not damage.
+            members.iter().any(|&n| graph.is_group(n))
+        })
+        .collect();
+    if weak_with_groups.len() >= 2 {
+        let mut ranked: Vec<&Vec<usize>> = weak_with_groups.iter().collect();
+        ranked.sort_by_key(|members| {
+            (
+                std::cmp::Reverse(component_observations(model, &graph, members)),
+                members[0],
+            )
+        });
+        for members in &ranked[1..] {
+            out.push(Diagnostic::new(
+                DiagnosticCode::DisconnectedComponent,
+                format!(
+                    "disconnected component: {} share no transition with the \
+                     rest of the model; these contexts can never interact",
+                    describe_members(model, &graph, members)
+                ),
+            ));
+        }
+    }
+
+    // DV183: actuator contexts with outgoing flow that no group enters.
+    for actuator in 0..(graph.num_nodes - graph.num_groups) {
+        let node = graph.num_groups + actuator;
+        if !graph.fwd[node].is_empty() && graph.rev[node].is_empty() {
+            out.push(Diagnostic::new(
+                DiagnosticCode::UnenterableActuator,
+                format!(
+                    "actuator context A{actuator} has {} outgoing A2G \
+                     transition(s) but no G2A transition enters it (benign \
+                     only when its sole activation opened a training segment)",
+                    graph.fwd[node].len()
+                ),
+            ));
+        }
+    }
+
+    // DV184: G2G rows whose escape support sits exactly on the decision
+    // boundary — one lost observation flips their violation eligibility.
+    let min_support = model.config().min_row_support();
+    if min_support > 0 {
+        let g2g = model.transitions().g2g();
+        for (from, total) in g2g.row_totals() {
+            if (from as usize) >= graph.num_groups {
+                continue;
+            }
+            let escapes = total.saturating_sub(g2g.count(from, from));
+            if escapes == min_support {
+                out.push(Diagnostic::new(
+                    DiagnosticCode::FragileRowSupport,
+                    format!(
+                        "G2G row for G{from} [{}] has escape support \
+                         {escapes}, exactly min_row_support: losing one \
+                         observation would silence its zero-probability \
+                         violations",
+                        describe_state_spans(model, from as usize)
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
 }
 
 #[cfg(test)]

@@ -206,6 +206,25 @@ impl BitLayout {
         sensors
     }
 
+    /// Stable fingerprint of the layout shape: total bits, sensor count,
+    /// and every span's position and width.
+    ///
+    /// Two layouts fingerprint equal exactly when every sensor owns the
+    /// same bits, so artifacts produced against different registries (or a
+    /// registry that gained/lost a sensor) are distinguishable without
+    /// comparing the full structures. [`crate::TraceHeader`] computes the
+    /// same value from a trace file's header line.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.push_u64(self.num_bits() as u64);
+        fp.push_u64(self.spans.len() as u64);
+        for span in &self.spans {
+            fp.push_u64(span.start as u64);
+            fp.push_u64(span.width as u64);
+        }
+        fp.finish()
+    }
+
     /// The widest span in the layout (3 if any numeric sensor, else 1).
     ///
     /// This bounds how many bits a single faulty device can disturb, which

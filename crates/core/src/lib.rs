@@ -67,6 +67,7 @@ mod diag;
 mod engine;
 mod error;
 mod extract;
+pub mod fingerprint;
 mod groups;
 mod identify;
 pub mod invariants;
@@ -94,7 +95,9 @@ pub use groups::{Candidate, GroupTable};
 pub use identify::{Identifier, IntersectionTracker, ProbableSet};
 pub use layout::{BitLayout, BitRole, BitSpan, NUMERIC_SPAN_WIDTH};
 pub use model::DiceModel;
-pub use model_io::{read_model, read_model_unverified, write_model, ModelIoError};
+pub use model_io::{
+    read_model, read_model_unverified, write_model, ModelIoError, MODEL_FORMAT_VERSION, MODEL_MAGIC,
+};
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
 pub use scan::{ScanIndex, ScanProfile};
 pub use stats::{ExactSum, MeanAccumulator, RunningMean, WindowStats};

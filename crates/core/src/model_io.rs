@@ -44,8 +44,15 @@ use crate::layout::{BitLayout, NUMERIC_SPAN_WIDTH};
 use crate::model::DiceModel;
 use crate::transition::{TransitionCounts, TransitionModel};
 
-const MAGIC: &[u8; 4] = b"DICE";
-const VERSION: u16 = 1;
+/// The four magic bytes every serialized model starts with. Public so
+/// artifact sniffers (`dice-lint`'s multi-artifact mode) can recognize a
+/// model file without attempting a full decode.
+pub const MODEL_MAGIC: &[u8; 4] = b"DICE";
+/// The container format version this build reads and writes.
+pub const MODEL_FORMAT_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = MODEL_MAGIC;
+const VERSION: u16 = MODEL_FORMAT_VERSION;
 
 /// Errors raised while persisting or loading a model.
 #[derive(Debug)]

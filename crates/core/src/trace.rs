@@ -479,6 +479,23 @@ impl TraceHeader {
         }
     }
 
+    /// Stable fingerprint of the layout this trace was recorded against,
+    /// computed so that it equals [`BitLayout::fingerprint`] for the layout
+    /// the header was captured from — the cross-artifact compatibility key
+    /// `dice-lint` compares between a model and its trace evidence.
+    pub fn layout_fingerprint(&self) -> u64 {
+        let mut spans = self.spans.clone();
+        spans.sort_by_key(|&(sensor, ..)| sensor);
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.push_u64(self.num_bits as u64);
+        fp.push_u64(spans.len() as u64);
+        for &(_, start, width) in &spans {
+            fp.push_u64(start as u64);
+            fp.push_u64(width as u64);
+        }
+        fp.finish()
+    }
+
     /// Maps a bit index to its owning sensor and the bit's role, mirroring
     /// [`BitLayout::sensor_of_bit`] / [`BitLayout::role_of_bit`].
     pub fn describe_bit(&self, bit: usize) -> Option<(SensorId, BitRole)> {

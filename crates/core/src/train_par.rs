@@ -21,6 +21,9 @@
 //! The result is **bit-identical** to the serial extractor: same group ids,
 //! same counts, same serialized bytes (`tests/properties.rs` proves this
 //! property over random logs and chunkings).
+//
+// lint-src: allow-file(wall-clock) — the Instant reads time chunk/merge
+// phases for telemetry only; the trained model is clock-independent.
 
 use std::time::Instant;
 

@@ -8,6 +8,9 @@
 //! Groups are numerous and transitions sparse, so the "matrices" are stored
 //! as sparse count maps with per-row totals; probabilities are derived on
 //! demand.
+//
+// lint-src: allow-file(hash-container) — the sparse count maps serve point
+// lookups; `entries()` sorts before yielding, so no hash order escapes.
 
 use std::collections::HashMap;
 

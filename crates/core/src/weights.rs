@@ -6,6 +6,10 @@
 //! and a *failure weight* for devices that fail often. A device whose
 //! combined weight crosses a threshold can be alarmed early, before the
 //! probable set narrows below `numThre`.
+//
+// lint-src: allow-file(hash-container) — weights are point lookups keyed by
+// device id; the one iteration (max-weight scan) folds with max, which is
+// order-insensitive.
 
 use std::collections::HashMap;
 

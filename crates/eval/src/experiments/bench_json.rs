@@ -5,6 +5,9 @@
 //! numeric sensors = 270 state bits) across group-table sizes, plus
 //! end-to-end engine throughput on the testbed, and writes the results as
 //! JSON. CI runs this from the repo root to refresh `BENCH_core.json`.
+//
+// lint-src: allow-file(wall-clock) — a benchmark exists to read the clock;
+// timings are reported, never fed back into model state.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -381,12 +384,49 @@ fn training_bench(hours: i64) -> TrainingBench {
     }
 }
 
+/// Static-analysis wall time: the full `verify_model` pass — container
+/// invariants plus the transition-graph dataflow analysis — on an
+/// hh102-scale trained model, so analyzer regressions show up in the same
+/// baseline as the hot paths it guards.
+#[derive(Debug, Clone, Copy)]
+struct AnalysisBench {
+    groups: usize,
+    g2g_entries: usize,
+    verify_ms: f64,
+    findings: usize,
+}
+
+/// Trains an hh102-scale model and times `verify_model` on it (min-of-N).
+fn analysis_bench(hours: i64) -> AnalysisBench {
+    let (reg, binary, numeric, actuators) = hh102_home();
+    let mut log = hh102_training_log(&binary, &numeric, &actuators, hours);
+    log.normalize();
+    let model = ParallelTrainer::new(DiceConfig::default())
+        .extract(&reg, &mut log)
+        .expect("log is non-empty");
+    let mut findings = 0usize;
+    let mut verify_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let report = dice_verify::verify_model(std::hint::black_box(&model));
+        verify_ms = verify_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+        findings = report.len();
+    }
+    AnalysisBench {
+        groups: model.groups().len(),
+        g2g_entries: model.transitions().g2g().num_entries(),
+        verify_ms,
+        findings,
+    }
+}
+
 /// Renders the benchmark results as a stable, hand-rolled JSON document
 /// (the serde shim does not serialize, so the emitter formats directly).
 fn render_json(
     rows: &[ScanRow],
     throughput: &Throughput,
     training: &TrainingBench,
+    analysis: &AnalysisBench,
     overhead: &TelemetryOverhead,
 ) -> String {
     let mut json = String::new();
@@ -424,6 +464,11 @@ fn render_json(
     );
     let _ = writeln!(
         json,
+        "  \"analysis\": {{\"dataset\": \"hh102-synthetic\", \"groups\": {}, \"g2g_entries\": {}, \"verify_ms\": {:.2}, \"findings\": {}}},",
+        analysis.groups, analysis.g2g_entries, analysis.verify_ms, analysis.findings
+    );
+    let _ = writeln!(
+        json,
         "  \"telemetry_overhead\": {{\"noop_ns_per_window\": {:.0}, \"recording_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}}",
         overhead.noop_ns_per_window,
         overhead.recording_ns_per_window,
@@ -444,7 +489,8 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000]);
     let (throughput, overhead) = engine_throughput();
     let training = training_bench(48);
-    let json = render_json(&rows, &throughput, &training, &overhead);
+    let analysis = analysis_bench(48);
+    let json = render_json(&rows, &throughput, &training, &analysis, &overhead);
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
 
     let mut out = String::new();
@@ -480,6 +526,11 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         training.parallel_ms,
         training.speedup(),
         training.available_parallelism
+    );
+    let _ = writeln!(
+        out,
+        "analysis: verify_model over {} groups / {} g2g entries in {:.2} ms ({} finding(s))",
+        analysis.groups, analysis.g2g_entries, analysis.verify_ms, analysis.findings
     );
     let _ = writeln!(
         out,
@@ -530,13 +581,21 @@ mod tests {
             workers: 4,
             available_parallelism: 8,
         };
-        let json = render_json(&rows, &throughput, &training, &overhead);
+        let analysis = AnalysisBench {
+            groups: 2000,
+            g2g_entries: 5000,
+            verify_ms: 1.25,
+            findings: 2,
+        };
+        let json = render_json(&rows, &throughput, &training, &analysis, &overhead);
         assert!(json.contains("\"candidate_scan\""));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"windows_per_sec\": 30000"));
         assert!(json.contains("\"training\""));
         assert!(json.contains("\"speedup\": 3.00"));
         assert!(json.contains("\"available_parallelism\": 8"));
+        assert!(json.contains("\"analysis\""));
+        assert!(json.contains("\"verify_ms\": 1.25"));
         assert!(json.contains("\"telemetry_overhead\""));
         assert!(json.contains("\"overhead_pct\": 2.00"));
         assert!(json.ends_with("}\n"));

@@ -1,4 +1,7 @@
 //! Single-dataset calibration: quick metrics for one dataset.
+//
+// lint-src: allow-file(wall-clock) — the Instant reads report train/replay
+// wall time in the summary; the metrics themselves are replay-derived.
 
 use dice_datasets::DatasetId;
 

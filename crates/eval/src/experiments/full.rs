@@ -48,6 +48,7 @@ fn avg(values: impl Iterator<Item = f64>) -> f64 {
     if collected.is_empty() {
         0.0
     } else {
+        // Collected in fixed dataset order. lint-src: allow(float-accumulation)
         collected.iter().sum::<f64>() / collected.len() as f64
     }
 }

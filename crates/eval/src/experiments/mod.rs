@@ -27,7 +27,7 @@ pub use attest_exp::attest;
 pub use bench_json::bench_json;
 pub use calibrate::calibrate;
 pub use diagnose::diagnose;
-pub use export::{export_csv, inspect_model, monitor, save_model};
+pub use export::{artifact_set, export_csv, inspect_model, monitor, save_model};
 pub use extended::{actuator_faults, multi_fault, param_sensitivity};
 pub use fault_ratio::{aggregate_attribution, fig_5_4};
 pub use full::{run_all_datasets, run_full, run_full_serial, FullEvaluation};
@@ -64,6 +64,9 @@ pub fn usage() -> String {
      data & models:\n\
        export <dataset> <hours> <path>  synthesize a dataset slice to CSV\n\
        save-model <dataset> <path>      train on 300 h and persist the model\n\
+       artifacts <dataset> <dir>        train on 48 h and write the coherent\n\
+                                        model/config/trace/telemetry artifact\n\
+                                        set (checkable with dice-lint)\n\
        inspect-model <path>             summarize a persisted model\n\
        monitor <model> <csv>            stream a CSV through the gateway\n\
      diagnostics:\n\
@@ -216,6 +219,11 @@ pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
             let dataset = args.first().ok_or("save-model needs a dataset name")?;
             let path = args.get(1).ok_or("save-model needs an output path")?;
             Ok(save_model(dataset, path, SEED)?)
+        }
+        "artifacts" => {
+            let dataset = args.first().ok_or("artifacts needs a dataset name")?;
+            let dir = args.get(1).ok_or("artifacts needs an output directory")?;
+            Ok(artifact_set(dataset, dir, SEED)?)
         }
         "inspect-model" => {
             let path = args.first().ok_or("inspect-model needs a path")?;

@@ -6,6 +6,9 @@
 //! byte-stable) and `dice-repro explain out.jsonl` (render the first
 //! alarm's why-was-this-flagged narrative, which must name the implicated
 //! device).
+//
+// lint-src: allow-file(wall-clock) — the Instant read times the round-trip
+// for the summary line only.
 
 use std::time::Instant;
 

@@ -150,6 +150,7 @@ impl LatencyStats {
     /// The mean, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
         (!self.samples.is_empty())
+            // Samples arrive in fixed replay order. lint-src: allow(float-accumulation)
             .then(|| self.samples.iter().sum::<f64>() / self.samples.len() as f64)
     }
 

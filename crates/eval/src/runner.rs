@@ -1,6 +1,9 @@
 //! The experiment runner: trains DICE on a dataset's precomputation period
 //! and replays faulty / faultless segments through the real-time engine,
 //! reproducing the paper's evaluation protocol (Section V).
+//
+// lint-src: allow-file(wall-clock) — the Instant reads report wall time in
+// experiment summaries; metrics and verdicts come from replayed data only.
 
 use std::collections::BTreeMap;
 

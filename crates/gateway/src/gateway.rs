@@ -7,6 +7,9 @@
 //! are pushed to an alarm channel the moment identification completes —
 //! this is the deployment shape of Figure 3.1, with threads and channels
 //! standing in for the CoAP fabric.
+//
+// lint-src: allow-file(hash-container) — the alarm-dedup map is a point
+// lookup keyed by device id; alarms are emitted in merged-stream order.
 
 use std::borrow::Borrow;
 use std::collections::BTreeSet;

@@ -78,6 +78,11 @@ pub struct EngineMetrics {
     pub identification_ns: Arc<Histogram>,
     /// Windows from detection to an emitted report.
     pub identification_windows: Arc<Histogram>,
+    /// Layout fingerprint of the most recently constructed engine's model,
+    /// folded to the non-negative `i64` range. Snapshots carry it so
+    /// `dice-lint` can check a telemetry export against the model and trace
+    /// files it was recorded with.
+    pub model_layout_fingerprint: Arc<Gauge>,
 }
 
 impl EngineMetrics {
@@ -148,6 +153,10 @@ impl EngineMetrics {
                 "Windows from detection to report",
                 "windows",
                 &WINDOW_BOUNDS,
+            ),
+            model_layout_fingerprint: r.gauge(
+                "dice_engine_model_layout_fingerprint",
+                "Layout fingerprint of the active model (0 before any engine ran)",
             ),
         }
     }

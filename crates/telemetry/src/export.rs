@@ -315,6 +315,28 @@ pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads one gauge value back out of an exported JSON snapshot document.
+///
+/// Returns `Ok(None)` when the document is a valid snapshot but the gauge
+/// is absent (e.g. a snapshot exported by an older build). Used by
+/// `dice-lint` to recover the model layout fingerprint from a snapshot.
+///
+/// # Errors
+///
+/// Returns a description of the problem when the document is not a
+/// snapshot at all.
+pub fn snapshot_gauge_json(document: &str, name: &str) -> Result<Option<i64>, String> {
+    let value = json::parse(document).map_err(|e| e.to_string())?;
+    let root = value.as_obj().ok_or("snapshot root must be an object")?;
+    if root.get("kind").and_then(Value::as_str) != Some(SNAPSHOT_KIND) {
+        return Err(format!(
+            "missing or wrong \"kind\" (want {SNAPSHOT_KIND:?})"
+        ));
+    }
+    let gauges = section(root, "gauges")?;
+    Ok(gauges.get(name).and_then(Value::as_num).map(|v| v as i64))
+}
+
 fn section<'a>(
     root: &'a BTreeMap<String, Value>,
     name: &str,

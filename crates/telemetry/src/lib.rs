@@ -35,7 +35,9 @@ pub use catalog::{
     DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, TraceMetrics, TrainMetrics,
     LATENCY_BOUNDS_NS, TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
 };
-pub use export::{validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA};
+pub use export::{
+    snapshot_gauge_json, validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA,
+};
 pub use json::{escape as json_escape, parse as json_parse, ParseError, Value};
 pub use registry::{Counter, Gauge, Histogram, LocalHistogram, MetricEntry, MetricKind, Registry};
 pub use ring::{EventRing, TelemetryEvent};

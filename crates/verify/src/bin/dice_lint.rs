@@ -1,78 +1,199 @@
-//! `dice-lint`: static analysis of serialized DICE model files.
+//! `dice-lint`: whole-pipeline static analysis for DICE.
 //!
 //! ```text
-//! usage: dice-lint [--errors-only] <model-file>...
+//! usage: dice-lint [--errors-only] [--deny-warnings] <artifact>...
+//!        dice-lint lint-src [--deny-warnings] [workspace-root]
 //! ```
 //!
-//! Every finding prints as `file: severity: [DVnnn] message`. Exit status:
-//! `0` when no file has an error-level finding (warnings and infos are
-//! advisory), `1` when at least one does, `2` for usage or filesystem
-//! problems.
+//! In artifact mode each argument is a model binary, a `dice-config v1`
+//! file, a `dice-trace` JSONL log, a telemetry snapshot, or the pseudo-spec
+//! `dataset:<name>` (a Table 4.1 catalog entry). The kind is sniffed from
+//! the content. Model artifacts get the full model verification (container,
+//! invariants, graph dataflow); every artifact then participates in the
+//! pairwise cross-artifact compatibility check (`DV19x`), so
+//! `dice-lint model.bin gateway.conf run.jsonl snapshot.json dataset:hh102`
+//! answers "do these five things actually belong to the same deployment?".
+//!
+//! `lint-src` mode runs the workspace determinism lint over
+//! `<root>/crates/*/src` (root defaults to the current directory).
+//!
+//! Findings print to stdout; the summary line on stderr ends with the
+//! machine-grepable `findings: E=<n> W=<n> I=<n>`. Exit status: `0` clean,
+//! `1` when any error-level finding exists (or any warning under
+//! `--deny-warnings`), `2` for usage problems.
 
-use std::fs::File;
-use std::io::BufReader;
 use std::process::ExitCode;
 
-use dice_verify::{verify_reader, Severity};
+use dice_verify::artifacts::{
+    check_artifacts, read_artifact, read_artifact_bytes, ArtifactInfo, DATASET_SPEC_PREFIX,
+};
+use dice_verify::lint_src::lint_workspace;
+use dice_verify::{Diagnostic, Severity};
+
+const USAGE: &str = "usage: dice-lint [--errors-only] [--deny-warnings] <artifact>...\n       dice-lint lint-src [--deny-warnings] [workspace-root]";
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint-src") {
+        return lint_src_mode(&args[1..]);
+    }
+    artifact_mode(&args)
+}
+
+fn artifact_mode(args: &[String]) -> ExitCode {
     let mut errors_only = false;
-    let mut paths = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut deny_warnings = false;
+    let mut specs = Vec::new();
+    for arg in args {
         match arg.as_str() {
             "--errors-only" => errors_only = true,
+            "--deny-warnings" => deny_warnings = true,
             "-h" | "--help" => {
-                println!("usage: dice-lint [--errors-only] <model-file>...");
+                println!("{USAGE}");
                 println!();
-                println!("Statically verifies serialized DICE models and prints");
-                println!("one `file: severity: [DVnnn] message` line per finding.");
-                println!("Exits 1 if any error-level finding exists, 2 on usage");
-                println!("or filesystem problems, 0 otherwise.");
+                println!("Statically analyzes DICE artifacts: full model verification");
+                println!("for model binaries, plus pairwise layout/config/threshold");
+                println!("compatibility (DV19x) across every given artifact. Artifacts");
+                println!("are model binaries, dice-config files, dice-trace JSONL logs,");
+                println!("telemetry snapshots, or dataset:<name> catalog entries.");
+                println!("Exits 1 on any error finding (or warning under");
+                println!("--deny-warnings), 2 on usage problems, 0 otherwise.");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
                 eprintln!("dice-lint: unknown flag {flag}");
                 return ExitCode::from(2);
             }
-            path => paths.push(path.to_string()),
+            spec => specs.push(spec.to_string()),
         }
     }
-    if paths.is_empty() {
-        eprintln!("usage: dice-lint [--errors-only] <model-file>...");
+    if specs.is_empty() {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
-    let mut total_errors = 0usize;
-    let mut total_findings = 0usize;
-    for path in &paths {
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("dice-lint: cannot open {path}: {e}");
-                return ExitCode::from(2);
-            }
-        };
-        let findings = verify_reader(BufReader::new(file));
+    let mut infos = Vec::new();
+    let mut counts = Counts::default();
+    for spec in &specs {
+        let (info, findings) = analyze_spec(spec);
         for finding in &findings {
-            if errors_only && finding.severity() != Severity::Error {
-                continue;
+            counts.tally(finding.severity());
+            if !(errors_only && finding.severity() != Severity::Error) {
+                println!("{spec}: {finding}");
             }
-            println!("{path}: {finding}");
         }
-        total_findings += findings.len();
-        total_errors += findings
-            .iter()
-            .filter(|d| d.severity() == Severity::Error)
-            .count();
+        infos.extend(info);
+    }
+    // Cross-artifact findings name both sides in the message, so they
+    // print without a path prefix.
+    for finding in check_artifacts(&infos) {
+        counts.tally(finding.severity());
+        if !(errors_only && finding.severity() != Severity::Error) {
+            println!("{finding}");
+        }
     }
 
     eprintln!(
-        "dice-lint: {} file(s), {total_findings} finding(s), {total_errors} error(s)",
-        paths.len()
+        "dice-lint: {} artifact(s), findings: E={} W={} I={}",
+        specs.len(),
+        counts.errors,
+        counts.warnings,
+        counts.infos
     );
-    if total_errors > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    counts.exit(deny_warnings)
+}
+
+/// Reads one artifact spec and produces its single-artifact findings.
+///
+/// Dataset pseudo-specs resolve through the catalog; files are read once.
+/// Bytes carrying the model magic additionally get the full single-model
+/// verification (container, invariants, graph dataflow), so a damaged model
+/// container reports the precise `DV0xx`/`DV1xx` diagnosis alongside the
+/// artifact-level `DV193`.
+fn analyze_spec(spec: &str) -> (Option<ArtifactInfo>, Vec<Diagnostic>) {
+    if spec.starts_with(DATASET_SPEC_PREFIX) {
+        return read_artifact(spec);
+    }
+    match std::fs::read(spec) {
+        Ok(bytes) => {
+            let (info, mut findings) = read_artifact_bytes(spec, &bytes);
+            if bytes.starts_with(dice_core::MODEL_MAGIC) {
+                findings.extend(dice_verify::verify_reader(bytes.as_slice()));
+            }
+            (info, findings)
+        }
+        Err(e) => {
+            let finding = Diagnostic::new(
+                dice_verify::DiagnosticCode::ArtifactUnreadable,
+                format!("artifact {spec}: cannot read file: {e}"),
+            );
+            (None, vec![finding])
+        }
+    }
+}
+
+fn lint_src_mode(args: &[String]) -> ExitCode {
+    let mut deny_warnings = false;
+    let mut root = None;
+    for arg in args {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("dice-lint: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path if root.is_none() => root = Some(path.to_string()),
+            extra => {
+                eprintln!("dice-lint: lint-src takes one root, got extra {extra:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    let findings = match lint_workspace(std::path::Path::new(&root)) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("dice-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut counts = Counts::default();
+    for finding in &findings {
+        counts.tally(finding.severity);
+        println!("{finding}");
+    }
+    eprintln!(
+        "dice-lint: lint-src over {root}, findings: E={} W={} I={}",
+        counts.errors, counts.warnings, counts.infos
+    );
+    counts.exit(deny_warnings)
+}
+
+#[derive(Default)]
+struct Counts {
+    errors: usize,
+    warnings: usize,
+    infos: usize,
+}
+
+impl Counts {
+    fn tally(&mut self, severity: Severity) {
+        match severity {
+            Severity::Error => self.errors += 1,
+            Severity::Warning => self.warnings += 1,
+            Severity::Info => self.infos += 1,
+        }
+    }
+
+    fn exit(&self, deny_warnings: bool) -> ExitCode {
+        if self.errors > 0 || (deny_warnings && self.warnings > 0) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
     }
 }

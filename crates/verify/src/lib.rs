@@ -5,10 +5,19 @@
 //! and human-readable messages. The structural checks live in
 //! [`dice_core::invariants`] (so [`dice_core::read_model`] can enforce them
 //! at load time without a dependency cycle); this crate adds the advisory
-//! analyses — G2G reachability, candidate-distance sanity — plus report
-//! rendering and the `dice-lint` CLI.
+//! analyses — G2G reachability, candidate-distance sanity, the `DV18x`
+//! transition-graph dataflow pass — plus two further static-analysis
+//! layers and the `dice-lint` CLI:
 //!
-//! Three entry points, coarsest to finest:
+//! * [`artifacts`] — cross-artifact compatibility (`DV19x`): fingerprints
+//!   models, config files, trace headers, telemetry snapshots, and dataset
+//!   catalog entries, and flags every mismatched pair.
+//! * [`lint_src`] — the workspace determinism lint: a source scanner that
+//!   denies nondeterminism-prone constructs (unordered parallelism, hashed
+//!   iteration, wall-clock reads, naive float accumulation) outside their
+//!   sanctioned homes.
+//!
+//! Three model entry points, coarsest to finest:
 //!
 //! * [`verify_reader`] — decode a serialized model and verify it; decode
 //!   failures become a `DV001` finding instead of an error.
@@ -36,9 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod lint_src;
+
 use std::io::Read;
 
-use dice_core::invariants::{check_config, check_model};
+use dice_core::invariants::{check_config, check_graph_dataflow, check_model};
 use dice_core::{read_model_unverified, DiceConfig, DiceModel};
 
 pub use dice_core::invariants::{
@@ -56,6 +68,7 @@ pub fn verify_model(model: &DiceModel) -> Vec<Diagnostic> {
     out.extend(check_config(model.config()));
     check_candidate_distance(model, &mut out);
     check_reachability(model, &mut out);
+    out.extend(check_graph_dataflow(model));
     sort_report(&mut out);
     out
 }

@@ -1,13 +1,21 @@
 //! Property: every model the public [`ModelBuilder`] API can produce passes
-//! verification with zero error-level findings. Together with the corruption
-//! matrix this brackets the analyzer: it accepts everything the builder
-//! emits and rejects every seeded violation.
+//! verification with zero error-level findings, and the transition-graph
+//! dataflow analysis never flags a group that occurred in the training
+//! windows. Together with the corruption matrix this brackets the analyzer:
+//! it accepts everything the builder emits and rejects every seeded
+//! violation.
+//!
+//! The dataflow half rests on the single-walk shape argument (see
+//! `check_graph_dataflow`): a contiguous training stream makes every group
+//! reachable from the opening window's component and able to reach the
+//! closing window's, so `DV180`/`DV181`/`DV182` can only fire on models
+//! whose table and matrices drifted apart — never on builder output.
 
 use dice_core::{DiceConfig, ModelBuilder, ThresholdTrainer};
 use dice_types::{
     ActuatorEvent, ActuatorKind, DeviceRegistry, Event, Room, SensorKind, SensorReading, Timestamp,
 };
-use dice_verify::{has_errors, render_report, verify_model};
+use dice_verify::{has_errors, render_report, verify_model, DiagnosticCode};
 use proptest::prelude::*;
 
 proptest! {
@@ -72,6 +80,25 @@ proptest! {
             !has_errors(&findings),
             "builder-produced model failed verification:\n{}",
             render_report(&findings)
+        );
+
+        // The single-walk shape argument: a model trained from one
+        // contiguous stream has exactly one group source and one group sink
+        // component and is weakly connected, so the dataflow pass must not
+        // flag any group that actually occurred in training windows.
+        let graph_shape = [
+            DiagnosticCode::UnreachableFlowComponent,
+            DiagnosticCode::AbsorbingSinkComponent,
+            DiagnosticCode::DisconnectedComponent,
+        ];
+        let flagged: Vec<_> = findings
+            .iter()
+            .filter(|d| graph_shape.contains(&d.code()))
+            .collect();
+        prop_assert!(
+            flagged.is_empty(),
+            "dataflow analysis flagged trained groups:\n{:?}",
+            flagged
         );
     }
 }

@@ -126,6 +126,9 @@ fn each_seeded_corruption_exits_nonzero() {
     };
 
     let mut corruptions: Vec<(&str, Vec<u8>, Option<&str>)> = vec![
+        // Foreign magic means the lint cannot even tell this was meant to
+        // be a model: it reports the artifact-level DV193. Damage behind a
+        // valid magic keeps the precise container diagnosis (DV001).
         (
             "bad-magic",
             {
@@ -133,7 +136,7 @@ fn each_seeded_corruption_exits_nonzero() {
                 b[..4].copy_from_slice(b"NOPE");
                 b
             },
-            Some("DV001"),
+            Some("DV193"),
         ),
         (
             "bad-version",
@@ -173,14 +176,162 @@ fn each_seeded_corruption_exits_nonzero() {
 }
 
 #[test]
-fn usage_errors_exit_two() {
+fn usage_errors_exit_two_and_missing_files_are_dv193() {
     let out = Command::new(env!("CARGO_BIN_EXE_dice-lint"))
         .output()
         .expect("dice-lint binary runs");
     assert_eq!(out.status.code(), Some(2));
+    // A missing file is an analysis finding (DV193), not a usage error.
     let missing = Command::new(env!("CARGO_BIN_EXE_dice-lint"))
         .arg("/nonexistent/model.dice")
         .output()
         .expect("dice-lint binary runs");
-    assert_eq!(missing.status.code(), Some(2));
+    assert_eq!(missing.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&missing.stdout);
+    assert!(
+        stdout.contains("DV193"),
+        "missing file reports DV193:\n{stdout}"
+    );
+}
+
+fn run_lint_args(args: &[&std::ffi::OsStr]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dice-lint"))
+        .args(args)
+        .output()
+        .expect("dice-lint binary runs")
+}
+
+/// The artifact set a healthy deployment would carry: model binary, the
+/// config it was trained under, and a trace header from its layout.
+fn artifact_set(dir: &TempDir) -> (PathBuf, PathBuf, PathBuf) {
+    let model = trained_model();
+    let model_path = dir.file("model.dice", &model_bytes(&model));
+    let config_path = dir.file(
+        "gateway.conf",
+        dice_verify::artifacts::write_config_text(model.config()).as_bytes(),
+    );
+    let mut header_line = String::new();
+    dice_core::write_header_line(
+        &mut header_line,
+        &dice_core::TraceHeader::from_layout(model.layout()),
+    );
+    let trace_path = dir.file("run.jsonl", header_line.as_bytes());
+    (model_path, config_path, trace_path)
+}
+
+#[test]
+fn compatible_artifact_set_exits_zero_with_grepable_summary() {
+    let dir = TempDir::new("compat");
+    let (model_path, config_path, trace_path) = artifact_set(&dir);
+    let out = run_lint_args(&[
+        model_path.as_os_str(),
+        config_path.as_os_str(),
+        trace_path.as_os_str(),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "compatible artifacts must lint clean:\n{}\n{stderr}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(
+        stderr.contains("findings: E=0 W="),
+        "summary must be machine-grepable:\n{stderr}"
+    );
+}
+
+#[test]
+fn mismatched_artifacts_are_flagged_pairwise() {
+    let dir = TempDir::new("mismatch");
+    let (model_path, _, _) = artifact_set(&dir);
+
+    // A config that drifted from the model's: DV191.
+    let drifted = dice_core::DiceConfig::builder().max_faults(3).build();
+    let config_path = dir.file(
+        "drifted.conf",
+        dice_verify::artifacts::write_config_text(&drifted).as_bytes(),
+    );
+    let out = run_lint_args(&[model_path.as_os_str(), config_path.as_os_str()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DV191"), "config drift is DV191:\n{stdout}");
+
+    // A trace whose header came from a different layout: DV190.
+    let mut header_line = String::new();
+    let foreign = dice_core::BitLayout::from_widths(&[1, 1, 1, 3]);
+    dice_core::write_header_line(
+        &mut header_line,
+        &dice_core::TraceHeader::from_layout(&foreign),
+    );
+    let trace_path = dir.file("foreign.jsonl", header_line.as_bytes());
+    let out = run_lint_args(&[model_path.as_os_str(), trace_path.as_os_str()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DV190"), "layout drift is DV190:\n{stdout}");
+
+    // The model against a dataset it was not trained for: DV190.
+    let out = run_lint_args(&[
+        model_path.as_os_str(),
+        std::ffi::OsStr::new("dataset:hh102"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("DV190"),
+        "dataset mismatch is DV190:\n{stdout}"
+    );
+}
+
+fn write_lint_src_tree(dir: &TempDir, line: &str) -> PathBuf {
+    let src = dir.0.join("crates/demo/src");
+    fs::create_dir_all(&src).unwrap();
+    fs::write(src.join("lib.rs"), format!("fn f() {{\n{line}\n}}\n")).unwrap();
+    dir.0.clone()
+}
+
+#[test]
+fn lint_src_gates_banned_patterns_and_honors_pragmas() {
+    // A clean tree exits zero.
+    let clean = TempDir::new("lint-src-clean");
+    let root = write_lint_src_tree(&clean, "    let x = 1;");
+    let out = run_lint_args(&[std::ffi::OsStr::new("lint-src"), root.as_os_str()]);
+    assert!(out.status.success(), "clean tree must pass lint-src");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("findings: E=0 W=0"), "summary:\n{stderr}");
+
+    // An injected banned construct is an error finding and a nonzero exit.
+    let dirty = TempDir::new("lint-src-dirty");
+    let root = write_lint_src_tree(&dirty, "    std::thread::spawn(|| {});");
+    let out = run_lint_args(&[std::ffi::OsStr::new("lint-src"), root.as_os_str()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("thread-spawn"),
+        "expected thread-spawn finding:\n{stdout}"
+    );
+
+    // Warnings pass by default but fail under --deny-warnings.
+    let warn = TempDir::new("lint-src-warn");
+    let root = write_lint_src_tree(&warn, "    let t = std::time::Instant::now();");
+    let out = run_lint_args(&[std::ffi::OsStr::new("lint-src"), root.as_os_str()]);
+    assert!(out.status.success(), "warnings alone pass without deny");
+    let out = run_lint_args(&[
+        std::ffi::OsStr::new("lint-src"),
+        std::ffi::OsStr::new("--deny-warnings"),
+        root.as_os_str(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "--deny-warnings gates warnings");
+
+    // A pragma-audited site passes even under --deny-warnings.
+    let audited = TempDir::new("lint-src-audited");
+    let root = write_lint_src_tree(
+        &audited,
+        "    let t = std::time::Instant::now(); // lint-src: allow(wall-clock)",
+    );
+    let out = run_lint_args(&[
+        std::ffi::OsStr::new("lint-src"),
+        std::ffi::OsStr::new("--deny-warnings"),
+        root.as_os_str(),
+    ]);
+    assert!(out.status.success(), "pragma suppresses the finding");
 }

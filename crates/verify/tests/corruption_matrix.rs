@@ -161,6 +161,185 @@ fn dangling_actuator_ids_are_detected() {
     assert!(codes(&model).contains(&DiagnosticCode::DanglingIdInA2g));
 }
 
+// ---------------------------------------------------------------------------
+// DV18x: transition-graph dataflow. Models are hand-assembled so each shape
+// defect exists in isolation from the structural invariants above.
+// ---------------------------------------------------------------------------
+
+/// A model from raw parts: `widths` gives the bit layout, `counts` the
+/// per-group observation counts, `edges` the G2G transitions.
+fn graph_model(
+    widths: &[usize],
+    counts: &[u64],
+    edges: &[(u32, u32)],
+    num_actuators: usize,
+) -> DiceModel {
+    let num_bits: usize = widths.iter().sum();
+    let mut groups = GroupTable::new(num_bits);
+    for (id, &count) in counts.iter().enumerate() {
+        groups.insert_with_count(BitSet::from_indices(num_bits, [id % num_bits]), count);
+    }
+    let mut transitions = dice_core::TransitionModel::new();
+    for &(from, to) in edges {
+        transitions.record_g2g(dice_types::GroupId::new(from), dice_types::GroupId::new(to));
+    }
+    let layout = dice_core::BitLayout::from_widths(widths);
+    let thresholds = Thresholds::from_values(vec![None; widths.len()]);
+    DiceModel::from_parts(
+        DiceConfig::default(),
+        Binarizer::new(layout, thresholds),
+        groups,
+        transitions,
+        num_actuators,
+        counts.iter().sum(),
+    )
+}
+
+#[test]
+fn extra_source_component_is_dv180() {
+    // 0 -> 1 <- 2: both 0 and 2 are sources; the less-observed one (2) is
+    // the unreachable component.
+    let model = graph_model(&[1, 1, 1], &[5, 3, 1], &[(0, 1), (2, 1)], 0);
+    assert!(codes(&model).contains(&DiagnosticCode::UnreachableFlowComponent));
+}
+
+#[test]
+fn extra_sink_component_is_dv181() {
+    // 1 <- 0 -> 2: both 1 and 2 are sinks; the extra one absorbs the walk.
+    let model = graph_model(&[1, 1, 1], &[5, 3, 1], &[(0, 1), (0, 2)], 0);
+    assert!(codes(&model).contains(&DiagnosticCode::AbsorbingSinkComponent));
+}
+
+#[test]
+fn split_graph_is_dv182() {
+    // {0 -> 1} and {2 -> 3} never interact: the wrong-shard-merge signature.
+    let model = graph_model(&[1, 1, 1, 1], &[4, 3, 2, 1], &[(0, 1), (2, 3)], 0);
+    assert!(codes(&model).contains(&DiagnosticCode::DisconnectedComponent));
+}
+
+#[test]
+fn unenterable_actuator_is_dv183() {
+    // A2G leaves actuator 0, but no G2A transition ever enters it.
+    let mut model = graph_model(&[1, 1], &[3, 2], &[(0, 1)], 1);
+    model.transitions_mut().a2g_mut().record(0, 1);
+    assert!(codes(&model).contains(&DiagnosticCode::UnenterableActuator));
+}
+
+#[test]
+fn row_support_on_the_decision_boundary_is_dv184() {
+    // Group 0's escape support is exactly min_row_support (default 10):
+    // one lost observation silences its zero-probability violations.
+    let min = DiceConfig::default().min_row_support() as usize;
+    let edges: Vec<(u32, u32)> = vec![(0, 1); min];
+    let model = graph_model(&[1, 1], &[11, 10], &edges, 0);
+    let report = verify_model(&model);
+    assert!(report
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::FragileRowSupport));
+    // Informational only: never part of the error/warning gate.
+    assert!(report
+        .iter()
+        .filter(|d| d.code() == DiagnosticCode::FragileRowSupport)
+        .all(|d| d.severity() == dice_verify::Severity::Info));
+}
+
+// ---------------------------------------------------------------------------
+// DV19x: cross-artifact compatibility. Each mismatch class gets one seeded
+// drift through the artifacts API.
+// ---------------------------------------------------------------------------
+
+fn artifact_of(bytes: &[u8]) -> dice_verify::artifacts::ArtifactInfo {
+    let (info, findings) = dice_verify::artifacts::read_artifact_bytes("a", bytes);
+    assert!(
+        findings.is_empty(),
+        "artifact must read clean: {findings:?}"
+    );
+    info.expect("artifact resolves")
+}
+
+#[test]
+fn layout_drift_between_artifacts_is_dv190() {
+    let model = trained_model();
+    let mut header = String::new();
+    dice_core::write_header_line(
+        &mut header,
+        &dice_core::TraceHeader::from_layout(&dice_core::BitLayout::from_widths(&[1, 1, 3])),
+    );
+    let mut bytes = Vec::new();
+    write_model(&model, &mut bytes).unwrap();
+    let findings = dice_verify::artifacts::check_artifacts(&[
+        artifact_of(&bytes),
+        artifact_of(header.as_bytes()),
+    ]);
+    assert!(findings
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::ArtifactLayoutMismatch));
+}
+
+#[test]
+fn config_drift_between_artifacts_is_dv191() {
+    let model = trained_model();
+    let drifted = DiceConfig::builder().num_thre(3).build();
+    let mut bytes = Vec::new();
+    write_model(&model, &mut bytes).unwrap();
+    let findings = dice_verify::artifacts::check_artifacts(&[
+        artifact_of(&bytes),
+        artifact_of(dice_verify::artifacts::write_config_text(&drifted).as_bytes()),
+    ]);
+    assert!(findings
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::ArtifactConfigMismatch));
+}
+
+#[test]
+fn threshold_drift_between_models_is_dv192() {
+    let model = trained_model();
+    let mut values = model.binarizer().thresholds().values().to_vec();
+    let numeric = values.iter().position(Option::is_some).unwrap();
+    values[numeric] = values[numeric].map(|v| v + 1.0);
+    let retrained = DiceModel::from_parts(
+        model.config().clone(),
+        Binarizer::new(model.layout().clone(), Thresholds::from_values(values)),
+        model.groups().clone(),
+        model.transitions().clone(),
+        model.num_actuators(),
+        model.training_windows(),
+    );
+    let mut a = Vec::new();
+    write_model(&model, &mut a).unwrap();
+    let mut b = Vec::new();
+    write_model(&retrained, &mut b).unwrap();
+    let findings = dice_verify::artifacts::check_artifacts(&[artifact_of(&a), artifact_of(&b)]);
+    assert!(findings
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::ArtifactThresholdMismatch));
+    // Same layout and config: only the thresholds drifted.
+    assert!(!findings
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::ArtifactLayoutMismatch));
+}
+
+#[test]
+fn unreadable_artifact_is_dv193() {
+    let (info, findings) = dice_verify::artifacts::read_artifact_bytes("junk", b"\xff\xfe junk");
+    assert!(info.is_none());
+    assert!(findings
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::ArtifactUnreadable));
+}
+
+#[test]
+fn fingerprint_free_snapshot_is_dv194() {
+    let telemetry = dice_telemetry::Telemetry::recording();
+    let json = telemetry.snapshot().unwrap().to_json();
+    let (info, findings) =
+        dice_verify::artifacts::read_artifact_bytes("snap.json", json.as_bytes());
+    assert!(info.is_some(), "snapshot still resolves as an artifact");
+    assert!(findings
+        .iter()
+        .any(|d| d.code() == DiagnosticCode::ArtifactFingerprintUnavailable));
+}
+
 #[test]
 fn read_model_rejects_corrupt_bytes_but_unverified_loads_them() {
     let mut model = trained_model();
