@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dice_bench::{bench_simulator, bench_trained};
 use dice_core::{
     BitSet, ContextExtractor, Detector, DiceConfig, GroupTable, Identifier, ParallelTrainer,
-    PrevWindow, ScanIndex,
+    PrevWindow, ScanIndex, SlicedScanIndex,
 };
 use dice_types::{
     ActuatorEvent, ActuatorKind, DeviceRegistry, EventLog, GroupId, Room, SensorId, SensorKind,
@@ -100,6 +100,36 @@ fn bench_scan_index(c: &mut Criterion) {
                 let mut scratch = Vec::new();
                 b.iter(|| {
                     index.nearest_into(std::hint::black_box(&query), &mut scratch);
+                    scratch.len()
+                });
+            },
+        );
+        // The bit-sliced index on the same table: one query at a time, then
+        // a 16-query batch amortizing the plane sweep (per-iteration time
+        // covers all 16 queries).
+        let sliced = SlicedScanIndex::build(&table);
+        group.bench_with_input(BenchmarkId::new("bitsliced", groups), &groups, |b, _| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                sliced.candidates_into(std::hint::black_box(&query), 3, &mut scratch);
+                scratch.len()
+            });
+        });
+        let batch_queries: Vec<BitSet> = (0..16)
+            .map(|k| hh102_scale_state(NUM_BITS, 5 + k, 60, 11 + k))
+            .collect();
+        let query_refs: Vec<&BitSet> = batch_queries.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("bitsliced_batch16", groups),
+            &groups,
+            |b, _| {
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    sliced.candidates_batch_into(
+                        std::hint::black_box(&query_refs),
+                        3,
+                        &mut scratch,
+                    );
                     scratch.len()
                 });
             },

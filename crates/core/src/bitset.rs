@@ -55,11 +55,13 @@ impl BitSet {
     }
 
     /// Number of bits.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the set has zero bits of capacity.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -69,6 +71,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if `index >= len`.
+    #[inline]
     pub fn get(&self, index: usize) -> bool {
         assert!(
             index < self.len,
@@ -103,6 +106,7 @@ impl BitSet {
     }
 
     /// Number of set bits.
+    #[inline]
     pub fn count_ones(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
@@ -115,6 +119,7 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if the sets have different lengths.
+    #[inline]
     pub fn hamming_distance(&self, other: &BitSet) -> u32 {
         assert_eq!(
             self.len, other.len,
@@ -132,6 +137,7 @@ impl BitSet {
     ///
     /// The candidate-group search only cares about groups within the fault
     /// threshold, so most comparisons can bail out early.
+    #[inline]
     pub fn hamming_distance_within(&self, other: &BitSet, limit: u32) -> Option<u32> {
         assert_eq!(
             self.len, other.len,
@@ -196,6 +202,7 @@ impl BitSet {
     }
 
     /// The backing words, least-significant bit first.
+    #[inline]
     pub fn as_words(&self) -> &[u64] {
         &self.words
     }

@@ -621,6 +621,13 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                 .set(crate::fingerprint::gauge_value(
                     model.borrow().layout().fingerprint(),
                 ));
+            // And which SIMD kernel the scan index dispatched to, so a
+            // snapshot records the hardware path its scan counters came from.
+            recorder
+                .metrics
+                .engine
+                .scan_backend
+                .set(model.borrow().scan().backend().gauge_value());
         }
         let tel_batch = options
             .telemetry
@@ -648,6 +655,11 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
     /// The model in use.
     pub fn model(&self) -> &DiceModel {
         self.model.borrow()
+    }
+
+    /// The SIMD backend the model's candidate-scan index dispatches to.
+    pub fn scan_backend(&self) -> crate::ScanBackend {
+        self.model.borrow().scan().backend()
     }
 
     /// Accumulated wall-clock cost profile.
@@ -745,6 +757,8 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                     let fallback = model.scan().nearest_into(&obs.state, &mut candidates);
                     scan_profile.rows += fallback.rows;
                     scan_profile.pruned += fallback.pruned;
+                    scan_profile.blocks += fallback.blocks;
+                    scan_profile.early_stops += fallback.early_stops;
                 }
                 CheckResult::CorrelationViolation { candidates }
             }
@@ -846,6 +860,9 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         m.correlation_violations_total.inc();
                         m.scan_rows_total.add(u64::from(scan_profile.rows));
                         m.scan_rows_pruned_total.add(u64::from(scan_profile.pruned));
+                        m.scan_blocks_total.add(u64::from(scan_profile.blocks));
+                        m.scan_early_stops_total
+                            .add(u64::from(scan_profile.early_stops));
                         m.scan_candidates_total.add(candidates.len() as u64);
                     }
                     CheckResult::TransitionViolation { cases, .. } => {
@@ -1616,6 +1633,16 @@ mod tests {
         assert_eq!(
             snapshot.counter("dice_engine_reports_total"),
             Some(reports.len() as u64)
+        );
+        // Bit-sliced scan stats: every correlation violation scanned at
+        // least one block, and the snapshot names the dispatched backend.
+        assert!(snapshot.counter("dice_engine_scan_blocks_total").unwrap() > 0);
+        assert!(snapshot
+            .counter("dice_engine_scan_early_stops_total")
+            .is_some());
+        assert_eq!(
+            snapshot.gauge("dice_engine_scan_backend"),
+            Some(engine.scan_backend().gauge_value())
         );
         // The latency histograms see the same windows CostProfile does.
         let (corr_count, corr_sum) = snapshot

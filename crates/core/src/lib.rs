@@ -55,7 +55,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the bit-sliced scan kernels (`scan_sliced`)
+// are the single sanctioned exception, opting in at module level for the
+// runtime-dispatched `std::arch` SIMD intrinsics.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attest;
@@ -76,6 +79,7 @@ mod model;
 mod model_io;
 mod partition;
 mod scan;
+mod scan_sliced;
 mod stats;
 pub mod trace;
 mod train_par;
@@ -100,6 +104,9 @@ pub use model_io::{
 };
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
 pub use scan::{ScanIndex, ScanProfile};
+pub use scan_sliced::{
+    ScanBackend, SlicedScanIndex, BLOCK_LANES, MAX_SLICED_DISTANCE, SCAN_BACKEND_ENV,
+};
 pub use stats::{ExactSum, MeanAccumulator, RunningMean, WindowStats};
 pub use trace::{
     parse_trace_jsonl, render_explain, write_header_line, write_trace_jsonl, write_trace_line,

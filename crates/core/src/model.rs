@@ -8,7 +8,7 @@ use crate::binarize::Binarizer;
 use crate::config::DiceConfig;
 use crate::groups::GroupTable;
 use crate::layout::BitLayout;
-use crate::scan::ScanIndex;
+use crate::scan_sliced::SlicedScanIndex;
 use crate::transition::TransitionModel;
 
 /// Everything DICE precomputes (Figure 3.2, left half): the binarizer with
@@ -26,10 +26,11 @@ pub struct DiceModel {
     transitions: TransitionModel,
     num_actuators: usize,
     training_windows: u64,
-    /// Packed mirror of `groups` for the hot candidate scan; derived state,
-    /// rebuilt from the table on construction and after deserialization.
+    /// Bit-sliced mirror of `groups` for the hot candidate scan; derived
+    /// state, rebuilt from the table on construction and after
+    /// deserialization.
     #[serde(skip)]
-    scan: ScanIndex,
+    scan: SlicedScanIndex,
 }
 
 impl DiceModel {
@@ -44,7 +45,7 @@ impl DiceModel {
         num_actuators: usize,
         training_windows: u64,
     ) -> Self {
-        let scan = ScanIndex::build(&groups);
+        let scan = SlicedScanIndex::build(&groups);
         DiceModel {
             config,
             binarizer,
@@ -81,8 +82,8 @@ impl DiceModel {
         &self.transitions
     }
 
-    /// The packed candidate-scan index over the group table.
-    pub fn scan(&self) -> &ScanIndex {
+    /// The bit-sliced candidate-scan index over the group table.
+    pub fn scan(&self) -> &SlicedScanIndex {
         &self.scan
     }
 
@@ -138,7 +139,7 @@ impl DiceModel {
     /// group map and the packed scan index.
     pub fn rebuild_index(&mut self) {
         self.groups.rebuild_index_public();
-        self.scan = ScanIndex::build(&self.groups);
+        self.scan = SlicedScanIndex::build(&self.groups);
     }
 
     /// Fraction of training windows that fell in `group`, an empirical prior
@@ -166,7 +167,7 @@ impl DiceModel {
         Binarizer,
         GroupTable,
         TransitionModel,
-        ScanIndex,
+        SlicedScanIndex,
     ) {
         (
             self.config,
@@ -190,7 +191,7 @@ impl DiceModel {
         transitions: TransitionModel,
         num_actuators: usize,
         training_windows: u64,
-        scan: ScanIndex,
+        scan: SlicedScanIndex,
     ) -> Self {
         debug_assert_eq!(
             scan.len(),

@@ -38,8 +38,15 @@ const WORD_BITS: usize = u64::BITS as usize;
 pub struct ScanProfile {
     /// Group rows considered (the whole index, for a full scan).
     pub rows: u32,
-    /// Rows rejected by the popcount lower bound alone.
+    /// Rows rejected by the popcount lower bound alone — per-row for this
+    /// index, whole bucket ranges for
+    /// [`SlicedScanIndex`](crate::SlicedScanIndex).
     pub pruned: u32,
+    /// Bit-sliced blocks visited (always 0 for this row-major index).
+    pub blocks: u32,
+    /// Blocks abandoned early once every lane saturated past the threshold
+    /// (always 0 for this row-major index).
+    pub early_stops: u32,
 }
 
 /// A packed, popcount-prefiltered mirror of a [`GroupTable`] for candidate
@@ -157,6 +164,7 @@ impl ScanIndex {
         ScanProfile {
             rows: self.popcounts.len() as u32,
             pruned,
+            ..ScanProfile::default()
         }
     }
 
@@ -208,6 +216,7 @@ impl ScanIndex {
         ScanProfile {
             rows: self.popcounts.len() as u32,
             pruned,
+            ..ScanProfile::default()
         }
     }
 
@@ -316,11 +325,25 @@ mod tests {
         let q = BitSet::from_indices(5, [0, 1]);
         let mut out = Vec::new();
         let profile = idx.candidates_into(&q, 1, &mut out);
-        assert_eq!(profile, ScanProfile { rows: 2, pruned: 2 });
+        assert_eq!(
+            profile,
+            ScanProfile {
+                rows: 2,
+                pruned: 2,
+                ..ScanProfile::default()
+            }
+        );
         assert!(out.is_empty());
         // Threshold 2 admits the popcount-0 row past the prefilter.
         let profile = idx.candidates_into(&q, 2, &mut out);
-        assert_eq!(profile, ScanProfile { rows: 2, pruned: 1 });
+        assert_eq!(
+            profile,
+            ScanProfile {
+                rows: 2,
+                pruned: 1,
+                ..ScanProfile::default()
+            }
+        );
         // nearest_into visits every row until a best distance is set; the
         // empty-set row (distance 2) then prunes nothing further here.
         let profile = idx.nearest_into(&q, &mut out);

@@ -1,10 +1,12 @@
 //! The `bench-json` command: a tracked benchmark baseline.
 //!
 //! Measures the candidate-scan hot path — the naive [`GroupTable`] scan
-//! against the packed [`ScanIndex`] — at hh102 width (33 binary + 79
-//! numeric sensors = 270 state bits) across group-table sizes, plus
-//! end-to-end engine throughput on the testbed, and writes the results as
-//! JSON. CI runs this from the repo root to refresh `BENCH_core.json`.
+//! against the packed [`ScanIndex`] and the bit-sliced [`SlicedScanIndex`]
+//! (single-query and batched, with the dispatched SIMD backend recorded) —
+//! at hh102 width (33 binary + 79 numeric sensors = 270 state bits) across
+//! group-table sizes, plus end-to-end engine throughput on the testbed, and
+//! writes the results as JSON. CI runs this from the repo root to refresh
+//! `BENCH_core.json`.
 //
 // lint-src: allow-file(wall-clock) — a benchmark exists to read the clock;
 // timings are reported, never fed back into model state.
@@ -13,7 +15,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dice_core::{
-    BitSet, DiceConfig, DiceEngine, EngineOptions, GroupTable, ParallelTrainer, ScanIndex,
+    BitSet, DiceConfig, DiceEngine, EngineOptions, GroupTable, ParallelTrainer, ScanBackend,
+    ScanIndex, SlicedScanIndex,
 };
 use dice_sim::testbed;
 use dice_telemetry::Telemetry;
@@ -36,15 +39,30 @@ struct ScanRow {
     groups: usize,
     naive_ns: f64,
     indexed_ns: f64,
+    bitsliced_ns: f64,
+    batch_ns: f64,
+    backend: &'static str,
 }
 
 impl ScanRow {
-    fn speedup(&self) -> f64 {
-        if self.indexed_ns > 0.0 {
-            self.naive_ns / self.indexed_ns
+    fn ratio(naive: f64, fast: f64) -> f64 {
+        if fast > 0.0 {
+            naive / fast
         } else {
             0.0
         }
+    }
+
+    fn speedup(&self) -> f64 {
+        Self::ratio(self.naive_ns, self.indexed_ns)
+    }
+
+    fn speedup_bitsliced(&self) -> f64 {
+        Self::ratio(self.naive_ns, self.bitsliced_ns)
+    }
+
+    fn speedup_batch(&self) -> f64 {
+        Self::ratio(self.naive_ns, self.batch_ns)
     }
 }
 
@@ -103,15 +121,20 @@ fn time_ns(mut f: impl FnMut() -> usize) -> f64 {
     }
 }
 
-/// Benchmarks naive vs indexed candidate scans for each table size.
+/// Benchmarks naive vs packed vs bit-sliced (single and batched) candidate
+/// scans for each table size.
 fn candidate_scan_rows(num_bits: usize, sizes: &[usize]) -> Vec<ScanRow> {
     let queries = synthetic_queries(num_bits, 32);
+    let query_refs: Vec<&BitSet> = queries.iter().collect();
+    let backend = ScanBackend::detect().name();
     sizes
         .iter()
         .map(|&groups| {
             let table = synthetic_table(num_bits, groups);
             let index = ScanIndex::build(&table);
+            let sliced = SlicedScanIndex::build(&table);
             let mut scratch = Vec::new();
+            let mut batch_scratch: Vec<Vec<_>> = Vec::new();
             let naive_sweep = time_ns(|| {
                 queries
                     .iter()
@@ -131,10 +154,30 @@ fn candidate_scan_rows(num_bits: usize, sizes: &[usize]) -> Vec<ScanRow> {
                     })
                     .sum()
             });
+            let bitsliced_sweep = time_ns(|| {
+                queries
+                    .iter()
+                    .map(|q| {
+                        sliced.candidates_into(std::hint::black_box(q), MAX_DISTANCE, &mut scratch);
+                        scratch.len()
+                    })
+                    .sum()
+            });
+            let batch_sweep = time_ns(|| {
+                sliced.candidates_batch_into(
+                    std::hint::black_box(&query_refs),
+                    MAX_DISTANCE,
+                    &mut batch_scratch,
+                );
+                batch_scratch.iter().map(Vec::len).sum()
+            });
             ScanRow {
                 groups,
                 naive_ns: naive_sweep / queries.len() as f64,
                 indexed_ns: indexed_sweep / queries.len() as f64,
+                bitsliced_ns: bitsliced_sweep / queries.len() as f64,
+                batch_ns: batch_sweep / queries.len() as f64,
+                backend,
             }
         })
         .collect()
@@ -439,8 +482,16 @@ fn render_json(
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "      {{\"groups\": {}, \"naive_ns_per_scan\": {:.0}, \"scan_index_ns_per_scan\": {:.0}, \"speedup\": {:.2}}}{comma}",
-            row.groups, row.naive_ns, row.indexed_ns, row.speedup()
+            "      {{\"groups\": {}, \"naive_ns_per_scan\": {:.0}, \"scan_index_ns_per_scan\": {:.0}, \"speedup\": {:.2}, \"bitsliced_ns_per_scan\": {:.0}, \"speedup_bitsliced\": {:.2}, \"batch_ns_per_query\": {:.0}, \"speedup_batch\": {:.2}, \"backend\": \"{}\"}}{comma}",
+            row.groups,
+            row.naive_ns,
+            row.indexed_ns,
+            row.speedup(),
+            row.bitsliced_ns,
+            row.speedup_bitsliced(),
+            row.batch_ns,
+            row.speedup_batch(),
+            row.backend
         );
     }
     json.push_str("    ]\n  },\n");
@@ -486,7 +537,7 @@ fn render_json(
 /// Returns an error when the output file cannot be written.
 pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let path = path.unwrap_or("BENCH_core.json");
-    let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000]);
+    let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000, 100_000]);
     let (throughput, overhead) = engine_throughput();
     let training = training_bench(48);
     let analysis = analysis_bench(48);
@@ -502,11 +553,16 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     for row in &rows {
         let _ = writeln!(
             out,
-            "  {:>6} groups: naive {:>9.0} ns/scan, indexed {:>9.0} ns/scan ({:.2}x)",
+            "  {:>6} groups: naive {:>9.0} ns/scan, indexed {:>9.0} ns/scan ({:.2}x), bitsliced[{}] {:>7.0} ns/scan ({:.2}x), batch {:>7.0} ns/query ({:.2}x)",
             row.groups,
             row.naive_ns,
             row.indexed_ns,
-            row.speedup()
+            row.speedup(),
+            row.backend,
+            row.bitsliced_ns,
+            row.speedup_bitsliced(),
+            row.batch_ns,
+            row.speedup_batch()
         );
     }
     let _ = writeln!(
@@ -550,11 +606,23 @@ mod tests {
     fn naive_and_indexed_scans_agree_on_synthetic_tables() {
         let table = synthetic_table(HH102_BITS, 200);
         let index = ScanIndex::build(&table);
-        for query in synthetic_queries(HH102_BITS, 8) {
+        let sliced = SlicedScanIndex::build(&table);
+        let queries = synthetic_queries(HH102_BITS, 8);
+        for query in &queries {
             assert_eq!(
-                table.candidates(&query, MAX_DISTANCE),
-                index.candidates(&query, MAX_DISTANCE)
+                table.candidates(query, MAX_DISTANCE),
+                index.candidates(query, MAX_DISTANCE)
             );
+            assert_eq!(
+                table.candidates(query, MAX_DISTANCE),
+                sliced.candidates(query, MAX_DISTANCE)
+            );
+        }
+        let refs: Vec<&BitSet> = queries.iter().collect();
+        let mut batch = Vec::new();
+        let _ = sliced.candidates_batch_into(&refs, MAX_DISTANCE, &mut batch);
+        for (query, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &table.candidates(query, MAX_DISTANCE));
         }
     }
 
@@ -564,6 +632,9 @@ mod tests {
             groups: 100,
             naive_ns: 1000.0,
             indexed_ns: 250.0,
+            bitsliced_ns: 50.0,
+            batch_ns: 40.0,
+            backend: "avx2",
         }];
         let throughput = Throughput {
             windows: 360,
@@ -590,6 +661,11 @@ mod tests {
         let json = render_json(&rows, &throughput, &training, &analysis, &overhead);
         assert!(json.contains("\"candidate_scan\""));
         assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.contains("\"bitsliced_ns_per_scan\": 50"));
+        assert!(json.contains("\"speedup_bitsliced\": 20.00"));
+        assert!(json.contains("\"batch_ns_per_query\": 40"));
+        assert!(json.contains("\"speedup_batch\": 25.00"));
+        assert!(json.contains("\"backend\": \"avx2\""));
         assert!(json.contains("\"windows_per_sec\": 30000"));
         assert!(json.contains("\"training\""));
         assert!(json.contains("\"speedup\": 3.00"));

@@ -1,11 +1,16 @@
 //! Faultless-segment diagnostics: what violates, when, and why.
 
-use dice_core::{CheckResult, Detector, DiceEngine, PrevWindow};
+use dice_core::{Detector, DiceEngine, PrevWindow, WindowObservation};
 use dice_datasets::DatasetId;
+use dice_types::Timestamp;
 
-use crate::runner::{train_dataset, RunnerConfig};
+use crate::runner::{batched_window_scans, train_dataset, RunnerConfig};
 
 /// Replays faultless segments and describes every violating window.
+///
+/// Each segment is binarized up front so the candidate scans and
+/// nearest-group fallbacks run through the bit-sliced index's batch entry
+/// points; only the prev-chained transition check stays sequential.
 ///
 /// # Errors
 ///
@@ -22,16 +27,40 @@ pub fn diagnose(dataset: &str, segments: u64) -> Result<String, String> {
     for trial in 0..segments {
         let segment = td.plan.segment_for_trial(trial);
         let mut log = td.sim.log_between(segment.start, segment.end);
+        let mut starts: Vec<Timestamp> = Vec::new();
+        let observations: Vec<WindowObservation> = log
+            .windows_between(segment.start, segment.end, window)
+            .map(|w| {
+                starts.push(w.start);
+                td.model.binarizer().binarize(w.start, w.end, w.events)
+            })
+            .collect();
+        let exact: Vec<_> = observations
+            .iter()
+            .map(|obs| detector.correlation_check(obs))
+            .collect();
+        let scans = batched_window_scans(&td.model, &observations, &exact);
+
         let mut prev: Option<PrevWindow> = None;
         let mut violations = 0;
-        for w in log.windows_between(segment.start, segment.end, window) {
-            let obs = td.model.binarizer().binarize(w.start, w.end, w.events);
-            let result = detector.check(prev.as_ref(), &obs);
-            match &result {
-                CheckResult::CorrelationViolation { candidates } => {
+        for (i, obs) in observations.iter().enumerate() {
+            let (group, exact_hit) = match exact[i] {
+                Some(group) => {
+                    let cases = prev
+                        .as_ref()
+                        .map_or_else(Vec::new, |p| detector.transition_check(p, group, obs));
+                    if !cases.is_empty() {
+                        violations += 1;
+                        if violations <= 4 {
+                            out.push_str(&format!("seg{trial} {}: TRANS {cases:?}\n", starts[i]));
+                        }
+                    }
+                    (group, true)
+                }
+                None => {
                     violations += 1;
+                    let nearest = scans[i].and_then(|s| s.first_candidate);
                     if violations <= 4 {
-                        let nearest = candidates.first();
                         let diff: Vec<String> = nearest
                             .map(|c| {
                                 obs.state
@@ -49,37 +78,22 @@ pub fn diagnose(dataset: &str, segments: u64) -> Result<String, String> {
                             .unwrap_or_default();
                         out.push_str(&format!(
                             "seg{trial} {}: CORR dist{:?} diff {}\n",
-                            w.start,
+                            starts[i],
                             nearest.map(|c| c.distance),
                             diff.join(",")
                         ));
                     }
+                    (
+                        scans[i]
+                            .and_then(|s| s.standin)
+                            .unwrap_or(dice_types::GroupId::new(0)),
+                        false,
+                    )
                 }
-                CheckResult::TransitionViolation { cases, .. } => {
-                    violations += 1;
-                    if violations <= 4 {
-                        out.push_str(&format!("seg{trial} {}: TRANS {cases:?}\n", w.start));
-                    }
-                }
-                CheckResult::Normal { .. } => {}
-            }
-            // Update prev like the engine does.
-            let (group, exact) = match &result {
-                CheckResult::Normal { group } | CheckResult::TransitionViolation { group, .. } => {
-                    (*group, true)
-                }
-                CheckResult::CorrelationViolation { candidates } => (
-                    candidates
-                        .first()
-                        .map(|c| c.group)
-                        .or_else(|| td.model.scan().nearest(&obs.state).first().map(|c| c.group))
-                        .unwrap_or(dice_types::GroupId::new(0)),
-                    false,
-                ),
             };
             prev = Some(PrevWindow {
                 group,
-                exact,
+                exact: exact_hit,
                 activated_actuators: obs.activated_actuators.clone(),
             });
         }

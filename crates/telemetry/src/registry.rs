@@ -90,17 +90,19 @@ impl Histogram {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn record(&self, value: u64) {
         self.buckets[self.bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     /// The bucket index `value` falls into (overflow bucket last).
+    #[inline]
     pub fn bucket_index(&self, value: u64) -> usize {
-        self.bounds
-            .iter()
-            .position(|&bound| value <= bound)
-            .unwrap_or(self.bounds.len())
+        // Bounds ascend, so the first bound >= value is a partition point;
+        // binary search beats the linear scan on the 16-bound latency
+        // ladders the catalog registers.
+        self.bounds.partition_point(|&bound| bound < value)
     }
 
     /// Merges a batch of pre-bucketed counts (overflow bucket last, as laid
@@ -166,6 +168,10 @@ impl Histogram {
 #[derive(Debug)]
 pub struct LocalHistogram {
     shared: Arc<Histogram>,
+    /// The shared histogram's bounds, cached so a record never chases the
+    /// `Arc` — the buffer's whole point is keeping the hot path in
+    /// engine-local memory.
+    bounds: &'static [u64],
     counts: Box<[u64]>,
     sum: u64,
     pending: u64,
@@ -174,18 +180,22 @@ pub struct LocalHistogram {
 impl LocalHistogram {
     /// Wraps `shared` with an empty local buffer.
     pub fn new(shared: Arc<Histogram>) -> Self {
-        let counts = vec![0; shared.bounds().len() + 1].into_boxed_slice();
+        let bounds = shared.bounds();
+        let counts = vec![0; bounds.len() + 1].into_boxed_slice();
         LocalHistogram {
             shared,
+            bounds,
             counts,
             sum: 0,
             pending: 0,
         }
     }
 
-    /// Buffers one sample locally — no atomics.
+    /// Buffers one sample locally — no atomics, no shared-memory reads.
+    #[inline]
     pub fn record(&mut self, value: u64) {
-        self.counts[self.shared.bucket_index(value)] += 1;
+        let bucket = self.bounds.partition_point(|&bound| bound < value);
+        self.counts[bucket] += 1;
         self.sum = self.sum.saturating_add(value);
         self.pending += 1;
     }

@@ -17,6 +17,7 @@
 //! | `hash-container` | warning | `HashMap` / `HashSet` | non-model-facing crates |
 //! | `wall-clock` | warning | `Instant::now` / `SystemTime` | `crates/telemetry/src` |
 //! | `float-accumulation` | warning | `.sum::<f64>()` / `fold(0.0` | `crates/core/src/stats.rs` (`ExactSum`) |
+//! | `simd-guard` | error | `#[target_feature]` / `std::arch` intrinsics | any file that also calls `is_x86_feature_detected!` |
 //!
 //! # Pragmas
 //!
@@ -126,6 +127,21 @@ const RULES: &[LintRule] = &[
         why: "naive float summation is reduction-order-sensitive; use \
               stats::ExactSum",
     },
+    LintRule {
+        name: "simd-guard",
+        severity: Severity::Error,
+        patterns: &[
+            "#[target_feature(",
+            "_mm256_",
+            "_mm_",
+            "std::arch::",
+            "core::arch::",
+        ],
+        why: "calling a #[target_feature] kernel on a CPU without the \
+              feature is undefined behavior; a file using std::arch \
+              intrinsics must gate dispatch behind \
+              is_x86_feature_detected! or carry an audit pragma",
+    },
 ];
 
 /// Whether `rule` is in force for the file at workspace-relative `path`.
@@ -152,6 +168,10 @@ pub fn lint_source(path: &str, content: &str) -> Vec<SrcFinding> {
         .map(|r| r.name)
         .filter(|name| content.contains(&format!("lint-src: allow-file({name})")))
         .collect();
+    // `simd-guard` is satisfied by evidence rather than location: a file
+    // that calls `is_x86_feature_detected!` anywhere demonstrably gates its
+    // kernels behind runtime dispatch, so its intrinsics are sanctioned.
+    let simd_guarded = content.contains("is_x86_feature_detected!");
     let mut findings = Vec::new();
     let mut prev_comment = String::new();
     for (idx, raw) in content.lines().enumerate() {
@@ -168,6 +188,9 @@ pub fn lint_source(path: &str, content: &str) -> Vec<SrcFinding> {
         };
         for rule in RULES {
             if !rule_applies(rule, path) || file_allows.contains(&rule.name) {
+                continue;
+            }
+            if rule.name == "simd-guard" && simd_guarded {
                 continue;
             }
             let Some(pattern) = rule.patterns.iter().find(|p| code.contains(**p)) else {
@@ -340,6 +363,33 @@ mod tests {
         let test_mod =
             "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
         assert!(rules_fired("crates/core/src/x.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn simd_without_runtime_detection_is_flagged() {
+        let src = "#[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn kernel(x: core::arch::x86_64::__m256i) {}\n";
+        let findings = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 2, "attribute and intrinsic type both fire");
+        assert!(findings.iter().all(|f| f.rule == "simd-guard"));
+        assert!(findings.iter().all(|f| f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn simd_with_runtime_detection_is_sanctioned() {
+        let src = "fn pick() -> bool { is_x86_feature_detected!(\"avx2\") }\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   unsafe fn kernel() { let _ = _mm256_setzero_si256(); }\n";
+        assert!(rules_fired("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn simd_pragma_suppresses_one_site() {
+        let src = "// audited: lint-src: allow(simd-guard)\n\
+                   unsafe fn kernel() { let _ = std::arch::x86_64::_mm_setzero_si128(); }\n";
+        assert!(rules_fired("crates/eval/src/x.rs", src).is_empty());
+        let bare = "unsafe fn kernel() { let _ = std::arch::x86_64::_mm_setzero_si128(); }\n";
+        assert_eq!(rules_fired("crates/eval/src/x.rs", bare), ["simd-guard"]);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use dice_core::{
     parse_trace_jsonl, read_model, write_model, write_trace_jsonl, BitSet, ContextExtractor,
     DecisionTrace, DiceConfig, DiceEngine, DiceModel, EngineOptions, FaultReport, GroupTable,
-    ParallelTrainer, ScanIndex, TraceHeader, TraceLog, TraceOptions, TracePhase, TraceTransition,
-    TraceVerdict, TransitionCase, TransitionCounts,
+    ParallelTrainer, ScanBackend, ScanIndex, SlicedScanIndex, TraceHeader, TraceLog, TraceOptions,
+    TracePhase, TraceTransition, TraceVerdict, TransitionCase, TransitionCounts,
 };
 use dice_telemetry::Telemetry;
 use dice_types::{
@@ -209,17 +209,62 @@ proptest! {
         }
         let index = ScanIndex::build(&table);
         prop_assert_eq!(index.len(), table.len());
-        prop_assert_eq!(
-            index.candidates(&query, max_distance),
-            table.candidates(&query, max_distance)
-        );
-        prop_assert_eq!(index.nearest(&query), table.nearest(&query));
+        let naive_candidates = table.candidates(&query, max_distance);
+        let naive_nearest = table.nearest(&query);
+        prop_assert_eq!(&index.candidates(&query, max_distance), &naive_candidates);
+        prop_assert_eq!(&index.nearest(&query), &naive_nearest);
 
         // Scratch reuse: a dirty buffer from a previous query must not leak
         // into the next result.
         let mut scratch = index.candidates(&states[0], 130);
         index.candidates_into(&query, max_distance, &mut scratch);
-        prop_assert_eq!(scratch, table.candidates(&query, max_distance));
+        prop_assert_eq!(&scratch, &naive_candidates);
+
+        // The bit-sliced index returns bit-identical candidates, ties, and
+        // ScanProfiles on every backend this CPU supports, and its batch
+        // entry points match the per-query singles element-wise.
+        let batch_queries: Vec<&BitSet> =
+            std::iter::once(&query).chain(states.iter().take(3)).collect();
+        let mut reference_profiles = None;
+        for backend in ScanBackend::available() {
+            let sliced = SlicedScanIndex::with_backend(&table, backend);
+            prop_assert_eq!(sliced.len(), table.len());
+            prop_assert_eq!(sliced.backend(), backend);
+
+            let mut candidates = Vec::new();
+            let profile = sliced.candidates_into(&query, max_distance, &mut candidates);
+            prop_assert_eq!(&candidates, &naive_candidates);
+            let mut nearest = Vec::new();
+            let nearest_profile = sliced.nearest_into(&query, &mut nearest);
+            prop_assert_eq!(&nearest, &naive_nearest);
+            match reference_profiles {
+                None => reference_profiles = Some((profile, nearest_profile)),
+                Some((p, np)) => {
+                    prop_assert_eq!(p, profile, "candidate profile differs on {}", backend.name());
+                    prop_assert_eq!(np, nearest_profile, "nearest profile differs on {}", backend.name());
+                }
+            }
+
+            let mut candidate_batch = Vec::new();
+            let batch_profile =
+                sliced.candidates_batch_into(&batch_queries, max_distance, &mut candidate_batch);
+            let mut summed = dice_core::ScanProfile::default();
+            for (q, slots) in batch_queries.iter().zip(&candidate_batch) {
+                prop_assert_eq!(slots, &table.candidates(q, max_distance));
+                let p = sliced.candidates_into(q, max_distance, &mut scratch);
+                summed.rows += p.rows;
+                summed.pruned += p.pruned;
+                summed.blocks += p.blocks;
+                summed.early_stops += p.early_stops;
+            }
+            prop_assert_eq!(batch_profile, summed, "batch profile is the sum of singles");
+
+            let mut nearest_batch = Vec::new();
+            let _ = sliced.nearest_batch_into(&batch_queries, &mut nearest_batch);
+            for (q, slots) in batch_queries.iter().zip(&nearest_batch) {
+                prop_assert_eq!(slots, &table.nearest(q));
+            }
+        }
     }
 
     /// Transition probabilities per row sum to one (over observed columns).
