@@ -41,7 +41,7 @@ impl fmt::Display for Severity {
 /// shape, `DV14x` configuration, `DV15x` cross-section consistency,
 /// `DV16x` model-level sanity, `DV17x` parallel-merge conservation,
 /// `DV18x` transition-graph dataflow, `DV19x` cross-artifact
-/// compatibility.
+/// compatibility, `DV20x` documentation coverage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DiagnosticCode {
@@ -137,6 +137,10 @@ pub enum DiagnosticCode {
     /// DV194: an artifact carries no fingerprint to check (e.g. a telemetry
     /// snapshot recorded before any engine published one).
     ArtifactFingerprintUnavailable,
+    /// DV200: the runtime metric catalog and the DESIGN.md metric table
+    /// disagree — a metric is registered but undocumented, or documented
+    /// but no longer registered.
+    CatalogCoverage,
 }
 
 impl DiagnosticCode {
@@ -178,6 +182,7 @@ impl DiagnosticCode {
             DiagnosticCode::ArtifactThresholdMismatch => "DV192",
             DiagnosticCode::ArtifactUnreadable => "DV193",
             DiagnosticCode::ArtifactFingerprintUnavailable => "DV194",
+            DiagnosticCode::CatalogCoverage => "DV200",
         }
     }
 
@@ -216,7 +221,8 @@ impl DiagnosticCode {
             | DiagnosticCode::AbsorbingSinkComponent
             | DiagnosticCode::DisconnectedComponent
             | DiagnosticCode::UnenterableActuator
-            | DiagnosticCode::ArtifactFingerprintUnavailable => Severity::Warning,
+            | DiagnosticCode::ArtifactFingerprintUnavailable
+            | DiagnosticCode::CatalogCoverage => Severity::Warning,
             DiagnosticCode::UntrainedNumericThreshold | DiagnosticCode::FragileRowSupport => {
                 Severity::Info
             }
@@ -317,6 +323,7 @@ mod tests {
             DiagnosticCode::ArtifactThresholdMismatch,
             DiagnosticCode::ArtifactUnreadable,
             DiagnosticCode::ArtifactFingerprintUnavailable,
+            DiagnosticCode::CatalogCoverage,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();

@@ -19,7 +19,7 @@ use dice_core::{
     ScanIndex, SlicedScanIndex,
 };
 use dice_sim::testbed;
-use dice_telemetry::Telemetry;
+use dice_telemetry::{Telemetry, TimeSeriesRecorder};
 use dice_types::{
     ActuatorEvent, ActuatorId, ActuatorKind, DeviceRegistry, EventLog, Room, SensorId, SensorKind,
     SensorReading, TimeDelta, Timestamp,
@@ -218,6 +218,25 @@ impl TelemetryOverhead {
     }
 }
 
+/// Time-series sampling cost: a recording sink plus a [`TimeSeriesRecorder`]
+/// swept once per closed window (the monitor dashboard's cadence), relative
+/// to the no-op sink on the same replay.
+#[derive(Debug, Clone, Copy)]
+struct TimeseriesOverhead {
+    noop_ns_per_window: f64,
+    sampled_ns_per_window: f64,
+}
+
+impl TimeseriesOverhead {
+    fn overhead_pct(&self) -> f64 {
+        if self.noop_ns_per_window > 0.0 {
+            (self.sampled_ns_per_window - self.noop_ns_per_window) / self.noop_ns_per_window * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Replays every planned segment through an engine wired to `telemetry`.
 fn replay_segments(td: &TrainedDataset, window: TimeDelta, telemetry: &Telemetry) -> Throughput {
     let mut windows = 0u64;
@@ -248,10 +267,81 @@ fn replay_segments(td: &TrainedDataset, window: TimeDelta, telemetry: &Telemetry
     }
 }
 
+/// Windows per time-series sweep in the sampled replay — the monitor
+/// dashboard's cadence (`SAMPLE_WINDOWS` in the `monitor` experiment), so
+/// the bench measures the configuration the dashboard actually runs.
+const BENCH_SAMPLE_WINDOWS: u64 = 30;
+
+/// Like [`replay_segments`] but with a [`TimeSeriesRecorder`] sweeping the
+/// registry on sim time in the monitor dashboard's exact configuration: one
+/// sweep per [`BENCH_SAMPLE_WINDOWS`] closed windows, narrowed to the
+/// dashboard's watchlist — the heaviest telemetry setup the monitor runs.
+fn replay_segments_sampled(
+    td: &TrainedDataset,
+    window: TimeDelta,
+    telemetry: &Telemetry,
+) -> Throughput {
+    let recorder = telemetry.recorder().expect("recording handle");
+    let window_ns = u64::try_from(window.as_secs()).unwrap_or(1) * 1_000_000_000;
+    let mut series = TimeSeriesRecorder::new(window_ns * BENCH_SAMPLE_WINDOWS, 256)
+        .watch(super::monitor::DASHBOARD_SERIES);
+    let mut windows = 0u64;
+    let mut elapsed_ms = 0.0f64;
+    for segment in td.plan.segments() {
+        let mut log = td.sim.log_between(segment.start, segment.end);
+        let batched: Vec<_> = log
+            .windows_between(segment.start, segment.end, window)
+            .map(|w| (w.start, w.end, w.events.to_vec()))
+            .collect();
+        let mut engine = DiceEngine::with_options(
+            &td.model,
+            EngineOptions {
+                telemetry: telemetry.clone(),
+                ..EngineOptions::default()
+            },
+        );
+        let start = Instant::now();
+        for (ws, we, events) in &batched {
+            let _ = engine.process_window(*ws, *we, std::hint::black_box(events));
+            let now_ns = u64::try_from(we.as_secs()).unwrap_or(0) * 1_000_000_000;
+            series.maybe_sample(recorder, now_ns);
+        }
+        elapsed_ms += start.elapsed().as_secs_f64() * 1000.0;
+        windows += batched.len() as u64;
+    }
+    std::hint::black_box(series.len());
+    Throughput {
+        windows,
+        elapsed_ms,
+    }
+}
+
+/// The median of a sample set (mean of the middle pair for even sizes).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty sample set");
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        f64::midpoint(values[mid - 1], values[mid])
+    }
+}
+
 /// End-to-end throughput with the no-op sink, plus the recording overhead
-/// measured on the same testbed replay (min-of-N, interleaved so both modes
-/// see the same machine noise).
-fn engine_throughput() -> (Throughput, TelemetryOverhead) {
+/// measured on the same testbed replay.
+///
+/// Each rep runs all three modes back to back, and the overhead estimates
+/// come from the *median of per-rep paired differences*: machine-speed
+/// drift (frequency scaling, a noisy neighbor) moves both sides of a pair
+/// together and cancels, where independent min-of-N for each mode lets the
+/// two minima land in different drift epochs and report the drift itself as
+/// overhead.
+fn engine_throughput() -> (Throughput, TelemetryOverhead, TimeseriesOverhead) {
     let cfg = RunnerConfig {
         seed: 7,
         trials: 4,
@@ -265,14 +355,25 @@ fn engine_throughput() -> (Throughput, TelemetryOverhead) {
 
     let mut windows = 0u64;
     let mut noop_ms = f64::INFINITY;
-    let mut recording_ms = f64::INFINITY;
-    for _ in 0..3 {
+    let mut recording_deltas = Vec::new();
+    let mut sampled_deltas = Vec::new();
+    // One unmeasured warmup triad (page faults, branch predictors), then
+    // enough measured reps for the paired median to settle — each rep is a
+    // few milliseconds, so 25 of them are cheap.
+    for rep in 0..26 {
         let noop = replay_segments(&td, window, &Telemetry::noop());
+        let recording = replay_segments(&td, window, &Telemetry::recording());
+        let sampled = replay_segments_sampled(&td, window, &Telemetry::recording());
+        if rep == 0 {
+            continue;
+        }
         windows = noop.windows;
         noop_ms = noop_ms.min(noop.elapsed_ms);
-        let recording = replay_segments(&td, window, &Telemetry::recording());
-        recording_ms = recording_ms.min(recording.elapsed_ms);
+        recording_deltas.push(recording.elapsed_ms - noop.elapsed_ms);
+        sampled_deltas.push(sampled.elapsed_ms - noop.elapsed_ms);
     }
+    let recording_ms = noop_ms + median(&mut recording_deltas).max(0.0);
+    let sampled_ms = noop_ms + median(&mut sampled_deltas).max(0.0);
     let per_window = |ms: f64| {
         if windows > 0 {
             ms * 1e6 / windows as f64
@@ -288,6 +389,10 @@ fn engine_throughput() -> (Throughput, TelemetryOverhead) {
         TelemetryOverhead {
             noop_ns_per_window: per_window(noop_ms),
             recording_ns_per_window: per_window(recording_ms),
+        },
+        TimeseriesOverhead {
+            noop_ns_per_window: per_window(noop_ms),
+            sampled_ns_per_window: per_window(sampled_ms),
         },
     )
 }
@@ -471,6 +576,7 @@ fn render_json(
     training: &TrainingBench,
     analysis: &AnalysisBench,
     overhead: &TelemetryOverhead,
+    timeseries: &TimeseriesOverhead,
 ) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": 1,\n");
@@ -520,10 +626,17 @@ fn render_json(
     );
     let _ = writeln!(
         json,
-        "  \"telemetry_overhead\": {{\"noop_ns_per_window\": {:.0}, \"recording_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}}",
+        "  \"telemetry_overhead\": {{\"noop_ns_per_window\": {:.0}, \"recording_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}},",
         overhead.noop_ns_per_window,
         overhead.recording_ns_per_window,
         overhead.overhead_pct()
+    );
+    let _ = writeln!(
+        json,
+        "  \"timeseries_overhead\": {{\"noop_ns_per_window\": {:.0}, \"sampled_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}}",
+        timeseries.noop_ns_per_window,
+        timeseries.sampled_ns_per_window,
+        timeseries.overhead_pct()
     );
     json.push_str("}\n");
     json
@@ -538,10 +651,17 @@ fn render_json(
 pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let path = path.unwrap_or("BENCH_core.json");
     let rows = candidate_scan_rows(HH102_BITS, &[100, 1000, 10_000, 100_000]);
-    let (throughput, overhead) = engine_throughput();
+    let (throughput, overhead, timeseries) = engine_throughput();
     let training = training_bench(48);
     let analysis = analysis_bench(48);
-    let json = render_json(&rows, &throughput, &training, &analysis, &overhead);
+    let json = render_json(
+        &rows,
+        &throughput,
+        &training,
+        &analysis,
+        &overhead,
+        &timeseries,
+    );
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
 
     let mut out = String::new();
@@ -594,6 +714,12 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         overhead.noop_ns_per_window,
         overhead.recording_ns_per_window,
         overhead.overhead_pct()
+    );
+    let _ = writeln!(
+        out,
+        "timeseries: sampled {:.0} ns/window ({:+.2}% over noop, one registry sweep per {BENCH_SAMPLE_WINDOWS} windows)",
+        timeseries.sampled_ns_per_window,
+        timeseries.overhead_pct()
     );
     Ok(out)
 }
@@ -658,7 +784,18 @@ mod tests {
             verify_ms: 1.25,
             findings: 2,
         };
-        let json = render_json(&rows, &throughput, &training, &analysis, &overhead);
+        let timeseries = TimeseriesOverhead {
+            noop_ns_per_window: 1800.0,
+            sampled_ns_per_window: 1857.0,
+        };
+        let json = render_json(
+            &rows,
+            &throughput,
+            &training,
+            &analysis,
+            &overhead,
+            &timeseries,
+        );
         assert!(json.contains("\"candidate_scan\""));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"bitsliced_ns_per_scan\": 50"));
@@ -674,6 +811,9 @@ mod tests {
         assert!(json.contains("\"verify_ms\": 1.25"));
         assert!(json.contains("\"telemetry_overhead\""));
         assert!(json.contains("\"overhead_pct\": 2.00"));
+        assert!(json.contains("\"timeseries_overhead\""));
+        assert!(json.contains("\"sampled_ns_per_window\": 1857"));
+        assert!(json.contains("\"overhead_pct\": 3.17"));
         assert!(json.ends_with("}\n"));
     }
 

@@ -1,6 +1,7 @@
 //! Dataset and model materialization commands: export a synthesized dataset
 //! to CSV, train and persist a model, write a coherent deployment artifact
-//! set, and verify a persisted model.
+//! set, and verify a persisted model. (The CSV replay loop itself lives in
+//! the sibling `monitor` module.)
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -9,11 +10,10 @@ use std::path::Path;
 use dice_core::{
     read_model, write_model, DiceEngine, EngineOptions, JsonlTraceWriter, TraceOptions,
 };
-use dice_datasets::{read_csv, write_csv, DatasetId};
-use dice_gateway::{partition_by_device, spawn_aggregator, HomeGateway};
+use dice_datasets::{write_csv, DatasetId};
 use dice_sim::Simulator;
 use dice_telemetry::Telemetry;
-use dice_types::{Event, TimeDelta, Timestamp};
+use dice_types::{TimeDelta, Timestamp};
 
 use crate::runner::{train_dataset, RunnerConfig};
 
@@ -169,53 +169,6 @@ pub fn inspect_model(path: &str) -> Result<String, String> {
         model.transitions().g2a().num_entries(),
         model.transitions().a2g().num_entries(),
     ))
-}
-
-/// Streams a CSV event log through the home gateway under a persisted
-/// model, printing every alarm: the full offline deployment loop
-/// (train once, persist, monitor).
-///
-/// # Errors
-///
-/// Returns an error for unreadable files or corrupt data.
-pub fn monitor(model_path: &str, csv_path: &str) -> Result<String, String> {
-    let file = File::open(model_path).map_err(|e| format!("cannot open {model_path}: {e}"))?;
-    let mut model = read_model(BufReader::new(file)).map_err(|e| e.to_string())?;
-    model.rebuild_index();
-    let file = File::open(csv_path).map_err(|e| format!("cannot open {csv_path}: {e}"))?;
-    let mut log = read_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
-    let (from, to) = match (log.start(), log.end()) {
-        (Some(s), Some(e)) => (
-            s.align_down(model.config().window()),
-            e + model.config().window(),
-        ),
-        _ => return Err("the CSV contains no events".into()),
-    };
-    let events: Vec<Event> = log.into_events().collect();
-    let parts = partition_by_device(&events, 4);
-    let mut receivers = Vec::new();
-    let mut handles = Vec::new();
-    for (i, part) in parts.into_iter().enumerate() {
-        let (tx, rx) = crossbeam::channel::bounded(256);
-        handles.push(spawn_aggregator(format!("{i}"), part, tx));
-        receivers.push(rx);
-    }
-    let (alarm_tx, alarm_rx) = crossbeam::channel::unbounded();
-    let gateway = HomeGateway::new(&model);
-    let stats = gateway.run(receivers, &alarm_tx, from, to);
-    for handle in handles {
-        handle.join().map_err(|_| "aggregator thread panicked")?;
-    }
-    drop(alarm_tx);
-    let mut out = String::new();
-    for alarm in alarm_rx.iter() {
-        out.push_str(&format!("ALARM: {}\n", alarm.report));
-    }
-    out.push_str(&format!(
-        "processed {} windows / {} events through 4 aggregators; {} alarm(s)\n",
-        stats.windows, stats.events, stats.alarms
-    ));
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ mod extended;
 mod fault_ratio;
 mod full;
 mod misses;
+mod monitor;
 mod multi_user;
 mod security;
 mod tables;
@@ -27,11 +28,12 @@ pub use attest_exp::attest;
 pub use bench_json::bench_json;
 pub use calibrate::calibrate;
 pub use diagnose::diagnose;
-pub use export::{artifact_set, export_csv, inspect_model, monitor, save_model};
+pub use export::{artifact_set, export_csv, inspect_model, save_model};
 pub use extended::{actuator_faults, multi_fault, param_sensitivity};
 pub use fault_ratio::{aggregate_attribution, fig_5_4};
 pub use full::{run_all_datasets, run_full, run_full_serial, FullEvaluation};
 pub use misses::misses;
+pub use monitor::monitor;
 pub use multi_user::multi_user;
 pub use security::{run_attacks, security, spoof_sensor, AttackOutcome};
 pub use tables::{table_2_1, table_4_1};
@@ -68,7 +70,11 @@ pub fn usage() -> String {
                                         model/config/trace/telemetry artifact\n\
                                         set (checkable with dice-lint)\n\
        inspect-model <path>             summarize a persisted model\n\
-       monitor <model> <csv>            stream a CSV through the gateway\n\
+       monitor [flags] <model> <csv>    stream a CSV through the gateway with\n\
+                                        a sparkline dashboard; --health adds\n\
+                                        the health-rule table, --once renders\n\
+                                        one deterministic frame, --interval N\n\
+                                        re-renders to stderr every N windows\n\
      diagnostics:\n\
        calibrate <dataset> [trials]   train + evaluate one dataset\n\
        diagnose <dataset> [segments]  explain violations on faultless segments\n\
@@ -229,11 +235,7 @@ pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
             let path = args.first().ok_or("inspect-model needs a path")?;
             Ok(inspect_model(path)?)
         }
-        "monitor" => {
-            let model = args.first().ok_or("monitor needs a model path")?;
-            let csv = args.get(1).ok_or("monitor needs a csv path")?;
-            Ok(monitor(model, csv)?)
-        }
+        "monitor" => Ok(monitor(args)?),
         "bench-json" => Ok(bench_json(args.first().copied())?),
         "telemetry-check" => {
             let path = args

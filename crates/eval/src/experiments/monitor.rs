@@ -1,0 +1,316 @@
+//! The `monitor` command: stream a CSV through the gateway with a terminal
+//! dashboard of time-series sparklines and a health-rule table.
+//!
+//! Two modes share one code path:
+//!
+//! - **live** (default): aggregator threads feed bounded channels like a
+//!   real deployment; with `--interval N` the dashboard re-renders to
+//!   stderr every `N` windows while the replay runs.
+//! - **`--once`**: every frame is preloaded into unbounded channels and the
+//!   senders dropped before the merge starts, so the gateway runs inline on
+//!   one thread and the render is byte-stable across runs (asserted by a
+//!   tier-1 test). Health rules over wall-clock or load-dependent inputs
+//!   report `status: n/a` instead of a verdict.
+//!
+//! Time-series sampling is driven by *sim time*: the gateway's window hook
+//! feeds each closed window's end timestamp to a
+//! [`TimeSeriesRecorder`], one sample per [`SAMPLE_WINDOWS`] windows.
+
+use std::fs::File;
+use std::io::{BufReader, Write as _};
+
+use dice_core::read_model;
+use dice_datasets::read_csv;
+use dice_gateway::{partition_by_device, spawn_aggregator, HomeGateway};
+use dice_telemetry::{
+    evaluate_health, standard_rules, HealthStatus, Recorder, Telemetry, TimeSeriesRecorder,
+};
+use dice_types::{Event, TimeDelta, Timestamp};
+
+/// Windows per time-series sample: with the default one-minute window, one
+/// sample every thirty minutes of sim time, so the 48-wide sparkline spans
+/// a full day of a day-scale CASAS replay (and a sweep rides along only one
+/// window in thirty).
+const SAMPLE_WINDOWS: i64 = 30;
+
+/// Retained time-series samples (the sparkline truncates to the most
+/// recent [`SPARK_WIDTH`]).
+const SERIES_CAPACITY: usize = 256;
+
+/// Widest sparkline the dashboard renders.
+const SPARK_WIDTH: usize = 48;
+
+/// Aggregator fan-in the replay partitions devices across.
+const AGGREGATORS: usize = 4;
+
+/// The series the dashboard plots — also the recorder's sweep watchlist, so
+/// each sample touches six metric handles instead of the whole registry
+/// (order: the five counters rendered as rows, then the depth gauge).
+pub(crate) const DASHBOARD_SERIES: &[&str] = &[
+    "dice_gateway_events_total",
+    "dice_gateway_windows_total",
+    "dice_gateway_alarms_total",
+    "dice_engine_reports_total",
+    "dice_gateway_channel_depth",
+];
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Largest value in the series, floored at zero (an order-insensitive max,
+/// not a float accumulation).
+fn series_max(values: &[f64]) -> f64 {
+    let mut max = 0.0f64;
+    for &v in values {
+        if v > max {
+            max = v;
+        }
+    }
+    max
+}
+
+/// Renders `values` as a unicode sparkline scaled to the series maximum.
+fn sparkline(values: &[f64]) -> String {
+    let tail = &values[values.len().saturating_sub(SPARK_WIDTH)..];
+    let max = series_max(tail);
+    tail.iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                let level = ((v / max) * 7.0).round() as usize;
+                BARS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+fn series_row(out: &mut String, label: &str, values: &[f64]) {
+    let last = values.last().copied().unwrap_or(0.0);
+    let max = series_max(values);
+    out.push_str(&format!(
+        "  {label:<14} {}  last {last:.1}  max {max:.1}\n",
+        sparkline(values)
+    ));
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(values: &[u64]) -> Vec<f64> {
+    values.iter().map(|&v| v as f64).collect()
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn gauges_f64(values: &[i64]) -> Vec<f64> {
+    values.iter().map(|&v| v as f64).collect()
+}
+
+/// Renders the sparkline block from the recorder's time series.
+fn render_series(series: &TimeSeriesRecorder, interval_mins: i64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "series (one sample per {interval_mins} sim-minutes, {} retained, {} evicted)\n",
+        series.len(),
+        series.dropped()
+    ));
+    let labels = ["events", "windows", "alarms", "reports", "channel depth"];
+    for (label, name) in labels.iter().zip(DASHBOARD_SERIES) {
+        let values = if *label == "channel depth" {
+            gauges_f64(&series.gauge_series(name))
+        } else {
+            to_f64(&series.counter_deltas(name))
+        };
+        series_row(&mut out, label, &values);
+    }
+    out
+}
+
+fn sim_ns(at: Timestamp) -> u64 {
+    u64::try_from(at.as_secs()).unwrap_or(0) * 1_000_000_000
+}
+
+/// Parsed `monitor` arguments.
+struct MonitorArgs<'a> {
+    model: &'a str,
+    csv: &'a str,
+    once: bool,
+    health: bool,
+    interval: u64,
+}
+
+fn parse_args<'a>(args: &[&'a str]) -> Result<MonitorArgs<'a>, String> {
+    let mut once = false;
+    let mut health = false;
+    let mut interval = 0u64;
+    let mut positional = Vec::new();
+    let mut rest = args.iter();
+    while let Some(&arg) = rest.next() {
+        match arg {
+            "--once" => once = true,
+            "--health" => health = true,
+            "--interval" => {
+                let value = rest.next().ok_or("--interval needs a window count")?;
+                interval = value
+                    .parse()
+                    .map_err(|_| format!("bad interval {value:?}"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown monitor flag {flag:?}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [model, csv] = positional[..] else {
+        return Err("monitor needs a model path and a csv path".into());
+    };
+    Ok(MonitorArgs {
+        model,
+        csv,
+        once,
+        health,
+        interval,
+    })
+}
+
+/// Streams a CSV event log through the home gateway under a persisted
+/// model, rendering alarms, time-series sparklines, and (with `--health`)
+/// the health-rule table. See the module docs for `--once` semantics.
+///
+/// # Errors
+///
+/// Returns an error for unreadable files, corrupt data, or bad flags.
+pub fn monitor(args: &[&str]) -> Result<String, String> {
+    let args = parse_args(args)?;
+    let file = File::open(args.model).map_err(|e| format!("cannot open {}: {e}", args.model))?;
+    let mut model = read_model(BufReader::new(file)).map_err(|e| e.to_string())?;
+    model.rebuild_index();
+    let file = File::open(args.csv).map_err(|e| format!("cannot open {}: {e}", args.csv))?;
+    let mut log = read_csv(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let window = model.config().window();
+    let (from, to) = match (log.start(), log.end()) {
+        (Some(s), Some(e)) => (s.align_down(window), e + window),
+        _ => return Err("the CSV contains no events".into()),
+    };
+    let events: Vec<Event> = log.into_events().collect();
+    let parts = partition_by_device(&events, AGGREGATORS);
+
+    let telemetry = Telemetry::recording();
+    let recorder = telemetry.recorder().expect("recording handle");
+    let mut series = TimeSeriesRecorder::new(
+        u64::try_from(window.as_secs()).unwrap_or(60)
+            * 1_000_000_000
+            * SAMPLE_WINDOWS.unsigned_abs(),
+        SERIES_CAPACITY,
+    )
+    .watch(DASHBOARD_SERIES);
+    series.sample_at(recorder, sim_ns(from)); // baseline at segment start
+
+    let mut receivers = Vec::new();
+    let mut handles = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        if args.once {
+            // Deterministic mode: preload every frame and drop the sender,
+            // so the merge runs inline with no thread timing in play.
+            let (tx, rx) = crossbeam::channel::unbounded();
+            for event in &part {
+                let _ = tx.send(dice_gateway::encode_event(event));
+            }
+            receivers.push(rx);
+        } else {
+            let (tx, rx) = crossbeam::channel::bounded(256);
+            handles.push(spawn_aggregator(format!("{i}"), part, tx));
+            receivers.push(rx);
+        }
+    }
+    let (alarm_tx, alarm_rx) = crossbeam::channel::unbounded();
+    let gateway = HomeGateway::with_telemetry(&model, TimeDelta::from_mins(60), telemetry.clone());
+
+    let mut windows_seen = 0u64;
+    let stats = gateway.run_with_observer(receivers, &alarm_tx, from, to, |end| {
+        series.maybe_sample(recorder, sim_ns(end));
+        windows_seen += 1;
+        if !args.once && args.interval > 0 && windows_seen.is_multiple_of(args.interval) {
+            live_frame(recorder, &series, window.as_mins() * SAMPLE_WINDOWS);
+        }
+    });
+    for handle in handles {
+        handle.join().map_err(|_| "aggregator thread panicked")?;
+    }
+    drop(alarm_tx);
+    // Final sample so the tail of the replay is on the dashboard even when
+    // it ends mid-interval.
+    series.sample_at(recorder, sim_ns(to));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "dice monitor: {} .. {} ({} windows of {} s)\n",
+        from,
+        to,
+        stats.windows,
+        window.as_secs()
+    ));
+    for alarm in alarm_rx.iter() {
+        out.push_str(&format!("ALARM: {}\n", alarm.report));
+    }
+    out.push_str(&render_series(&series, window.as_mins() * SAMPLE_WINDOWS));
+    if args.health {
+        let snapshot = telemetry.snapshot().expect("recording handle");
+        let report = evaluate_health(&standard_rules(), &snapshot, args.once);
+        report.publish(&recorder.metrics.health.status);
+        out.push_str(&report.render_text());
+        if report.overall == HealthStatus::Crit {
+            out.push_str("CRITICAL: at least one health rule fired at crit\n");
+        }
+    }
+    out.push_str(&format!(
+        "processed {} windows / {} events through {AGGREGATORS} aggregators; {} alarm(s)\n",
+        stats.windows, stats.events, stats.alarms
+    ));
+    Ok(out)
+}
+
+/// One live re-render to stderr: current totals plus the sparkline block.
+fn live_frame(recorder: &Recorder, series: &TimeSeriesRecorder, interval_mins: i64) {
+    let g = &recorder.metrics.gateway;
+    let mut frame = format!(
+        "-- monitor: {} windows / {} events / {} alarm(s)\n",
+        g.windows_total.get(),
+        g.events_total.get(),
+        g.alarms_total.get()
+    );
+    frame.push_str(&render_series(series, interval_mins));
+    let _ = std::io::stderr().write_all(frame.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let line = sparkline(&[0.0, 3.5, 7.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+        assert!(line.starts_with('▁'));
+    }
+
+    #[test]
+    fn sparkline_truncates_to_width() {
+        let values: Vec<f64> = (0..200).map(f64::from).collect();
+        assert_eq!(sparkline(&values).chars().count(), SPARK_WIDTH);
+    }
+
+    #[test]
+    fn flags_parse_in_any_order() {
+        let args = parse_args(&["--health", "m.dice", "--once", "log.csv"]).unwrap();
+        assert!(args.once && args.health);
+        assert_eq!(args.model, "m.dice");
+        assert_eq!(args.csv, "log.csv");
+        assert_eq!(args.interval, 0);
+        let args = parse_args(&["--interval", "30", "m", "c"]).unwrap();
+        assert_eq!(args.interval, 30);
+        assert!(parse_args(&["m.dice"]).is_err());
+        assert!(parse_args(&["--interval"]).is_err());
+        assert!(parse_args(&["--bogus", "m", "c"]).is_err());
+    }
+}

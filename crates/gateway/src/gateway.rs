@@ -10,9 +10,14 @@
 //
 // lint-src: allow-file(hash-container) — the alarm-dedup map is a point
 // lookup keyed by device id; alarms are emitted in merged-stream order.
+//
+// lint-src: allow-file(wall-clock) — window close-to-verdict timing feeds
+// the dice_gateway_window_ns observability sketch only; nothing downstream
+// branches on it.
 
 use std::borrow::Borrow;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
@@ -20,7 +25,7 @@ use parking_lot::Mutex;
 
 use dice_core::trace::{write_header_line, write_trace_line};
 use dice_core::{DecisionTrace, DiceEngine, DiceModel, EngineOptions, FaultReport, TraceHeader};
-use dice_telemetry::{Recorder, Telemetry};
+use dice_telemetry::{saturating_ns, Recorder, Telemetry};
 use dice_types::{DeviceId, Event, Timestamp};
 
 use crate::message::{decode_event, FrameError};
@@ -62,6 +67,8 @@ pub struct HomeGateway<M: Borrow<DiceModel>> {
     engine: Mutex<DiceEngine<M>>,
     alarm_cooldown: dice_types::TimeDelta,
     telemetry: Telemetry,
+    /// The `home` label this gateway's dimensional metrics record under.
+    home: String,
     /// When set, every alarm's trace evidence is appended here as JSONL
     /// (one layout header for the whole stream, then the evidence traces of
     /// each alarm in order). Requires tracing to be enabled in the engine
@@ -168,8 +175,18 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
             engine: Mutex::new(DiceEngine::with_options(model, options)),
             alarm_cooldown,
             telemetry,
+            home: "home0".to_string(),
             trace_snapshots: None,
         }
+    }
+
+    /// Sets the `home` label this gateway records its per-home metric
+    /// family children under (default `home0`). A fleet runner gives each
+    /// gateway its own label so one recorder separates the homes.
+    #[must_use]
+    pub fn with_home(mut self, home: impl Into<String>) -> Self {
+        self.home = home.into();
+        self
     }
 
     /// Persists every alarm's trace evidence to `out` as JSONL (see
@@ -204,8 +221,37 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
         from: Timestamp,
         to: Timestamp,
     ) -> GatewayStats {
+        self.run_with_observer(inputs, alarms, from, to, |_| {})
+    }
+
+    /// [`HomeGateway::run`] with a window hook: `on_window` fires after
+    /// every window close with the window's end timestamp, giving callers a
+    /// sim-time clock edge (the `monitor` dashboard drives its
+    /// time-series sampling from it).
+    pub fn run_with_observer(
+        &self,
+        inputs: Vec<Receiver<Bytes>>,
+        alarms: &Sender<Alarm>,
+        from: Timestamp,
+        to: Timestamp,
+        mut on_window: impl FnMut(Timestamp),
+    ) -> GatewayStats {
         let mut stats = GatewayStats::default();
         let recorder = self.telemetry.recorder();
+        // Resolve dimensional children once: the hot loop records through
+        // plain Arc handles, never the family mutex.
+        let home_windows = recorder.map(|rec| {
+            rec.metrics
+                .gateway
+                .home_windows_total
+                .with_label_values(&[&self.home])
+        });
+        let home_alarms = recorder.map(|rec| {
+            rec.metrics
+                .gateway
+                .home_alarms_total
+                .with_label_values(&[&self.home])
+        });
         let (window, trace_header) = {
             let engine = self.engine.lock();
             let header = self
@@ -218,6 +264,18 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
         // K-way merge state: one pending event per live stream.
         let mut streams: Vec<Option<Receiver<Bytes>>> = inputs.into_iter().map(Some).collect();
         let mut pending: Vec<Option<Event>> = vec![None; streams.len()];
+        let shard_depths: Vec<_> = recorder
+            .map(|rec| {
+                (0..streams.len())
+                    .map(|shard| {
+                        rec.metrics
+                            .gateway
+                            .shard_depth
+                            .with_label_values(&[&shard.to_string()])
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         if let Some(rec) = recorder {
             rec.metrics
                 .gateway
@@ -248,6 +306,9 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                     if let Some(rec) = recorder {
                         rec.metrics.gateway.alarms_total.inc();
                     }
+                    if let Some(home) = &home_alarms {
+                        home.inc();
+                    }
                     if let (Some(writer), Some(header)) = (&self.trace_snapshots, &trace_header) {
                         if !report.evidence.is_empty() {
                             writer
@@ -266,8 +327,11 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
             // frames queued across all live aggregator channels.
             if let Some(rec) = recorder {
                 let mut depth = 0usize;
-                for rx in streams.iter().flatten() {
-                    depth += rx.len();
+                for (shard, rx) in streams.iter().enumerate() {
+                    let Some(rx) = rx else { continue };
+                    let len = rx.len();
+                    depth += len;
+                    shard_depths[shard].set_max(len as i64);
                 }
                 rec.metrics.gateway.channel_depth.set_max(depth as i64);
             }
@@ -330,15 +394,26 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
             // Close windows the merged stream has passed.
             while event.at() >= window_start + window {
                 let end = window_start + window;
+                let opened = recorder.map(|_| Instant::now());
                 if let Some(report) = engine.process_window(window_start, end, &window_events) {
                     deliver(report, &mut stats, &mut last_alarmed);
                 }
                 stats.windows += 1;
                 if let Some(rec) = recorder {
                     rec.metrics.gateway.windows_total.inc();
+                    if let Some(opened) = opened {
+                        rec.metrics
+                            .gateway
+                            .window_ns
+                            .record(saturating_ns(opened.elapsed().as_nanos()));
+                    }
+                }
+                if let Some(home) = &home_windows {
+                    home.inc();
                 }
                 window_events.clear();
                 window_start = end;
+                on_window(end);
             }
             window_events.push(event);
         }
@@ -346,15 +421,26 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
         // Close remaining windows up to `to`.
         while window_start < to {
             let end = (window_start + window).min(to);
+            let opened = recorder.map(|_| Instant::now());
             if let Some(report) = engine.process_window(window_start, end, &window_events) {
                 deliver(report, &mut stats, &mut last_alarmed);
             }
             stats.windows += 1;
             if let Some(rec) = recorder {
                 rec.metrics.gateway.windows_total.inc();
+                if let Some(opened) = opened {
+                    rec.metrics
+                        .gateway
+                        .window_ns
+                        .record(saturating_ns(opened.elapsed().as_nanos()));
+                }
+            }
+            if let Some(home) = &home_windows {
+                home.inc();
             }
             window_events.clear();
             window_start = end;
+            on_window(end);
         }
         if let Some(report) = engine.flush() {
             deliver(report, &mut stats, &mut last_alarmed);
@@ -521,6 +607,48 @@ mod tests {
         );
         // All aggregators hung up by the end of the run.
         assert_eq!(snapshot.gauge("dice_gateway_streams_connected"), Some(0));
+        // Dimensional mirrors: the default home label carries the same
+        // counts, and every window fed the latency sketch.
+        assert_eq!(
+            snapshot.family_value("dice_gateway_home_windows_total", &["home0"]),
+            Some(i128::from(stats.windows))
+        );
+        assert_eq!(
+            snapshot.family_value("dice_gateway_home_alarms_total", &["home0"]),
+            Some(i128::from(stats.alarms))
+        );
+        let (count, _) = snapshot.sketch("dice_gateway_window_ns").unwrap();
+        assert_eq!(count, stats.windows);
+        assert!(snapshot
+            .family_value("dice_gateway_shard_depth", &["0"])
+            .is_some());
+    }
+
+    #[test]
+    fn observer_fires_once_per_window_in_order() {
+        let (_, sensors, model) = training_home();
+        let events = live_events(&sensors, 10, false);
+        let (tx, rx) = unbounded();
+        for event in &events {
+            tx.send(crate::message::encode_event(event)).unwrap();
+        }
+        drop(tx);
+        let (alarm_tx, _alarm_rx) = unbounded();
+        let gateway = HomeGateway::new(&model).with_home("hX");
+        let mut closed = Vec::new();
+        let stats = gateway.run_with_observer(
+            vec![rx],
+            &alarm_tx,
+            Timestamp::ZERO,
+            Timestamp::from_mins(10),
+            |end| closed.push(end),
+        );
+        assert_eq!(closed.len() as u64, stats.windows);
+        assert!(
+            closed.windows(2).all(|w| w[0] < w[1]),
+            "out of order: {closed:?}"
+        );
+        assert_eq!(*closed.last().unwrap(), Timestamp::from_mins(10));
     }
 
     #[test]

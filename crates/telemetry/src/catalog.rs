@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
+use crate::family::Family;
 use crate::registry::{Counter, Gauge, Histogram, Registry};
+use crate::sketch::QuantileSketch;
 
 /// Latency bucket bounds in nanoseconds: powers of four from 1 µs to 4 s.
 pub const LATENCY_BOUNDS_NS: [u64; 12] = [
@@ -91,6 +93,11 @@ pub struct EngineMetrics {
     /// `dice-lint` can check a telemetry export against the model and trace
     /// files it was recorded with.
     pub model_layout_fingerprint: Arc<Gauge>,
+    /// Quantile sketch over individual check durations (correlation,
+    /// transition, and identification samples pooled).
+    pub check_ns: Arc<QuantileSketch>,
+    /// Quantile sketch over whole-window detection time (all checks).
+    pub detection_ns: Arc<QuantileSketch>,
 }
 
 impl EngineMetrics {
@@ -178,6 +185,16 @@ impl EngineMetrics {
                 "dice_engine_model_layout_fingerprint",
                 "Layout fingerprint of the active model (0 before any engine ran)",
             ),
+            check_ns: r.sketch(
+                "dice_engine_check_ns",
+                "Per-check latency quantiles (correlation, transition, identification pooled)",
+                "ns",
+            ),
+            detection_ns: r.sketch(
+                "dice_engine_detection_ns",
+                "Whole-window detection latency quantiles",
+                "ns",
+            ),
         }
     }
 
@@ -215,6 +232,14 @@ pub struct GatewayMetrics {
     pub streams_connected: Arc<Gauge>,
     /// Static-verification findings reported at gateway boot.
     pub boot_findings_total: Arc<Counter>,
+    /// Quantile sketch over gateway window close-to-verdict latency.
+    pub window_ns: Arc<QuantileSketch>,
+    /// Windows closed, labeled by home.
+    pub home_windows_total: Arc<Family<Counter>>,
+    /// Alarms delivered, labeled by home.
+    pub home_alarms_total: Arc<Family<Counter>>,
+    /// High-water mark of queued frames, labeled by aggregator shard.
+    pub shard_depth: Arc<Family<Gauge>>,
 }
 
 impl GatewayMetrics {
@@ -252,6 +277,26 @@ impl GatewayMetrics {
             boot_findings_total: r.counter(
                 "dice_gateway_boot_findings_total",
                 "Verification findings at gateway boot",
+            ),
+            window_ns: r.sketch(
+                "dice_gateway_window_ns",
+                "Gateway window close-to-verdict latency quantiles",
+                "ns",
+            ),
+            home_windows_total: r.counter_family(
+                "dice_gateway_home_windows_total",
+                "Windows closed per home",
+                &["home"],
+            ),
+            home_alarms_total: r.counter_family(
+                "dice_gateway_home_alarms_total",
+                "Alarms delivered per home",
+                &["home"],
+            ),
+            shard_depth: r.gauge_family(
+                "dice_gateway_shard_depth",
+                "High-water mark of queued frames per aggregator shard",
+                &["shard"],
             ),
         }
     }
@@ -410,6 +455,52 @@ impl TraceMetrics {
     }
 }
 
+/// Health-layer metrics (`dice-telemetry`'s rule engine): the overall
+/// verdict of the most recent [`HealthReport`](crate::HealthReport)
+/// evaluation, mirrored into the registry so exports carry it.
+#[derive(Debug, Clone)]
+pub struct HealthMetrics {
+    /// Overall health verdict (0 ok, 1 warn, 2 crit; 0 before any
+    /// evaluation ran).
+    pub status: Arc<Gauge>,
+}
+
+impl HealthMetrics {
+    fn register(r: &Registry) -> Self {
+        HealthMetrics {
+            status: r.gauge(
+                "dice_health_status",
+                "Overall health verdict (0 ok, 1 warn, 2 crit)",
+            ),
+        }
+    }
+}
+
+/// Time-series-layer metrics (`dice-telemetry`'s recorder): sampling
+/// volume and the recorder's own overhead per sweep.
+#[derive(Debug, Clone)]
+pub struct TimeseriesMetrics {
+    /// Registry sweeps taken by the time-series recorder.
+    pub samples_total: Arc<Counter>,
+    /// Wall-clock cost of the most recent registry sweep.
+    pub last_sample_ns: Arc<Gauge>,
+}
+
+impl TimeseriesMetrics {
+    fn register(r: &Registry) -> Self {
+        TimeseriesMetrics {
+            samples_total: r.counter(
+                "dice_timeseries_samples_total",
+                "Registry sweeps taken by the time-series recorder",
+            ),
+            last_sample_ns: r.gauge(
+                "dice_timeseries_last_sample_ns",
+                "Wall-clock cost of the most recent registry sweep",
+            ),
+        }
+    }
+}
+
 /// The full DICE metric catalog, one instance per recording [`Registry`].
 #[derive(Debug, Clone)]
 pub struct DiceMetrics {
@@ -423,6 +514,21 @@ pub struct DiceMetrics {
     pub train: TrainMetrics,
     /// Trace-layer metrics.
     pub trace: TraceMetrics,
+    /// Health-layer metrics.
+    pub health: HealthMetrics,
+    /// Time-series-layer metrics.
+    pub timeseries: TimeseriesMetrics,
+}
+
+/// Every metric name the full catalog registers, sorted.
+///
+/// Backs the `dice-lint catalog` coverage check (`DV200`): the list is
+/// produced by actually registering [`DiceMetrics`] into a scratch
+/// registry, so it can never drift from the runtime catalog.
+pub fn catalog_metric_names() -> Vec<&'static str> {
+    let registry = Registry::new();
+    let _metrics = DiceMetrics::register(&registry);
+    registry.entries().iter().map(|e| e.name).collect()
 }
 
 impl DiceMetrics {
@@ -434,6 +540,8 @@ impl DiceMetrics {
             eval: EvalMetrics::register(registry),
             train: TrainMetrics::register(registry),
             trace: TraceMetrics::register(registry),
+            health: HealthMetrics::register(registry),
+            timeseries: TimeseriesMetrics::register(registry),
         }
     }
 }
@@ -457,6 +565,20 @@ mod tests {
         assert!(names.contains(&"dice_train_merge_ns"));
         assert!(names.contains(&"dice_trace_records_total"));
         assert!(names.contains(&"dice_trace_explain_render_ns"));
+        assert!(names.contains(&"dice_engine_detection_ns"));
+        assert!(names.contains(&"dice_gateway_window_ns"));
+        assert!(names.contains(&"dice_gateway_home_windows_total"));
+        assert!(names.contains(&"dice_gateway_shard_depth"));
+        assert!(names.contains(&"dice_health_status"));
+        assert!(names.contains(&"dice_timeseries_samples_total"));
+        metrics.engine.detection_ns.record(1_000);
+        metrics
+            .gateway
+            .home_windows_total
+            .with_label_values(&["h0"])
+            .inc();
+        assert_eq!(metrics.engine.detection_ns.count(), 1);
+        assert_eq!(metrics.gateway.home_windows_total.len(), 1);
     }
 
     #[test]

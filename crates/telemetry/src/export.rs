@@ -10,7 +10,45 @@ use crate::registry::{MetricKind, Registry};
 use crate::ring::{EventRing, TelemetryEvent};
 
 /// The JSON snapshot schema version. Bump when keys change shape.
-pub const SNAPSHOT_SCHEMA: u32 = 1;
+/// Schema 2 added the `sketches` and `families` sections.
+pub const SNAPSHOT_SCHEMA: u32 = 2;
+
+/// Whether `name` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a valid Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+pub fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
 
 /// The `kind` discriminator every snapshot carries.
 pub const SNAPSHOT_KIND: &str = "dice-telemetry-snapshot";
@@ -22,6 +60,8 @@ pub struct Snapshot {
     counters: Vec<CounterRow>,
     gauges: Vec<GaugeRow>,
     histograms: Vec<HistogramRow>,
+    sketches: Vec<SketchRow>,
+    families: Vec<FamilyRow>,
     events: Vec<TelemetryEvent>,
     dropped_events: u64,
 }
@@ -52,12 +92,39 @@ struct HistogramRow {
     count: u64,
 }
 
+#[derive(Debug, Clone)]
+struct SketchRow {
+    name: &'static str,
+    help: &'static str,
+    unit: &'static str,
+    count: u64,
+    sum: u64,
+    /// (p50, p95, p99) estimates; zeros when the sketch is empty.
+    p50: u64,
+    p95: u64,
+    p99: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FamilyRow {
+    name: &'static str,
+    help: &'static str,
+    /// `"counter"` or `"gauge"` — the child kind.
+    kind: &'static str,
+    labels: Vec<&'static str>,
+    /// One row per child: label values in label order, then the value
+    /// (`i128` holds both counter `u64` and gauge `i64` exactly).
+    series: Vec<(Vec<String>, i128)>,
+}
+
 impl Snapshot {
     /// Captures every metric in `registry` and the retained `events`.
     pub fn collect(registry: &Registry, events: &EventRing) -> Self {
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
         let mut histograms = Vec::new();
+        let mut sketches = Vec::new();
+        let mut families = Vec::new();
         for entry in registry.entries() {
             match entry.kind() {
                 MetricKind::Counter => {
@@ -95,12 +162,56 @@ impl Snapshot {
                         count: running,
                     });
                 }
+                MetricKind::Sketch => {
+                    let sketch = entry.as_sketch().expect("kind checked");
+                    let (p50, p95, p99) = sketch.percentiles().unwrap_or((0, 0, 0));
+                    sketches.push(SketchRow {
+                        name: entry.name,
+                        help: entry.help,
+                        unit: entry.unit,
+                        count: sketch.count(),
+                        sum: sketch.sum(),
+                        p50,
+                        p95,
+                        p99,
+                    });
+                }
+                MetricKind::CounterFamily => {
+                    let family = entry.as_counter_family().expect("kind checked");
+                    families.push(FamilyRow {
+                        name: entry.name,
+                        help: entry.help,
+                        kind: "counter",
+                        labels: family.label_names().to_vec(),
+                        series: family
+                            .children()
+                            .into_iter()
+                            .map(|(values, child)| (values, i128::from(child.get())))
+                            .collect(),
+                    });
+                }
+                MetricKind::GaugeFamily => {
+                    let family = entry.as_gauge_family().expect("kind checked");
+                    families.push(FamilyRow {
+                        name: entry.name,
+                        help: entry.help,
+                        kind: "gauge",
+                        labels: family.label_names().to_vec(),
+                        series: family
+                            .children()
+                            .into_iter()
+                            .map(|(values, child)| (values, i128::from(child.get())))
+                            .collect(),
+                    });
+                }
             }
         }
         Snapshot {
             counters,
             gauges,
             histograms,
+            sketches,
+            families,
             events: events.snapshot(),
             dropped_events: events.dropped(),
         }
@@ -125,6 +236,48 @@ impl Snapshot {
             .iter()
             .find(|h| h.name == name)
             .map(|h| (h.count, h.sum))
+    }
+
+    /// The (count, sum) of a quantile sketch by name, if present.
+    pub fn sketch(&self, name: &str) -> Option<(u64, u64)> {
+        self.sketches
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| (s.count, s.sum))
+    }
+
+    /// The (p50, p95, p99) estimates of a quantile sketch by name; `None`
+    /// when the sketch is absent or empty.
+    pub fn sketch_percentiles(&self, name: &str) -> Option<(u64, u64, u64)> {
+        self.sketches
+            .iter()
+            .find(|s| s.name == name && s.count > 0)
+            .map(|s| (s.p50, s.p95, s.p99))
+    }
+
+    /// The value of one family child by name and label values, if present.
+    pub fn family_value(&self, name: &str, label_values: &[&str]) -> Option<i128> {
+        self.families.iter().find(|f| f.name == name).and_then(|f| {
+            f.series
+                .iter()
+                .find(|(values, _)| {
+                    values
+                        .iter()
+                        .map(String::as_str)
+                        .eq(label_values.iter().copied())
+                })
+                .map(|&(_, value)| value)
+        })
+    }
+
+    /// Retained events captured with the snapshot.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Events dropped by ring wraparound before the snapshot.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
     }
 
     /// Renders the schema-versioned JSON snapshot document.
@@ -178,6 +331,53 @@ impl Snapshot {
             let _ = writeln!(out, "    }}{comma}");
         }
         out.push_str("  },\n");
+        out.push_str("  \"sketches\": {\n");
+        for (i, row) in self.sketches.iter().enumerate() {
+            let comma = if i + 1 < self.sketches.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{\"unit\": \"{}\", \"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}{comma}",
+                row.name,
+                json::escape(row.unit),
+                row.count,
+                row.sum,
+                row.p50,
+                row.p95,
+                row.p99
+            );
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"families\": {\n");
+        for (i, row) in self.families.iter().enumerate() {
+            let _ = writeln!(out, "    \"{}\": {{", row.name);
+            let _ = writeln!(out, "      \"kind\": \"{}\",", row.kind);
+            out.push_str("      \"labels\": [");
+            for (j, label) in row.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", json::escape(label));
+            }
+            out.push_str("],\n");
+            out.push_str("      \"series\": [");
+            for (j, (values, value)) in row.series.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"values\": [");
+                for (k, v) in values.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\"", json::escape(v));
+                }
+                let _ = write!(out, "], \"value\": {value}}}");
+            }
+            out.push_str("]\n");
+            let comma = if i + 1 < self.families.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  },\n");
         let _ = writeln!(out, "  \"dropped_events\": {},", self.dropped_events);
         out.push_str("  \"events\": [\n");
         for (i, event) in self.events.iter().enumerate() {
@@ -221,6 +421,31 @@ impl Snapshot {
             let _ = writeln!(out, "{}_sum {}", row.name, row.sum);
             let _ = writeln!(out, "{}_count {}", row.name, row.count);
         }
+        for row in &self.sketches {
+            let _ = writeln!(out, "# HELP {} {}", row.name, row.help);
+            let _ = writeln!(out, "# TYPE {} summary", row.name);
+            if row.count > 0 {
+                for (q, v) in [("0.5", row.p50), ("0.95", row.p95), ("0.99", row.p99)] {
+                    let _ = writeln!(out, "{}{{quantile=\"{q}\"}} {v}", row.name);
+                }
+            }
+            let _ = writeln!(out, "{}_sum {}", row.name, row.sum);
+            let _ = writeln!(out, "{}_count {}", row.name, row.count);
+        }
+        for row in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", row.name, row.help);
+            let _ = writeln!(out, "# TYPE {} {}", row.name, row.kind);
+            for (values, value) in &row.series {
+                let _ = write!(out, "{}{{", row.name);
+                for (i, (label, v)) in row.labels.iter().zip(values).enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{label}=\"{}\"", escape_label_value(v));
+                }
+                let _ = writeln!(out, "}} {value}");
+            }
+        }
         out
     }
 }
@@ -255,6 +480,8 @@ pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
     let counters = section(root, "counters")?;
     let gauges = section(root, "gauges")?;
     let histograms = section(root, "histograms")?;
+    let sketches = section(root, "sketches")?;
+    let families = section(root, "families")?;
     root.get("events")
         .and_then(Value::as_arr)
         .ok_or("missing \"events\" array")?;
@@ -270,12 +497,54 @@ pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
             MetricKind::Counter => (counters, "counters"),
             MetricKind::Gauge => (gauges, "gauges"),
             MetricKind::Histogram => (histograms, "histograms"),
+            MetricKind::Sketch => (sketches, "sketches"),
+            MetricKind::CounterFamily | MetricKind::GaugeFamily => (families, "families"),
         };
         if !map.contains_key(entry.name) {
             return Err(format!(
                 "catalog metric {:?} missing from {label}",
                 entry.name
             ));
+        }
+    }
+
+    for (name, sketch) in sketches {
+        for key in ["count", "sum", "p50", "p95", "p99"] {
+            sketch
+                .get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("sketch {name:?} missing numeric {key:?}"))?;
+        }
+    }
+    for (name, family) in families {
+        let labels = family
+            .get("labels")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("family {name:?} missing labels"))?;
+        match family.get("kind").and_then(Value::as_str) {
+            Some("counter" | "gauge") => {}
+            _ => return Err(format!("family {name:?} kind must be counter or gauge")),
+        }
+        let series = family
+            .get("series")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("family {name:?} missing series"))?;
+        for child in series {
+            let values = child
+                .get("values")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("family {name:?} child missing values"))?;
+            if values.len() != labels.len() {
+                return Err(format!(
+                    "family {name:?} child has {} label value(s), want {}",
+                    values.len(),
+                    labels.len()
+                ));
+            }
+            child
+                .get("value")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("family {name:?} child missing value"))?;
         }
     }
 
@@ -358,6 +627,19 @@ mod tests {
         metrics.gateway.channel_depth.set_max(9);
         metrics.engine.correlation_check_ns.record(5_000);
         metrics.engine.correlation_check_ns.record(9_000_000_000);
+        for v in [10_000u64, 20_000, 800_000] {
+            metrics.engine.detection_ns.record(v);
+        }
+        metrics
+            .gateway
+            .home_windows_total
+            .with_label_values(&["h0"])
+            .add(7);
+        metrics
+            .gateway
+            .shard_depth
+            .with_label_values(&["0"])
+            .set_max(5);
         let events = EventRing::new(8);
         events.push("fault_report", "devices {3} window 17 \"quoted\"");
         (registry, events)
@@ -407,6 +689,21 @@ mod tests {
             event.get("message").unwrap().as_str(),
             Some("devices {3} window 17 \"quoted\"")
         );
+        let sketch = parsed
+            .get("sketches")
+            .unwrap()
+            .get("dice_engine_detection_ns")
+            .unwrap();
+        assert_eq!(sketch.get("count").unwrap().as_num(), Some(3.0));
+        assert!(sketch.get("p99").unwrap().as_num().unwrap() >= 800_000.0);
+        let family = parsed
+            .get("families")
+            .unwrap()
+            .get("dice_gateway_home_windows_total")
+            .unwrap();
+        assert_eq!(family.get("kind").unwrap().as_str(), Some("counter"));
+        let child = &family.get("series").unwrap().as_arr().unwrap()[0];
+        assert_eq!(child.get("value").unwrap().as_num(), Some(7.0));
     }
 
     #[test]
@@ -421,6 +718,52 @@ mod tests {
         assert!(text.contains("dice_engine_correlation_check_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("dice_engine_correlation_check_ns_count 2"));
         assert!(text.contains("dice_engine_correlation_check_ns_sum 9000005000"));
+        assert!(text.contains("# TYPE dice_engine_detection_ns summary"));
+        assert!(text.contains("dice_engine_detection_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("dice_engine_detection_ns_count 3"));
+        assert!(text.contains("# TYPE dice_gateway_home_windows_total counter"));
+        assert!(text.contains("dice_gateway_home_windows_total{home=\"h0\"} 7"));
+        assert!(text.contains("dice_gateway_shard_depth{shard=\"0\"} 5"));
+        // Empty sketches still expose their _sum/_count pair.
+        assert!(text.contains("dice_gateway_window_ns_count 0"));
+    }
+
+    #[test]
+    fn label_values_escape_per_text_format_spec() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("with \"quotes\""), "with \\\"quotes\\\"");
+        assert_eq!(escape_label_value("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label_value("line\nfeed"), "line\\nfeed");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three escapes compose"
+        );
+
+        let registry = Registry::new();
+        let family = registry.counter_family("esc_total", "escape test", &["home"]);
+        family.with_label_values(&["a\"b\\c\nd"]).inc();
+        let snapshot = Snapshot::collect(&registry, &EventRing::new(4));
+        let text = snapshot.to_prometheus();
+        assert!(
+            text.contains("esc_total{home=\"a\\\"b\\\\c\\nd\"} 1"),
+            "escaped exposition missing:\n{text}"
+        );
+        assert!(!text.contains("a\"b"), "raw quote leaked into exposition");
+    }
+
+    #[test]
+    fn metric_and_label_name_validation() {
+        assert!(is_valid_metric_name("dice_engine_windows_total"));
+        assert!(is_valid_metric_name("_private:ns"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("9leading"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(!is_valid_metric_name("has-dash"));
+        assert!(is_valid_label_name("home"));
+        assert!(is_valid_label_name("_shard0"));
+        assert!(!is_valid_label_name("with:colon"));
+        assert!(!is_valid_label_name(""));
     }
 
     #[test]
@@ -435,10 +778,17 @@ mod tests {
         assert!(err.contains("schema version"), "{err}");
         let missing_metric = format!(
             "{{\"schema\": {SNAPSHOT_SCHEMA}, \"kind\": \"{SNAPSHOT_KIND}\", \"counters\": {{}}, \
-             \"gauges\": {{}}, \"histograms\": {{}}, \"events\": [], \"dropped_events\": 0}}"
+             \"gauges\": {{}}, \"histograms\": {{}}, \"sketches\": {{}}, \"families\": {{}}, \
+             \"events\": [], \"dropped_events\": 0}}"
         );
         let err = validate_snapshot_json(&missing_metric).unwrap_err();
         assert!(err.contains("missing from"), "{err}");
+        let no_sketches = format!(
+            "{{\"schema\": {SNAPSHOT_SCHEMA}, \"kind\": \"{SNAPSHOT_KIND}\", \"counters\": {{}}, \
+             \"gauges\": {{}}, \"histograms\": {{}}, \"events\": [], \"dropped_events\": 0}}"
+        );
+        let err = validate_snapshot_json(&no_sketches).unwrap_err();
+        assert!(err.contains("sketches"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Labeled metric families: one metric name, many label-addressed children.
+//!
+//! A [`Family`] is the dimensional counterpart of a single [`Counter`] or
+//! [`Gauge`] (crate::Counter, crate::Gauge): `dice_gateway_home_windows_total{home="h7"}`
+//! is one child of the `home`-labeled windows family. Children are created
+//! on first use and interned forever (the label space is small and bounded:
+//! homes, shards); callers resolve a child handle once and record through
+//! the plain `Arc<Counter>`/`Arc<Gauge>` with no further locking, keeping
+//! the static-handle discipline of the flat registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::export::is_valid_label_name;
+
+/// A labeled metric family over children of type `T`.
+///
+/// `T` is [`Counter`](crate::Counter) or [`Gauge`](crate::Gauge). Children
+/// are keyed by their label values in declaration order; the map is sorted,
+/// so exposition order is deterministic.
+#[derive(Debug, Default)]
+pub struct Family<T> {
+    label_names: &'static [&'static str],
+    children: Mutex<BTreeMap<Vec<String>, Arc<T>>>,
+}
+
+impl<T: Default> Family<T> {
+    /// Creates an empty family keyed by `label_names`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label_names` is empty or any name is not a valid
+    /// Prometheus label name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub fn new(label_names: &'static [&'static str]) -> Self {
+        assert!(!label_names.is_empty(), "a family needs at least one label");
+        for name in label_names {
+            assert!(
+                is_valid_label_name(name),
+                "invalid label name {name:?} (want [a-zA-Z_][a-zA-Z0-9_]*)"
+            );
+        }
+        Family {
+            label_names,
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The child at `label_values`, created on first use. Resolve once and
+    /// keep the handle; the lookup takes the family mutex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label_values` does not have one value per label name.
+    pub fn with_label_values(&self, label_values: &[&str]) -> Arc<T> {
+        assert_eq!(
+            label_values.len(),
+            self.label_names.len(),
+            "family wants {} label value(s), got {}",
+            self.label_names.len(),
+            label_values.len()
+        );
+        let key: Vec<String> = label_values.iter().map(ToString::to_string).collect();
+        let mut children = self.children.lock();
+        Arc::clone(children.entry(key).or_default())
+    }
+
+    /// The label names this family is keyed by.
+    pub fn label_names(&self) -> &'static [&'static str] {
+        self.label_names
+    }
+
+    /// Folds every child under the lock without cloning label keys — the
+    /// cheap path for sweeps that only need an aggregate (sum, max) over
+    /// the family.
+    pub fn fold_values<A>(&self, init: A, mut f: impl FnMut(A, &T) -> A) -> A {
+        self.children
+            .lock()
+            .values()
+            .fold(init, |acc, child| f(acc, child))
+    }
+
+    /// A sorted point-in-time copy of every child with its label values.
+    pub fn children(&self) -> Vec<(Vec<String>, Arc<T>)> {
+        self.children
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Number of interned children.
+    pub fn len(&self) -> usize {
+        self.children.lock().len()
+    }
+
+    /// Whether no child has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.children.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Counter, Gauge};
+
+    #[test]
+    fn children_intern_and_share_state() {
+        let family: Family<Counter> = Family::new(&["home"]);
+        family.with_label_values(&["h1"]).add(3);
+        family.with_label_values(&["h1"]).inc();
+        family.with_label_values(&["h2"]).inc();
+        assert_eq!(family.len(), 2);
+        let children = family.children();
+        assert_eq!(children[0].0, vec!["h1".to_string()]);
+        assert_eq!(children[0].1.get(), 4);
+        assert_eq!(children[1].1.get(), 1);
+    }
+
+    #[test]
+    fn children_sort_by_label_values() {
+        let family: Family<Gauge> = Family::new(&["shard"]);
+        family.with_label_values(&["2"]).set(20);
+        family.with_label_values(&["0"]).set(0);
+        family.with_label_values(&["1"]).set(10);
+        let order: Vec<String> = family
+            .children()
+            .into_iter()
+            .map(|(k, _)| k.join(","))
+            .collect();
+        assert_eq!(order, vec!["0", "1", "2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label value(s)")]
+    fn arity_mismatch_is_rejected() {
+        let family: Family<Counter> = Family::new(&["home", "shard"]);
+        let _ = family.with_label_values(&["h1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn bad_label_names_are_rejected() {
+        let _: Family<Counter> = Family::new(&["not-valid"]);
+    }
+}

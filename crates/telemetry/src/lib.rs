@@ -25,23 +25,36 @@
 
 mod catalog;
 mod export;
+mod family;
+mod health;
 mod json;
 mod registry;
 mod ring;
+mod sketch;
 mod span;
+mod timeseries;
 mod trace;
 
 pub use catalog::{
-    DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, TraceMetrics, TrainMetrics,
-    LATENCY_BOUNDS_NS, TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
+    catalog_metric_names, DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, HealthMetrics,
+    TimeseriesMetrics, TraceMetrics, TrainMetrics, LATENCY_BOUNDS_NS, TRIAL_BOUNDS_NS,
+    WINDOW_BOUNDS,
 };
 pub use export::{
-    snapshot_gauge_json, validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA,
+    escape_label_value, is_valid_label_name, is_valid_metric_name, snapshot_gauge_json,
+    validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA,
+};
+pub use family::Family;
+pub use health::{
+    evaluate as evaluate_health, standard_rules, HealthReport, HealthRule, HealthStatus, RuleCheck,
+    RuleOutcome,
 };
 pub use json::{escape as json_escape, parse as json_parse, ParseError, Value};
 pub use registry::{Counter, Gauge, Histogram, LocalHistogram, MetricEntry, MetricKind, Registry};
 pub use ring::{EventRing, TelemetryEvent};
+pub use sketch::{LocalSketch, QuantileSketch, SKETCH_RELATIVE_ERROR};
 pub use span::{saturating_ns, SpanTimer};
+pub use timeseries::{SeriesSample, TimeSeriesRecorder};
 pub use trace::SlotRing;
 
 use std::sync::{Arc, OnceLock};

@@ -5,10 +5,14 @@
 //! handles resolved once at registration time; the registry's mutex guards
 //! only registration and snapshotting, never a recording call.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::export::is_valid_metric_name;
+use crate::family::Family;
+use crate::sketch::QuantileSketch;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -237,13 +241,26 @@ pub enum MetricKind {
     Gauge,
     /// A fixed-bucket histogram.
     Histogram,
+    /// A log2-bucketed quantile sketch.
+    Sketch,
+    /// A labeled family of counters.
+    CounterFamily,
+    /// A labeled family of gauges.
+    GaugeFamily,
 }
 
+/// The typed handle behind a registry entry. Crate-visible so the
+/// time-series recorder can keep a compact pre-resolved sweep plan (one
+/// small struct per watched metric) instead of re-matching full
+/// [`MetricEntry`] values every sweep.
 #[derive(Debug, Clone)]
-enum Metric {
+pub(crate) enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Sketch(Arc<QuantileSketch>),
+    CounterFamily(Arc<Family<Counter>>),
+    GaugeFamily(Arc<Family<Gauge>>),
 }
 
 /// One registered metric, read back during a snapshot.
@@ -259,12 +276,20 @@ pub struct MetricEntry {
 }
 
 impl MetricEntry {
+    /// The typed handle, for building pre-resolved sweep plans.
+    pub(crate) fn metric(&self) -> &Metric {
+        &self.metric
+    }
+
     /// The metric's kind.
     pub fn kind(&self) -> MetricKind {
         match self.metric {
             Metric::Counter(_) => MetricKind::Counter,
             Metric::Gauge(_) => MetricKind::Gauge,
             Metric::Histogram(_) => MetricKind::Histogram,
+            Metric::Sketch(_) => MetricKind::Sketch,
+            Metric::CounterFamily(_) => MetricKind::CounterFamily,
+            Metric::GaugeFamily(_) => MetricKind::GaugeFamily,
         }
     }
 
@@ -291,6 +316,30 @@ impl MetricEntry {
             _ => None,
         }
     }
+
+    /// The quantile sketch behind this entry, if it is one.
+    pub fn as_sketch(&self) -> Option<&QuantileSketch> {
+        match &self.metric {
+            Metric::Sketch(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The counter family behind this entry, if it is one.
+    pub fn as_counter_family(&self) -> Option<&Family<Counter>> {
+        match &self.metric {
+            Metric::CounterFamily(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The gauge family behind this entry, if it is one.
+    pub fn as_gauge_family(&self) -> Option<&Family<Gauge>> {
+        match &self.metric {
+            Metric::GaugeFamily(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 /// A registry of named metrics.
@@ -301,6 +350,10 @@ impl MetricEntry {
 #[derive(Default)]
 pub struct Registry {
     entries: Mutex<Vec<MetricEntry>>,
+    /// Mirror of `entries.len()`, bumped after each insert, so the
+    /// time-series recorder's per-sweep staleness probe ([`Registry::len`])
+    /// is a relaxed load instead of a mutex acquisition.
+    count: AtomicUsize,
 }
 
 impl std::fmt::Debug for Registry {
@@ -316,6 +369,10 @@ impl Registry {
     }
 
     fn insert(&self, name: &'static str, help: &'static str, unit: &'static str, metric: Metric) {
+        assert!(
+            is_valid_metric_name(name),
+            "invalid metric name {name:?} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        );
         let mut entries = self.entries.lock();
         assert!(
             entries.iter().all(|e| e.name != name),
@@ -327,6 +384,7 @@ impl Registry {
             unit,
             metric,
         });
+        self.count.store(entries.len(), Ordering::Release);
     }
 
     /// Registers a counter and returns its handle.
@@ -369,6 +427,54 @@ impl Registry {
         histogram
     }
 
+    /// Registers a quantile sketch and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn sketch(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+    ) -> Arc<QuantileSketch> {
+        let sketch = Arc::new(QuantileSketch::new());
+        self.insert(name, help, unit, Metric::Sketch(Arc::clone(&sketch)));
+        sketch
+    }
+
+    /// Registers a labeled counter family and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered or any label name is invalid.
+    pub fn counter_family(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label_names: &'static [&'static str],
+    ) -> Arc<Family<Counter>> {
+        let family = Arc::new(Family::new(label_names));
+        self.insert(name, help, "", Metric::CounterFamily(Arc::clone(&family)));
+        family
+    }
+
+    /// Registers a labeled gauge family and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered or any label name is invalid.
+    pub fn gauge_family(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label_names: &'static [&'static str],
+    ) -> Arc<Family<Gauge>> {
+        let family = Arc::new(Family::new(label_names));
+        self.insert(name, help, "", Metric::GaugeFamily(Arc::clone(&family)));
+        family
+    }
+
     /// A point-in-time copy of every registered metric, sorted by name.
     pub fn entries(&self) -> Vec<MetricEntry> {
         let mut entries = self.entries.lock().clone();
@@ -376,14 +482,15 @@ impl Registry {
         entries
     }
 
-    /// Number of registered metrics.
+    /// Number of registered metrics — a lock-free atomic load, cheap enough
+    /// to probe from a per-window sweep.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.count.load(Ordering::Acquire)
     }
 
     /// Whether no metrics are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -450,6 +557,32 @@ mod tests {
         drop(local);
         assert_eq!(shared.count(), 4, "drop publishes the tail");
         assert_eq!(shared.sum(), 562);
+    }
+
+    #[test]
+    fn sketches_and_families_register_with_kinds() {
+        let registry = Registry::new();
+        let sketch = registry.sketch("s_ns", "a sketch", "ns");
+        let counters = registry.counter_family("f_total", "a family", &["home"]);
+        let gauges = registry.gauge_family("d", "depths", &["shard"]);
+        sketch.record(7);
+        counters.with_label_values(&["h0"]).inc();
+        gauges.with_label_values(&["0"]).set(3);
+        let entries = registry.entries();
+        let kind = |name: &str| entries.iter().find(|e| e.name == name).unwrap().kind();
+        assert_eq!(kind("s_ns"), MetricKind::Sketch);
+        assert_eq!(kind("f_total"), MetricKind::CounterFamily);
+        assert_eq!(kind("d"), MetricKind::GaugeFamily);
+        let entry = entries.iter().find(|e| e.name == "s_ns").unwrap();
+        assert_eq!(entry.as_sketch().unwrap().count(), 1);
+        assert!(entry.as_counter().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_metric_names_are_rejected() {
+        let registry = Registry::new();
+        let _ = registry.counter("bad name", "");
     }
 
     #[test]

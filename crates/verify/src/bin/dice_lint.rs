@@ -3,6 +3,7 @@
 //! ```text
 //! usage: dice-lint [--errors-only] [--deny-warnings] <artifact>...
 //!        dice-lint lint-src [--deny-warnings] [workspace-root]
+//!        dice-lint catalog [--deny-warnings] [path-to-DESIGN.md]
 //! ```
 //!
 //! In artifact mode each argument is a model binary, a `dice-config v1`
@@ -17,6 +18,10 @@
 //! `lint-src` mode runs the workspace determinism lint over
 //! `<root>/crates/*/src` (root defaults to the current directory).
 //!
+//! `catalog` mode cross-checks the runtime metric catalog against the
+//! DESIGN.md §5e table (`DV200`, warning-level, both directions); the path
+//! defaults to `DESIGN.md` in the current directory.
+//!
 //! Findings print to stdout; the summary line on stderr ends with the
 //! machine-grepable `findings: E=<n> W=<n> I=<n>`. Exit status: `0` clean,
 //! `1` when any error-level finding exists (or any warning under
@@ -30,14 +35,15 @@ use dice_verify::artifacts::{
 use dice_verify::lint_src::lint_workspace;
 use dice_verify::{Diagnostic, Severity};
 
-const USAGE: &str = "usage: dice-lint [--errors-only] [--deny-warnings] <artifact>...\n       dice-lint lint-src [--deny-warnings] [workspace-root]";
+const USAGE: &str = "usage: dice-lint [--errors-only] [--deny-warnings] <artifact>...\n       dice-lint lint-src [--deny-warnings] [workspace-root]\n       dice-lint catalog [--deny-warnings] [path-to-DESIGN.md]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("lint-src") {
-        return lint_src_mode(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("lint-src") => lint_src_mode(&args[1..]),
+        Some("catalog") => catalog_mode(&args[1..]),
+        _ => artifact_mode(&args),
     }
-    artifact_mode(&args)
 }
 
 fn artifact_mode(args: &[String]) -> ExitCode {
@@ -168,6 +174,48 @@ fn lint_src_mode(args: &[String]) -> ExitCode {
     }
     eprintln!(
         "dice-lint: lint-src over {root}, findings: E={} W={} I={}",
+        counts.errors, counts.warnings, counts.infos
+    );
+    counts.exit(deny_warnings)
+}
+
+fn catalog_mode(args: &[String]) -> ExitCode {
+    let mut deny_warnings = false;
+    let mut path = None;
+    for arg in args {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("dice-lint: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => {
+                eprintln!("dice-lint: catalog takes one path, got extra {extra:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| "DESIGN.md".to_string());
+    let markdown = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("dice-lint: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = dice_verify::metric_catalog::check_catalog_coverage(&markdown);
+    let mut counts = Counts::default();
+    for finding in &findings {
+        counts.tally(finding.severity());
+        println!("{path}: {finding}");
+    }
+    eprintln!(
+        "dice-lint: catalog coverage over {path}, findings: E={} W={} I={}",
         counts.errors, counts.warnings, counts.infos
     );
     counts.exit(deny_warnings)

@@ -16,6 +16,9 @@
 //!   denies nondeterminism-prone constructs (unordered parallelism, hashed
 //!   iteration, wall-clock reads, naive float accumulation) outside their
 //!   sanctioned homes.
+//! * [`metric_catalog`] — catalog-coverage (`DV200`): cross-checks the
+//!   runtime metric catalog against the DESIGN.md §5e table in both
+//!   directions, so metrics cannot ship undocumented.
 //!
 //! Three model entry points, coarsest to finest:
 //!
@@ -47,6 +50,7 @@
 
 pub mod artifacts;
 pub mod lint_src;
+pub mod metric_catalog;
 
 use std::io::Read;
 

@@ -1,0 +1,220 @@
+//! Catalog-coverage check (`DV200`): the DESIGN.md §5e metric table vs the
+//! runtime metric catalog.
+//!
+//! The runtime side of the truth is
+//! [`dice_telemetry::catalog_metric_names`] — produced by registering the
+//! real catalog into a scratch registry, so it cannot drift from the code.
+//! The documentation side is parsed back out of the markdown table in the
+//! "Runtime telemetry" section of DESIGN.md. [`check_catalog_coverage`]
+//! diffs the two sets in both directions and reports one warning-level
+//! `DV200` finding per undocumented or stale name, so a new metric cannot
+//! ship without a table row and a removed metric cannot linger in the docs.
+//!
+//! Table grammar (matching the prose that introduces it): each data row is
+//! `| <layer> | <names> | <kind> | <meaning> |`. The names cell holds one
+//! or more backtick code spans; a brace group with commas
+//! (`` `transition_cases_{g2g,g2a,a2g}_total` ``) expands to one name per
+//! alternative, and every name is prefixed `dice_<layer>_` unless it
+//! already starts with `dice_`. Only the names cell is harvested — code
+//! spans in the meaning column (label names, config knobs) are ignored.
+
+use std::collections::BTreeSet;
+
+use dice_core::{Diagnostic, DiagnosticCode};
+
+/// The heading the metric table lives under. Matched as a prefix of an
+/// `## ` line so section renumbering ("5e" staying put is part of the
+/// documented contract) still fails loudly if the whole section vanishes.
+const SECTION_HEADING: &str = "## 5e.";
+
+/// Extracts the documented metric names from DESIGN.md text.
+///
+/// # Errors
+///
+/// Returns a message when the §5e section or its table is missing — a
+/// structural problem distinct from a coverage gap.
+pub fn parse_design_metric_names(markdown: &str) -> Result<BTreeSet<String>, String> {
+    let mut in_section = false;
+    let mut names = BTreeSet::new();
+    for line in markdown.lines() {
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_section = format!("## {heading}").starts_with(SECTION_HEADING);
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| a | b | c | d |` splits into ["", a, b, c, d, ""].
+        if cells.len() < 5 {
+            continue;
+        }
+        let (layer, metric_cell) = (cells[1], cells[2]);
+        if layer.is_empty() || layer == "Layer" || layer.chars().all(|c| c == '-') {
+            continue; // header or separator row
+        }
+        for span in code_spans(metric_cell) {
+            for name in expand_braces(span) {
+                if name.starts_with("dice_") {
+                    names.insert(name);
+                } else {
+                    names.insert(format!("dice_{layer}_{name}"));
+                }
+            }
+        }
+    }
+    if !names.is_empty() {
+        return Ok(names);
+    }
+    Err(format!(
+        "no metric table found under the {SECTION_HEADING:?} heading"
+    ))
+}
+
+/// The backtick code spans of one table cell, in order.
+fn code_spans(cell: &str) -> Vec<&str> {
+    let mut spans = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let Some(len) = rest[open + 1..].find('`') else {
+            break;
+        };
+        spans.push(&rest[open + 1..open + 1 + len]);
+        rest = &rest[open + 1 + len + 1..];
+    }
+    spans
+}
+
+/// Expands one `prefix{a,b,c}suffix` brace group; names without braces (or
+/// with an unmatched one) pass through whole.
+fn expand_braces(name: &str) -> Vec<String> {
+    match name.find('{').zip(name.find('}')) {
+        Some((open, close)) if open < close => name[open + 1..close]
+            .split(',')
+            .map(|alt| format!("{}{}{}", &name[..open], alt.trim(), &name[close + 1..]))
+            .collect(),
+        _ => vec![name.to_string()],
+    }
+}
+
+/// Cross-checks the runtime catalog against DESIGN.md text, both ways.
+///
+/// Every finding is a warning-level [`DiagnosticCode::CatalogCoverage`]
+/// (`DV200`): either a registered metric with no table row, a documented
+/// name no longer registered, or (if the table itself is gone) one finding
+/// describing that.
+pub fn check_catalog_coverage(markdown: &str) -> Vec<Diagnostic> {
+    let documented = match parse_design_metric_names(markdown) {
+        Ok(names) => names,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                DiagnosticCode::CatalogCoverage,
+                format!("metric table unparseable: {e}"),
+            )]
+        }
+    };
+    let registered: BTreeSet<String> = dice_telemetry::catalog_metric_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let mut out = Vec::new();
+    for name in registered.difference(&documented) {
+        out.push(Diagnostic::new(
+            DiagnosticCode::CatalogCoverage,
+            format!("metric {name} is registered by the runtime catalog but has no DESIGN.md \u{a7}5e table row"),
+        ));
+    }
+    for name in documented.difference(&registered) {
+        out.push(Diagnostic::new(
+            DiagnosticCode::CatalogCoverage,
+            format!("DESIGN.md \u{a7}5e documents {name}, which the runtime catalog no longer registers"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brace_groups_and_multi_name_cells_expand() {
+        let doc = "\
+## 5e. Runtime telemetry
+
+| Layer | Metric | Kind | Meaning |
+| --- | --- | --- | --- |
+| engine | `transition_cases_{g2g,g2a,a2g}_total` | counter | per-case outcomes |
+| engine | `scan_rows_total` / `scan_rows_pruned_total` | counter | visited / pruned |
+| gateway | `a`, `b` | counter | labeled by `home` (span ignored) |
+
+## 5f. Next section
+
+| engine | `not_me` | counter | outside the section |
+";
+        let names = parse_design_metric_names(doc).unwrap();
+        let expect: BTreeSet<String> = [
+            "dice_engine_transition_cases_g2g_total",
+            "dice_engine_transition_cases_g2a_total",
+            "dice_engine_transition_cases_a2g_total",
+            "dice_engine_scan_rows_total",
+            "dice_engine_scan_rows_pruned_total",
+            "dice_gateway_a",
+            "dice_gateway_b",
+        ]
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn missing_section_is_a_parse_error_and_one_finding() {
+        assert!(parse_design_metric_names("## 5f. other\n").is_err());
+        let findings = check_catalog_coverage("nothing here");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code(), DiagnosticCode::CatalogCoverage);
+        assert!(findings[0].message().contains("unparseable"));
+    }
+
+    #[test]
+    fn drift_is_reported_in_both_directions() {
+        // A table with one stale row and (inevitably) every real metric
+        // missing: both directions must surface as DV200 warnings.
+        let doc = "\
+## 5e. Runtime telemetry
+
+| Layer | Metric | Kind | Meaning |
+| --- | --- | --- | --- |
+| engine | `windows_total` | counter | windows checked |
+| engine | `ghost_metric_total` | counter | no longer registered |
+";
+        let findings = check_catalog_coverage(doc);
+        assert!(findings
+            .iter()
+            .all(|d| d.code() == DiagnosticCode::CatalogCoverage));
+        assert!(!dice_core::has_errors(&findings), "DV200 is warning-level");
+        assert!(findings.iter().any(|d| d
+            .message()
+            .contains("dice_engine_ghost_metric_total, which the runtime catalog no longer")));
+        assert!(findings.iter().any(|d| d
+            .message()
+            .contains("dice_gateway_frames_total is registered")));
+        // The one documented real metric is not flagged.
+        assert!(!findings
+            .iter()
+            .any(|d| d.message().contains("dice_engine_windows_total ")));
+    }
+
+    #[test]
+    fn repo_design_md_covers_the_live_catalog_exactly() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+        let markdown = std::fs::read_to_string(path).expect("DESIGN.md readable");
+        let findings = check_catalog_coverage(&markdown);
+        assert!(
+            findings.is_empty(),
+            "catalog/docs drift:\n{}",
+            crate::render_report(&findings)
+        );
+    }
+}
