@@ -290,6 +290,25 @@ impl Default for EngineOptions {
     }
 }
 
+/// Candidate-scan results computed outside the engine for one window, the
+/// input to [`DiceEngine::process_window_prescanned`].
+///
+/// The contract mirrors what the engine's own scan produces: `candidates`
+/// must hold every group within the model's candidate distance of the
+/// window's state set sorted by `(distance, group)`, or — when none is
+/// within the threshold — the nearest group(s). A fleet shard computes this
+/// for many homes' ready windows in one batched sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowPrescan<'a> {
+    /// The resolved candidate list for this window's state set.
+    pub candidates: &'a [Candidate],
+    /// Scan work to attribute to this window in telemetry. Batched callers
+    /// typically attribute the whole batch's profile to one window of the
+    /// batch and [`ScanProfile::default`] to the rest, keeping process
+    /// totals accurate.
+    pub profile: ScanProfile,
+}
+
 #[derive(Debug, Clone)]
 enum Phase {
     Monitoring,
@@ -742,6 +761,37 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         end: Timestamp,
         events: &[Event],
     ) -> Option<FaultReport> {
+        self.process_window_impl(start, end, events, None)
+    }
+
+    /// [`DiceEngine::process_window`] with the candidate scan already
+    /// resolved: the caller ran this window's state set through a batched
+    /// scan (see [`RoutedScanIndex::candidates_batch_into`]
+    /// (crate::RoutedScanIndex::candidates_batch_into)) and hands the result
+    /// in, so the engine skips its own per-window scan. Everything else —
+    /// binarization, the checks, identification — is bit-identical to the
+    /// unbatched path.
+    ///
+    /// The prescan is consulted only when the window fails the correlation
+    /// check; for an exact-match window it is ignored, so a caller may
+    /// prescan conservatively.
+    pub fn process_window_prescanned(
+        &mut self,
+        start: Timestamp,
+        end: Timestamp,
+        events: &[Event],
+        prescan: WindowPrescan<'_>,
+    ) -> Option<FaultReport> {
+        self.process_window_impl(start, end, events, Some(prescan))
+    }
+
+    fn process_window_impl(
+        &mut self,
+        start: Timestamp,
+        end: Timestamp,
+        events: &[Event],
+        prescan: Option<WindowPrescan<'_>>,
+    ) -> Option<FaultReport> {
         let model = self.model.borrow();
 
         // Binarization + correlation check, both into engine-owned scratch:
@@ -756,21 +806,25 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
         let result = match detector.correlation_check(&obs) {
             None => {
                 let mut candidates = std::mem::take(&mut self.cand_scratch);
-                scan_profile = model.scan().candidates_into(
-                    &obs.state,
-                    model.candidate_distance(),
-                    &mut candidates,
-                );
-                if candidates.is_empty() {
-                    // Nothing within the threshold: substitute the nearest
-                    // group(s) once, here. Identification and the
-                    // previous-window summary both consume this list, where
-                    // each used to rescan the whole table on its own.
-                    let fallback = model.scan().nearest_into(&obs.state, &mut candidates);
-                    scan_profile.rows += fallback.rows;
-                    scan_profile.pruned += fallback.pruned;
-                    scan_profile.blocks += fallback.blocks;
-                    scan_profile.early_stops += fallback.early_stops;
+                if let Some(pre) = prescan {
+                    candidates.clear();
+                    candidates.extend_from_slice(pre.candidates);
+                    scan_profile = pre.profile;
+                } else {
+                    scan_profile = model.scan().candidates_into(
+                        &obs.state,
+                        model.candidate_distance(),
+                        &mut candidates,
+                    );
+                    if candidates.is_empty() {
+                        // Nothing within the threshold: substitute the
+                        // nearest group(s) once, here. Identification and
+                        // the previous-window summary both consume this
+                        // list, where each used to rescan the whole table
+                        // on its own.
+                        let fallback = model.scan().nearest_into(&obs.state, &mut candidates);
+                        scan_profile.absorb(fallback);
+                    }
                 }
                 CheckResult::CorrelationViolation { candidates }
             }
@@ -1652,9 +1706,11 @@ mod tests {
             snapshot.counter("dice_engine_reports_total"),
             Some(reports.len() as u64)
         );
-        // Bit-sliced scan stats: every correlation violation scanned at
-        // least one block, and the snapshot names the dispatched backend.
-        assert!(snapshot.counter("dice_engine_scan_blocks_total").unwrap() > 0);
+        // Scan stats: every correlation violation scanned rows (this small
+        // model routes row-major, so block counters stay zero), and the
+        // snapshot names the dispatched backend.
+        assert!(snapshot.counter("dice_engine_scan_rows_total").unwrap() > 0);
+        assert_eq!(snapshot.counter("dice_engine_scan_blocks_total"), Some(0));
         assert!(snapshot
             .counter("dice_engine_scan_early_stops_total")
             .is_some());

@@ -79,6 +79,7 @@ mod model;
 mod model_io;
 mod partition;
 mod scan;
+mod scan_routed;
 mod scan_sliced;
 mod stats;
 pub mod trace;
@@ -92,7 +93,9 @@ pub use bitset::BitSet;
 pub use config::{DiceConfig, DiceConfigBuilder};
 pub use detect::{CheckKind, CheckResult, Detector, PrevWindow, TransitionCase};
 pub use diag::{has_errors, Diagnostic, DiagnosticCode, Severity};
-pub use engine::{CostProfile, DetectionDetail, DiceEngine, EngineOptions, FaultReport};
+pub use engine::{
+    CostProfile, DetectionDetail, DiceEngine, EngineOptions, FaultReport, WindowPrescan,
+};
 pub use error::DiceError;
 pub use extract::{ContextExtractor, ModelBuilder};
 pub use groups::{Candidate, GroupTable};
@@ -104,6 +107,7 @@ pub use model_io::{
 };
 pub use partition::{Partition, PartitionedEngine, PartitionedModel};
 pub use scan::{ScanIndex, ScanProfile};
+pub use scan_routed::{RoutedScanIndex, SCAN_CROSSOVER_GROUPS};
 pub use scan_sliced::{
     ScanBackend, SlicedScanIndex, BLOCK_LANES, MAX_SLICED_DISTANCE, SCAN_BACKEND_ENV,
 };

@@ -8,7 +8,7 @@ use crate::binarize::Binarizer;
 use crate::config::DiceConfig;
 use crate::groups::GroupTable;
 use crate::layout::BitLayout;
-use crate::scan_sliced::SlicedScanIndex;
+use crate::scan_routed::RoutedScanIndex;
 use crate::transition::TransitionModel;
 
 /// Everything DICE precomputes (Figure 3.2, left half): the binarizer with
@@ -26,11 +26,11 @@ pub struct DiceModel {
     transitions: TransitionModel,
     num_actuators: usize,
     training_windows: u64,
-    /// Bit-sliced mirror of `groups` for the hot candidate scan; derived
-    /// state, rebuilt from the table on construction and after
-    /// deserialization.
+    /// Routed scan mirror of `groups` for the hot candidate scan —
+    /// row-major below the crossover, bit-sliced above it; derived state,
+    /// rebuilt from the table on construction and after deserialization.
     #[serde(skip)]
-    scan: SlicedScanIndex,
+    scan: RoutedScanIndex,
 }
 
 impl DiceModel {
@@ -45,7 +45,7 @@ impl DiceModel {
         num_actuators: usize,
         training_windows: u64,
     ) -> Self {
-        let scan = SlicedScanIndex::build(&groups);
+        let scan = RoutedScanIndex::build(&groups);
         DiceModel {
             config,
             binarizer,
@@ -82,8 +82,9 @@ impl DiceModel {
         &self.transitions
     }
 
-    /// The bit-sliced candidate-scan index over the group table.
-    pub fn scan(&self) -> &SlicedScanIndex {
+    /// The routed candidate-scan index over the group table (see
+    /// [`RoutedScanIndex`] for the size crossover).
+    pub fn scan(&self) -> &RoutedScanIndex {
         &self.scan
     }
 
@@ -139,7 +140,7 @@ impl DiceModel {
     /// group map and the packed scan index.
     pub fn rebuild_index(&mut self) {
         self.groups.rebuild_index_public();
-        self.scan = SlicedScanIndex::build(&self.groups);
+        self.scan = RoutedScanIndex::build(&self.groups);
     }
 
     /// Fraction of training windows that fell in `group`, an empirical prior
@@ -167,7 +168,7 @@ impl DiceModel {
         Binarizer,
         GroupTable,
         TransitionModel,
-        SlicedScanIndex,
+        RoutedScanIndex,
     ) {
         (
             self.config,
@@ -191,7 +192,7 @@ impl DiceModel {
         transitions: TransitionModel,
         num_actuators: usize,
         training_windows: u64,
-        scan: SlicedScanIndex,
+        scan: RoutedScanIndex,
     ) -> Self {
         debug_assert_eq!(
             scan.len(),

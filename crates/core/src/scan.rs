@@ -49,6 +49,17 @@ pub struct ScanProfile {
     pub early_stops: u32,
 }
 
+impl ScanProfile {
+    /// Adds another profile's counts into this one (element-wise), for
+    /// callers that merge the work of several scans into one report.
+    pub fn absorb(&mut self, other: ScanProfile) {
+        self.rows += other.rows;
+        self.pruned += other.pruned;
+        self.blocks += other.blocks;
+        self.early_stops += other.early_stops;
+    }
+}
+
 /// A packed, popcount-prefiltered mirror of a [`GroupTable`] for candidate
 /// scans.
 ///

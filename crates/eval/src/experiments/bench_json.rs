@@ -15,8 +15,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dice_core::{
-    BitSet, DiceConfig, DiceEngine, EngineOptions, GroupTable, ParallelTrainer, ScanBackend,
-    ScanIndex, SlicedScanIndex,
+    BitSet, DiceConfig, DiceEngine, EngineOptions, GroupTable, ParallelTrainer, RoutedScanIndex,
+    ScanBackend, ScanIndex, SlicedScanIndex, SCAN_CROSSOVER_GROUPS,
 };
 use dice_sim::testbed;
 use dice_telemetry::{Telemetry, TimeSeriesRecorder};
@@ -25,6 +25,7 @@ use dice_types::{
     SensorReading, TimeDelta, Timestamp,
 };
 
+use super::fleet_bench::{run_fleet_bench, FleetBenchResult, FLOOR_PLANS};
 use crate::runner::{train_scenario, RunnerConfig, TrainedDataset};
 
 /// hh102's state width: 33 binary sensors + 3 bits per numeric sensor.
@@ -41,6 +42,7 @@ struct ScanRow {
     indexed_ns: f64,
     bitsliced_ns: f64,
     batch_ns: f64,
+    routed_ns: f64,
     backend: &'static str,
 }
 
@@ -63,6 +65,10 @@ impl ScanRow {
 
     fn speedup_batch(&self) -> f64 {
         Self::ratio(self.naive_ns, self.batch_ns)
+    }
+
+    fn speedup_routed(&self) -> f64 {
+        Self::ratio(self.naive_ns, self.routed_ns)
     }
 }
 
@@ -133,6 +139,7 @@ fn candidate_scan_rows(num_bits: usize, sizes: &[usize]) -> Vec<ScanRow> {
             let table = synthetic_table(num_bits, groups);
             let index = ScanIndex::build(&table);
             let sliced = SlicedScanIndex::build(&table);
+            let routed = RoutedScanIndex::build(&table);
             let mut scratch = Vec::new();
             let mut batch_scratch: Vec<Vec<_>> = Vec::new();
             let naive_sweep = time_ns(|| {
@@ -163,6 +170,19 @@ fn candidate_scan_rows(num_bits: usize, sizes: &[usize]) -> Vec<ScanRow> {
                     })
                     .sum()
             });
+            let routed_sweep = time_ns(|| {
+                queries
+                    .iter()
+                    .map(|q| {
+                        let _ = routed.candidates_into(
+                            std::hint::black_box(q),
+                            MAX_DISTANCE,
+                            &mut scratch,
+                        );
+                        scratch.len()
+                    })
+                    .sum()
+            });
             let batch_sweep = time_ns(|| {
                 sliced.candidates_batch_into(
                     std::hint::black_box(&query_refs),
@@ -177,6 +197,7 @@ fn candidate_scan_rows(num_bits: usize, sizes: &[usize]) -> Vec<ScanRow> {
                 indexed_ns: indexed_sweep / queries.len() as f64,
                 bitsliced_ns: bitsliced_sweep / queries.len() as f64,
                 batch_ns: batch_sweep / queries.len() as f64,
+                routed_ns: routed_sweep / queries.len() as f64,
                 backend,
             }
         })
@@ -577,18 +598,19 @@ fn render_json(
     analysis: &AnalysisBench,
     overhead: &TelemetryOverhead,
     timeseries: &TimeseriesOverhead,
+    fleet: &[FleetBenchResult],
 ) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": 1,\n");
     let _ = writeln!(
         json,
-        "  \"candidate_scan\": {{\n    \"num_bits\": {HH102_BITS},\n    \"max_distance\": {MAX_DISTANCE},\n    \"rows\": ["
+        "  \"candidate_scan\": {{\n    \"num_bits\": {HH102_BITS},\n    \"max_distance\": {MAX_DISTANCE},\n    \"crossover_groups\": {SCAN_CROSSOVER_GROUPS},\n    \"rows\": ["
     );
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "      {{\"groups\": {}, \"naive_ns_per_scan\": {:.0}, \"scan_index_ns_per_scan\": {:.0}, \"speedup\": {:.2}, \"bitsliced_ns_per_scan\": {:.0}, \"speedup_bitsliced\": {:.2}, \"batch_ns_per_query\": {:.0}, \"speedup_batch\": {:.2}, \"backend\": \"{}\"}}{comma}",
+            "      {{\"groups\": {}, \"naive_ns_per_scan\": {:.0}, \"scan_index_ns_per_scan\": {:.0}, \"speedup\": {:.2}, \"bitsliced_ns_per_scan\": {:.0}, \"speedup_bitsliced\": {:.2}, \"batch_ns_per_query\": {:.0}, \"speedup_batch\": {:.2}, \"routed_ns_per_scan\": {:.0}, \"speedup_routed\": {:.2}, \"backend\": \"{}\"}}{comma}",
             row.groups,
             row.naive_ns,
             row.indexed_ns,
@@ -597,6 +619,8 @@ fn render_json(
             row.speedup_bitsliced(),
             row.batch_ns,
             row.speedup_batch(),
+            row.routed_ns,
+            row.speedup_routed(),
             row.backend
         );
     }
@@ -633,11 +657,32 @@ fn render_json(
     );
     let _ = writeln!(
         json,
-        "  \"timeseries_overhead\": {{\"noop_ns_per_window\": {:.0}, \"sampled_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}}",
+        "  \"timeseries_overhead\": {{\"noop_ns_per_window\": {:.0}, \"sampled_ns_per_window\": {:.0}, \"overhead_pct\": {:.2}}},",
         timeseries.noop_ns_per_window,
         timeseries.sampled_ns_per_window,
         timeseries.overhead_pct()
     );
+    let _ = writeln!(
+        json,
+        "  \"fleet\": {{\n    \"floor_plans\": {FLOOR_PLANS},\n    \"rows\": ["
+    );
+    for (i, r) in fleet.iter().enumerate() {
+        let comma = if i + 1 < fleet.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"homes\": {}, \"shards\": {}, \"minutes\": {}, \"windows\": {}, \"elapsed_ms\": {:.1}, \"windows_per_sec\": {:.0}, \"homes_per_sec\": {:.0}, \"alarms\": {}, \"models_resident\": {}}}{comma}",
+            r.homes,
+            r.shards,
+            r.minutes,
+            r.windows,
+            r.elapsed_ms,
+            r.windows_per_sec(),
+            r.homes_per_sec(),
+            r.alarms,
+            r.models_resident
+        );
+    }
+    json.push_str("    ]\n  }\n");
     json.push_str("}\n");
     json
 }
@@ -654,6 +699,7 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let (throughput, overhead, timeseries) = engine_throughput();
     let training = training_bench(48);
     let analysis = analysis_bench(48);
+    let fleet = [run_fleet_bench(1000, 0, 60), run_fleet_bench(10_000, 0, 60)];
     let json = render_json(
         &rows,
         &throughput,
@@ -661,6 +707,7 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         &analysis,
         &overhead,
         &timeseries,
+        &fleet,
     );
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
 
@@ -673,7 +720,7 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     for row in &rows {
         let _ = writeln!(
             out,
-            "  {:>6} groups: naive {:>9.0} ns/scan, indexed {:>9.0} ns/scan ({:.2}x), bitsliced[{}] {:>7.0} ns/scan ({:.2}x), batch {:>7.0} ns/query ({:.2}x)",
+            "  {:>6} groups: naive {:>9.0} ns/scan, indexed {:>9.0} ns/scan ({:.2}x), bitsliced[{}] {:>7.0} ns/scan ({:.2}x), batch {:>7.0} ns/query ({:.2}x), routed {:>7.0} ns/scan ({:.2}x)",
             row.groups,
             row.naive_ns,
             row.indexed_ns,
@@ -682,9 +729,15 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
             row.bitsliced_ns,
             row.speedup_bitsliced(),
             row.batch_ns,
-            row.speedup_batch()
+            row.speedup_batch(),
+            row.routed_ns,
+            row.speedup_routed()
         );
     }
+    let _ = writeln!(
+        out,
+        "routed crossover: row-major below {SCAN_CROSSOVER_GROUPS} groups, bit-sliced above"
+    );
     let _ = writeln!(
         out,
         "end-to-end: {} windows in {:.1} ms ({:.0} windows/s)",
@@ -721,6 +774,19 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         timeseries.sampled_ns_per_window,
         timeseries.overhead_pct()
     );
+    for r in &fleet {
+        let _ = writeln!(
+            out,
+            "fleet: {} homes / {} shards: {} windows in {:.1} ms ({:.0} windows/sec, {:.0} homes/sec, {} models resident)",
+            r.homes,
+            r.shards,
+            r.windows,
+            r.elapsed_ms,
+            r.windows_per_sec(),
+            r.homes_per_sec(),
+            r.models_resident
+        );
+    }
     Ok(out)
 }
 
@@ -733,6 +799,7 @@ mod tests {
         let table = synthetic_table(HH102_BITS, 200);
         let index = ScanIndex::build(&table);
         let sliced = SlicedScanIndex::build(&table);
+        let routed = RoutedScanIndex::build(&table);
         let queries = synthetic_queries(HH102_BITS, 8);
         for query in &queries {
             assert_eq!(
@@ -742,6 +809,10 @@ mod tests {
             assert_eq!(
                 table.candidates(query, MAX_DISTANCE),
                 sliced.candidates(query, MAX_DISTANCE)
+            );
+            assert_eq!(
+                table.candidates(query, MAX_DISTANCE),
+                routed.candidates(query, MAX_DISTANCE)
             );
         }
         let refs: Vec<&BitSet> = queries.iter().collect();
@@ -760,6 +831,7 @@ mod tests {
             indexed_ns: 250.0,
             bitsliced_ns: 50.0,
             batch_ns: 40.0,
+            routed_ns: 200.0,
             backend: "avx2",
         }];
         let throughput = Throughput {
@@ -788,6 +860,22 @@ mod tests {
             noop_ns_per_window: 1800.0,
             sampled_ns_per_window: 1857.0,
         };
+        let fleet = [FleetBenchResult {
+            homes: 1000,
+            shards: 8,
+            minutes: 60,
+            frames: 90_000,
+            events: 90_000,
+            windows: 60_000,
+            batched_scans: 120,
+            alarms: 63,
+            suppressed: 10,
+            alarming_homes: 63,
+            faulty_homes: 63,
+            models_resident: 4,
+            backpressure_waits: 0,
+            elapsed_ms: 500.0,
+        }];
         let json = render_json(
             &rows,
             &throughput,
@@ -795,6 +883,7 @@ mod tests {
             &analysis,
             &overhead,
             &timeseries,
+            &fleet,
         );
         assert!(json.contains("\"candidate_scan\""));
         assert!(json.contains("\"speedup\": 4.00"));
@@ -814,7 +903,26 @@ mod tests {
         assert!(json.contains("\"timeseries_overhead\""));
         assert!(json.contains("\"sampled_ns_per_window\": 1857"));
         assert!(json.contains("\"overhead_pct\": 3.17"));
+        assert!(json.contains("\"routed_ns_per_scan\": 200"));
+        assert!(json.contains("\"speedup_routed\": 5.00"));
+        assert!(json.contains("\"crossover_groups\""));
+        assert!(json.contains("\"fleet\""));
+        assert!(json.contains("\"homes\": 1000"));
+        assert!(json.contains("\"windows_per_sec\": 120000"));
+        assert!(json.contains("\"homes_per_sec\": 2000"));
+        assert!(json.contains("\"models_resident\": 4"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    #[ignore = "measurement probe"]
+    fn crossover_probe() {
+        for row in candidate_scan_rows(HH102_BITS, &[50, 100, 200, 300, 400, 600, 800, 1200]) {
+            println!(
+                "{:>5} groups: rows {:.0} ns, sliced {:.0} ns, routed {:.0} ns",
+                row.groups, row.indexed_ns, row.bitsliced_ns, row.routed_ns
+            );
+        }
     }
 
     #[test]

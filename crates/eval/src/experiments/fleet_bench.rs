@@ -1,0 +1,268 @@
+//! The `fleet-bench` command: deterministic multi-home fleet throughput.
+//!
+//! Builds a fleet of synthetic homes drawn from a handful of floor plans
+//! (each plan trained once and shared through the
+//! [`ModelCache`](dice_fleet::ModelCache)), streams a seeded per-home
+//! event schedule through the sharded service's wire-frame ingestion
+//! path, and reports homes/sec and windows/sec. A fixed residue class of
+//! homes drops a correlated sensor, so the run always exercises the
+//! batched candidate-scan path and alarm totals are deterministic —
+//! invariant under the shard count (see `tests/fleet.rs`).
+//
+// lint-src: allow-file(wall-clock) — a benchmark exists to read the clock;
+// timings are reported, never fed back into model state.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dice_core::{ContextExtractor, DiceConfig, DiceModel};
+use dice_fleet::{Fleet, FleetConfig, ModelCache};
+use dice_types::{
+    DeviceRegistry, Event, EventLog, Room, SensorId, SensorKind, SensorReading, TimeDelta,
+    Timestamp,
+};
+
+/// Distinct floor plans across the fleet; home `h` uses plan
+/// `h % FLOOR_PLANS`, so model memory stays constant as homes scale.
+pub(crate) const FLOOR_PLANS: usize = 4;
+
+/// Homes with `h % 16 == FAULTY_RESIDUE` fail-stop their second sensor,
+/// so a fixed 1/16 of the fleet raises deterministic alarms.
+const FAULTY_RESIDUE: u32 = 3;
+
+/// Training horizon per floor plan, in minutes.
+const TRAINING_MINUTES: i64 = 240;
+
+/// One fleet-bench run's results, consumed by both the CLI command and
+/// the `fleet` section of `bench-json`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FleetBenchResult {
+    /// Homes served.
+    pub homes: usize,
+    /// Shards the run resolved to (0 on input means one per core).
+    pub shards: usize,
+    /// Simulated minutes streamed per home.
+    pub minutes: i64,
+    /// Wire frames pushed through the shard queues.
+    pub frames: u64,
+    /// Events accepted into the monitored range.
+    pub events: u64,
+    /// Windows closed across all homes.
+    pub windows: u64,
+    /// Cross-home batched candidate scans issued.
+    pub batched_scans: u64,
+    /// Alarms delivered.
+    pub alarms: u64,
+    /// Alarms suppressed by per-home cooldowns.
+    pub suppressed: u64,
+    /// Homes that raised at least one alarm.
+    pub alarming_homes: usize,
+    /// Homes seeded with the fail-stop fault.
+    pub faulty_homes: usize,
+    /// Distinct `DiceModel` allocations resident across the fleet.
+    pub models_resident: usize,
+    /// Sends that found their shard queue full and blocked.
+    pub backpressure_waits: u64,
+    /// Wall time of the serving run (training excluded).
+    pub elapsed_ms: f64,
+}
+
+impl FleetBenchResult {
+    /// Windows closed per wall-clock second.
+    pub fn windows_per_sec(&self) -> f64 {
+        if self.elapsed_ms > 0.0 {
+            self.windows as f64 * 1000.0 / self.elapsed_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Full home streams served per wall-clock second.
+    pub fn homes_per_sec(&self) -> f64 {
+        if self.elapsed_ms > 0.0 {
+            self.homes as f64 * 1000.0 / self.elapsed_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Floor plan `extra`'s registry: `3 + extra` motion sensors, the first
+/// two correlated in the kitchen (mirroring the gateway test fixture).
+fn plan_devices(extra: usize) -> (DeviceRegistry, Vec<SensorId>) {
+    let mut registry = DeviceRegistry::new();
+    let sensors = (0..3 + extra)
+        .map(|i| {
+            let room = if i < 2 { Room::Kitchen } else { Room::Bedroom };
+            registry.add_sensor(SensorKind::Motion, format!("s{i}"), room)
+        })
+        .collect();
+    (registry, sensors)
+}
+
+/// Trains floor plan `extra` on a deterministic alternating log: sensors
+/// 0 and 1 fire together on even minutes (one correlation group), the
+/// remaining sensors take turns on odd minutes.
+fn train_plan(extra: usize) -> DiceModel {
+    let (registry, sensors) = plan_devices(extra);
+    let mut log = EventLog::new();
+    for minute in 0..TRAINING_MINUTES {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+        if minute % 2 == 0 {
+            log.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+            log.push_sensor(SensorReading::new(sensors[1], at, true.into()));
+        } else {
+            let idx = 2 + (minute as usize / 2) % (sensors.len() - 2);
+            log.push_sensor(SensorReading::new(sensors[idx], at, true.into()));
+        }
+    }
+    ContextExtractor::new(DiceConfig::default())
+        .extract(&registry, &mut log)
+        .expect("plan training log is non-empty")
+}
+
+/// Builds (or reuses) the shared floor-plan models through `cache`.
+fn plan_models(cache: &ModelCache) -> Vec<Arc<DiceModel>> {
+    (0..FLOOR_PLANS)
+        .map(|k| cache.get_or_train(&format!("plan{k}"), || train_plan(k)))
+        .collect()
+}
+
+/// Runs the fleet benchmark: `homes` homes for `minutes` simulated
+/// minutes over `shards` shards (0 = one per core). Fully deterministic
+/// apart from wall time: the event schedule is seeded per home by its id.
+pub(crate) fn run_fleet_bench(homes: usize, shards: usize, minutes: i64) -> FleetBenchResult {
+    let cache = ModelCache::new();
+    let models = plan_models(&cache);
+    let plan_sensors: Vec<Vec<SensorId>> = (0..FLOOR_PLANS).map(|k| plan_devices(k).1).collect();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        shards,
+        ..FleetConfig::default()
+    });
+    for h in 0..homes {
+        fleet.register_home(h as u32, Arc::clone(&models[h % FLOOR_PLANS]));
+    }
+
+    let from = Timestamp::from_mins(0);
+    let to = Timestamp::from_mins(minutes);
+    let start = Instant::now();
+    let run = fleet.run(from, to, |sender| {
+        for minute in 0..minutes {
+            for h in 0..homes as u32 {
+                let sensors = &plan_sensors[h as usize % FLOOR_PLANS];
+                // Each home's phase offset seeds its schedule within the
+                // window without moving events across window boundaries.
+                let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5 + i64::from(h % 7));
+                if minute % 2 == 0 {
+                    let reading = SensorReading::new(sensors[0], at, true.into());
+                    sender.send(h, &Event::Sensor(reading));
+                    if h % 16 != FAULTY_RESIDUE {
+                        let partner = SensorReading::new(sensors[1], at, true.into());
+                        sender.send(h, &Event::Sensor(partner));
+                    }
+                } else {
+                    let idx = 2 + (minute as usize / 2) % (sensors.len() - 2);
+                    let reading = SensorReading::new(sensors[idx], at, true.into());
+                    sender.send(h, &Event::Sensor(reading));
+                }
+            }
+        }
+    });
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    FleetBenchResult {
+        homes,
+        shards: run.stats.shards,
+        minutes,
+        frames: run.stats.frames,
+        events: run.stats.events,
+        windows: run.stats.windows,
+        batched_scans: run.stats.batched_scans,
+        alarms: run.stats.alarms,
+        suppressed: run.stats.suppressed,
+        alarming_homes: run.alarms.iter().filter(|a| !a.reports.is_empty()).count(),
+        faulty_homes: (0..homes as u32)
+            .filter(|h| h % 16 == FAULTY_RESIDUE)
+            .count(),
+        models_resident: run.stats.models_resident,
+        backpressure_waits: run.stats.backpressure_waits,
+        elapsed_ms,
+    }
+}
+
+/// Runs the fleet benchmark and renders a human-readable report.
+///
+/// # Errors
+///
+/// Returns an error for non-positive home or minute counts.
+pub fn fleet_bench(homes: usize, shards: usize, minutes: i64) -> Result<String, String> {
+    if homes == 0 {
+        return Err("fleet-bench needs at least one home".to_string());
+    }
+    if minutes <= 0 {
+        return Err("fleet-bench needs a positive minute count".to_string());
+    }
+    let r = run_fleet_bench(homes, shards, minutes);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet-bench: {} homes over {} shards, {} simulated minutes",
+        r.homes, r.shards, r.minutes
+    );
+    let _ = writeln!(
+        out,
+        "  models: {} resident across {} homes ({:.1} homes/model)",
+        r.models_resident,
+        r.homes,
+        r.homes as f64 / r.models_resident.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "  ingest: {} frames, {} events, {} backpressure waits",
+        r.frames, r.events, r.backpressure_waits
+    );
+    let _ = writeln!(
+        out,
+        "  detect: {} windows closed, {} batched scans",
+        r.windows, r.batched_scans
+    );
+    let _ = writeln!(
+        out,
+        "  alarms: {} delivered across {} homes ({} seeded faulty), {} suppressed by cooldown",
+        r.alarms, r.alarming_homes, r.faulty_homes, r.suppressed
+    );
+    let _ = writeln!(
+        out,
+        "  wall: {:.1} ms -> {:.0} windows/sec, {:.0} homes/sec",
+        r.elapsed_ms,
+        r.windows_per_sec(),
+        r.homes_per_sec()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_is_deterministic_and_alarms_on_faulty_homes() {
+        let r = run_fleet_bench(32, 2, 20);
+        assert_eq!(r.homes, 32);
+        assert_eq!(r.shards, 2);
+        assert_eq!(r.windows, 32 * 20);
+        assert_eq!(r.models_resident, FLOOR_PLANS);
+        assert_eq!(r.faulty_homes, 2);
+        assert_eq!(r.alarming_homes, r.faulty_homes);
+        assert!(r.batched_scans > 0, "faulty homes must hit the batch scan");
+        assert_eq!(r.frames, r.events, "all sent frames land in range");
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(fleet_bench(0, 1, 10).is_err());
+        assert!(fleet_bench(8, 1, 0).is_err());
+    }
+}

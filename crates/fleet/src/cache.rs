@@ -1,0 +1,109 @@
+//! The read-only model cache: homes sharing a floor plan share one
+//! trained [`DiceModel`].
+//!
+//! Fleet memory must scale with the number of *distinct* models, not the
+//! number of homes — a property the engine's `Borrow<DiceModel>` bound
+//! makes free: every home's engine holds an `Arc<DiceModel>` clone, and
+//! the cache guarantees one allocation per plan key. Models are immutable
+//! once trained, so shards read them lock-free through their own handles;
+//! the cache mutex guards only insertion.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dice_core::DiceModel;
+
+/// A keyed store of shared, immutable trained models.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    models: Mutex<BTreeMap<String, Arc<DiceModel>>>,
+}
+
+impl ModelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ModelCache::default()
+    }
+
+    /// Returns the model stored under `key`, training it with `train` on
+    /// first use. Every caller with the same key gets a handle to the same
+    /// allocation.
+    pub fn get_or_train(&self, key: &str, train: impl FnOnce() -> DiceModel) -> Arc<DiceModel> {
+        let mut models = self.models.lock();
+        if let Some(model) = models.get(key) {
+            return Arc::clone(model);
+        }
+        let model = Arc::new(train());
+        models.insert(key.to_string(), Arc::clone(&model));
+        model
+    }
+
+    /// The model stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Arc<DiceModel>> {
+        self.models.lock().get(key).cloned()
+    }
+
+    /// Number of distinct models resident.
+    pub fn len(&self) -> usize {
+        self.models.lock().len()
+    }
+
+    /// Whether the cache holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_core::{ContextExtractor, DiceConfig};
+    use dice_types::{
+        DeviceRegistry, EventLog, Room, SensorKind, SensorReading, TimeDelta, Timestamp,
+    };
+
+    fn tiny_model() -> DiceModel {
+        let mut reg = DeviceRegistry::new();
+        let s0 = reg.add_sensor(SensorKind::Motion, "s0", Room::Kitchen);
+        let s1 = reg.add_sensor(SensorKind::Motion, "s1", Room::Bedroom);
+        let mut log = EventLog::new();
+        for minute in 0..120 {
+            let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+            let sensor = if minute % 2 == 0 { s0 } else { s1 };
+            log.push_sensor(SensorReading::new(sensor, at, true.into()));
+        }
+        ContextExtractor::new(DiceConfig::default())
+            .extract(&reg, &mut log)
+            .unwrap()
+    }
+
+    #[test]
+    fn same_key_shares_one_allocation() {
+        let cache = ModelCache::new();
+        let mut trained = 0;
+        let a = cache.get_or_train("plan0", || {
+            trained += 1;
+            tiny_model()
+        });
+        let b = cache.get_or_train("plan0", || {
+            trained += 1;
+            tiny_model()
+        });
+        assert_eq!(trained, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&cache.get("plan0").unwrap(), &a));
+        assert!(cache.get("plan1").is_none());
+    }
+
+    #[test]
+    fn distinct_keys_train_distinct_models() {
+        let cache = ModelCache::new();
+        let a = cache.get_or_train("plan0", tiny_model);
+        let b = cache.get_or_train("plan1", tiny_model);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Home→shard routing: a stable hash of the home id over the shard count.
+//!
+//! The router must be a pure function of `(home, shards)` so that any
+//! sender, on any thread, in any process generation, routes a home to the
+//! same shard — per-home event order is preserved end to end because one
+//! home's frames always flow through one queue. It reuses the repo's
+//! FNV-style [`Fingerprint`] rather than `DefaultHasher`, whose output the
+//! standard library does not promise to keep stable across releases.
+
+use dice_core::fingerprint::Fingerprint;
+
+use crate::frame::HomeId;
+
+/// The shard `home` routes to, in `0..shards`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_for_home(home: HomeId, shards: usize) -> usize {
+    assert!(shards > 0, "fleet must run at least one shard");
+    let mut fp = Fingerprint::new();
+    fp.push_u64(u64::from(home));
+    (fp.finish() % shards as u64) as usize
+}
+
+/// The default shard count: one per available core, 1 when the runtime
+/// cannot tell.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1, 2, 3, 8, 16] {
+            for home in 0..1000u32 {
+                let shard = shard_for_home(home, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, shard_for_home(home, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn homes_spread_across_shards() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for home in 0..10_000u32 {
+            counts[shard_for_home(home, shards)] += 1;
+        }
+        // A stable hash should land every shard well within 2x of fair.
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 10_000 / shards / 2 && count < 10_000 / shards * 2,
+                "shard {shard} got {count} of 10000 homes"
+            );
+        }
+    }
+
+    #[test]
+    fn default_shards_is_positive() {
+        assert!(default_shards() >= 1);
+    }
+}

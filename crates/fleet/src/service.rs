@@ -1,0 +1,330 @@
+//! The fleet service: shard threads behind bounded queues, fed through
+//! the binary wire frame.
+//!
+//! [`Fleet::run`] spawns one thread per shard, hands the caller a
+//! [`FleetSender`] that encodes events into per-shard frame batches, and
+//! routes every batch through a bounded channel — the ingestion boundary
+//! is bytes on a queue, exactly what a socket transport would deliver.
+//! Back-pressure is accounted, never dropped: a send that finds its shard
+//! queue full blocks (and counts a wait) rather than shedding frames.
+//! Alarm output is invariant under the shard count because a home's whole
+//! stream flows through exactly one shard in order, and every shard's
+//! state is strictly per home.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, Sender};
+
+use dice_core::{DiceModel, FaultReport};
+use dice_telemetry::Telemetry;
+use dice_types::{Event, TimeDelta, Timestamp};
+
+use crate::frame::{encode_frame_into, HomeId, MAX_FRAME_BODY};
+use crate::router::{default_shards, shard_for_home};
+use crate::shard::{ShardEngine, ShardStats};
+
+/// Tunables for a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shard (thread) count; 0 means [`default_shards`] — one per core.
+    pub shards: usize,
+    /// Bounded depth of each shard's batch queue; a send beyond it blocks
+    /// and counts a back-pressure wait.
+    pub queue_capacity: usize,
+    /// Frames packed per batch buffer before it is flushed to the shard.
+    pub frames_per_batch: usize,
+    /// Ready windows a shard collects before a batched detection sweep.
+    pub batch_windows: usize,
+    /// Per-home alarm cooldown (see the single-home gateway).
+    pub alarm_cooldown: TimeDelta,
+    /// Telemetry sink shared by the shards and their engines.
+    pub telemetry: Telemetry,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 0,
+            queue_capacity: 64,
+            frames_per_batch: 32,
+            batch_windows: 64,
+            alarm_cooldown: TimeDelta::from_mins(60),
+            telemetry: Telemetry::global(),
+        }
+    }
+}
+
+/// One home's alarms from a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeAlarms {
+    /// The home the reports belong to.
+    pub home: HomeId,
+    /// The home's fault reports, in emission order.
+    pub reports: Vec<FaultReport>,
+}
+
+/// Aggregate counters from one fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Homes served.
+    pub homes: usize,
+    /// Shards run.
+    pub shards: usize,
+    /// Distinct `DiceModel` allocations resident across all homes.
+    pub models_resident: usize,
+    /// Wire frames sent through the shard queues.
+    pub frames: u64,
+    /// Frame batches dropped as undecodable.
+    pub decode_errors: u64,
+    /// Events accepted into the monitored range.
+    pub events: u64,
+    /// Windows closed across all homes.
+    pub windows: u64,
+    /// Cross-home batched candidate scans issued.
+    pub batched_scans: u64,
+    /// Alarms delivered.
+    pub alarms: u64,
+    /// Alarms suppressed by per-home cooldowns.
+    pub suppressed: u64,
+    /// Sends that found their shard queue at capacity and blocked.
+    pub backpressure_waits: u64,
+}
+
+/// The result of one fleet run: aggregate counters plus every home's
+/// alarms, ascending by home id (shard-count-invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRun {
+    /// Aggregate counters.
+    pub stats: FleetStats,
+    /// Per-home alarm reports, ascending by home id.
+    pub alarms: Vec<HomeAlarms>,
+}
+
+/// The ingestion handle [`Fleet::run`] passes to its feed closure:
+/// encodes events as wire frames, packs them into per-shard batches, and
+/// pushes batches through the bounded shard queues.
+#[derive(Debug)]
+pub struct FleetSender<'a> {
+    txs: &'a [Sender<Bytes>],
+    staging: Vec<BytesMut>,
+    counts: Vec<usize>,
+    frames_per_batch: usize,
+    queue_capacity: usize,
+    telemetry: &'a Telemetry,
+    frames: u64,
+    backpressure_waits: u64,
+}
+
+impl FleetSender<'_> {
+    /// Encodes and routes one event for `home`. The frame lands on its
+    /// home's shard queue once the shard's staging batch fills.
+    pub fn send(&mut self, home: HomeId, event: &Event) {
+        let shard = shard_for_home(home, self.txs.len());
+        encode_frame_into(home, event, &mut self.staging[shard]);
+        self.frames += 1;
+        self.counts[shard] += 1;
+        if self.counts[shard] >= self.frames_per_batch {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Flushes every shard's partial batch.
+    pub fn flush(&mut self) {
+        for shard in 0..self.txs.len() {
+            self.flush_shard(shard);
+        }
+    }
+
+    fn flush_shard(&mut self, shard: usize) {
+        if self.counts[shard] == 0 {
+            return;
+        }
+        let capacity = self.staging[shard].len().max(MAX_FRAME_BODY);
+        let batch = std::mem::replace(&mut self.staging[shard], BytesMut::with_capacity(capacity));
+        self.counts[shard] = 0;
+        if self.txs[shard].len() >= self.queue_capacity {
+            self.backpressure_waits += 1;
+            if let Some(rec) = self.telemetry.recorder() {
+                rec.metrics.fleet.backpressure_waits_total.inc();
+            }
+        }
+        // The queue is bounded; a full queue blocks here until the shard
+        // drains (back-pressure, not loss). The shard only hangs up early
+        // if it panicked, in which case the join below surfaces it.
+        let _ = self.txs[shard].send(batch.freeze());
+    }
+}
+
+/// A sharded multi-home serving instance; register homes, then
+/// [`Fleet::run`] a stream through it.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    config: FleetConfig,
+    homes: Vec<(HomeId, Arc<DiceModel>)>,
+    ids: BTreeSet<HomeId>,
+}
+
+impl Fleet {
+    /// Creates an empty fleet with `config`.
+    pub fn new(config: FleetConfig) -> Self {
+        Fleet {
+            config,
+            homes: Vec::new(),
+            ids: BTreeSet::new(),
+        }
+    }
+
+    /// Registers a home served by `model`. Homes sharing a floor plan
+    /// pass clones of the same `Arc` (see
+    /// [`ModelCache`](crate::ModelCache)), which is what keeps fleet
+    /// memory proportional to distinct models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is already registered.
+    pub fn register_home(&mut self, home: HomeId, model: Arc<DiceModel>) {
+        assert!(self.ids.insert(home), "home {home} registered twice");
+        self.homes.push((home, model));
+    }
+
+    /// Number of registered homes.
+    pub fn homes(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Number of distinct `DiceModel` allocations across registered homes
+    /// — the fleet's model memory footprint, independent of home count.
+    pub fn models_resident(&self) -> usize {
+        self.homes
+            .iter()
+            .map(|(_, m)| Arc::as_ptr(m))
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Runs the fleet over `[from, to)`: spawns the shard threads, calls
+    /// `feed` with the ingestion handle, and — once `feed` returns and
+    /// the queues drain — closes every home's remaining windows, flushes
+    /// the engines, and returns the merged result.
+    pub fn run(
+        self,
+        from: Timestamp,
+        to: Timestamp,
+        feed: impl FnOnce(&mut FleetSender<'_>),
+    ) -> FleetRun {
+        let shards = if self.config.shards == 0 {
+            default_shards()
+        } else {
+            self.config.shards
+        };
+        let models_resident = self.models_resident();
+        let telemetry = &self.config.telemetry;
+        if let Some(rec) = telemetry.recorder() {
+            rec.metrics.fleet.homes.set(self.homes.len() as i64);
+            rec.metrics.fleet.shards.set(shards as i64);
+            rec.metrics
+                .fleet
+                .models_resident
+                .set(models_resident as i64);
+        }
+
+        let mut stats = FleetStats {
+            homes: self.homes.len(),
+            shards,
+            models_resident,
+            ..FleetStats::default()
+        };
+
+        let mut shard_homes: Vec<Vec<(HomeId, Arc<DiceModel>)>> = vec![Vec::new(); shards];
+        for (home, model) in &self.homes {
+            shard_homes[shard_for_home(*home, shards)].push((*home, Arc::clone(model)));
+        }
+
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded::<Bytes>(self.config.queue_capacity.max(1));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let mut alarms: Vec<HomeAlarms> = Vec::with_capacity(self.homes.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = rxs
+                .into_iter()
+                .zip(shard_homes)
+                .enumerate()
+                .map(|(shard, (rx, homes))| {
+                    let telemetry = telemetry.clone();
+                    let batch_windows = self.config.batch_windows;
+                    let cooldown = self.config.alarm_cooldown;
+                    scope.spawn(move || {
+                        let depth = telemetry.recorder().map(|rec| {
+                            rec.metrics
+                                .fleet
+                                .shard_depth
+                                .with_label_values(&[&shard.to_string()])
+                        });
+                        let mut engine = ShardEngine::new(
+                            shard,
+                            homes,
+                            batch_windows,
+                            cooldown,
+                            from,
+                            to,
+                            telemetry,
+                        );
+                        while let Ok(batch) = rx.recv() {
+                            if let Some(depth) = &depth {
+                                depth.set_max(rx.len() as i64 + 1);
+                            }
+                            engine.ingest_batch(&batch);
+                        }
+                        engine.finish()
+                    })
+                })
+                .collect();
+
+            let mut sender = FleetSender {
+                txs: &txs,
+                staging: (0..shards).map(|_| BytesMut::new()).collect(),
+                counts: vec![0; shards],
+                frames_per_batch: self.config.frames_per_batch.max(1),
+                queue_capacity: self.config.queue_capacity.max(1),
+                telemetry,
+                frames: 0,
+                backpressure_waits: 0,
+            };
+            feed(&mut sender);
+            sender.flush();
+            stats.frames = sender.frames;
+            stats.backpressure_waits = sender.backpressure_waits;
+            drop(sender);
+            drop(txs);
+
+            for handle in handles {
+                let (homes, shard_stats) = handle.join().expect("shard thread panicked");
+                absorb_shard(&mut stats, &shard_stats);
+                alarms.extend(
+                    homes
+                        .into_iter()
+                        .map(|(home, reports)| HomeAlarms { home, reports }),
+                );
+            }
+        });
+        alarms.sort_by_key(|a| a.home);
+        FleetRun { stats, alarms }
+    }
+}
+
+/// Folds one shard's counters into the run totals.
+fn absorb_shard(stats: &mut FleetStats, shard: &ShardStats) {
+    stats.decode_errors += shard.decode_errors;
+    stats.events += shard.events;
+    stats.windows += shard.windows;
+    stats.batched_scans += shard.batched_scans;
+    stats.alarms += shard.alarms;
+    stats.suppressed += shard.suppressed;
+}

@@ -1,0 +1,425 @@
+//! The per-shard engine pool: every home owns its windowing state and
+//! engine, ready windows are detected in cross-home batches.
+//!
+//! A shard receives packed frame batches for its subset of homes, closes
+//! each home's one-minute windows as that home's stream passes their
+//! boundaries, and parks closed windows in a ready list. When the list
+//! reaches the configured batch size (or the stream ends) the shard
+//! resolves every violating window's candidate scan in one batched sweep
+//! per distinct model — the natural batches PR 7's
+//! `candidates_batch_into` was built for — and then drives each home's
+//! engine through [`DiceEngine::process_window_prescanned`], which is
+//! bit-identical to the unbatched path. Identification state, alarm
+//! cooldowns, and reports stay strictly per home, so shard composition
+//! never leaks state across homes and alarm output is invariant under the
+//! shard count.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use dice_core::{
+    BinarizeScratch, Candidate, Detector, DiceEngine, DiceModel, EngineOptions, FaultReport,
+    ScanProfile, WindowObservation, WindowPrescan,
+};
+use dice_telemetry::Telemetry;
+use dice_types::{DeviceId, Event, TimeDelta, Timestamp};
+
+use crate::frame::{decode_frames, FleetFrame, HomeId};
+
+/// Counters one shard accumulates over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Wire frames decoded.
+    pub frames: u64,
+    /// Frame batches dropped (from the first bad frame onward).
+    pub decode_errors: u64,
+    /// Events accepted into the monitored range.
+    pub events: u64,
+    /// Windows closed and processed.
+    pub windows: u64,
+    /// Cross-home batched candidate scans issued.
+    pub batched_scans: u64,
+    /// Alarms delivered.
+    pub alarms: u64,
+    /// Alarms suppressed by the per-home cooldown.
+    pub suppressed: u64,
+}
+
+impl ShardStats {
+    /// Adds another shard's counts into this one.
+    pub fn absorb(&mut self, other: &ShardStats) {
+        self.frames += other.frames;
+        self.decode_errors += other.decode_errors;
+        self.events += other.events;
+        self.windows += other.windows;
+        self.batched_scans += other.batched_scans;
+        self.alarms += other.alarms;
+        self.suppressed += other.suppressed;
+    }
+}
+
+/// One home's serving state: its engine (holding a shared model handle),
+/// the open window, and the alarm-cooldown ledger.
+#[derive(Debug)]
+struct HomeState {
+    home: HomeId,
+    model: Arc<DiceModel>,
+    engine: DiceEngine<Arc<DiceModel>>,
+    window: TimeDelta,
+    window_start: Timestamp,
+    events: Vec<Event>,
+    last_alarmed: HashMap<DeviceId, Timestamp>,
+    reports: Vec<FaultReport>,
+}
+
+/// A closed window waiting for the next batched detection sweep.
+#[derive(Debug)]
+struct ReadyWindow {
+    slot: usize,
+    start: Timestamp,
+    end: Timestamp,
+    events: Vec<Event>,
+}
+
+/// One shard's engine pool; see the module docs for the batching scheme.
+#[derive(Debug)]
+pub struct ShardEngine {
+    homes: Vec<HomeState>,
+    slots: BTreeMap<HomeId, usize>,
+    ready: Vec<ReadyWindow>,
+    batch_windows: usize,
+    alarm_cooldown: TimeDelta,
+    from: Timestamp,
+    to: Timestamp,
+    telemetry: Telemetry,
+    stats: ShardStats,
+    /// Resolved per-shard child of `dice_fleet_shard_windows_total`, so
+    /// the sweep loop never touches the family mutex.
+    shard_windows: Option<Arc<dice_telemetry::Counter>>,
+    // Batch scratch, reused across sweeps.
+    obs: Vec<WindowObservation>,
+    bin_scratch: BinarizeScratch,
+}
+
+impl ShardEngine {
+    /// Creates shard `shard` serving `homes` over `[from, to)`. Homes
+    /// sharing a model hand in clones of the same `Arc`.
+    pub fn new(
+        shard: usize,
+        homes: Vec<(HomeId, Arc<DiceModel>)>,
+        batch_windows: usize,
+        alarm_cooldown: TimeDelta,
+        from: Timestamp,
+        to: Timestamp,
+        telemetry: Telemetry,
+    ) -> Self {
+        let mut states = Vec::with_capacity(homes.len());
+        let mut slots = BTreeMap::new();
+        for (home, model) in homes {
+            let window = model.config().window();
+            let engine = DiceEngine::with_options(
+                Arc::clone(&model),
+                EngineOptions {
+                    telemetry: telemetry.clone(),
+                    ..EngineOptions::default()
+                },
+            );
+            slots.insert(home, states.len());
+            states.push(HomeState {
+                home,
+                model,
+                engine,
+                window,
+                window_start: from.align_down(window),
+                events: Vec::new(),
+                last_alarmed: HashMap::new(),
+                reports: Vec::new(),
+            });
+        }
+        let shard_windows = telemetry.recorder().map(|rec| {
+            rec.metrics
+                .fleet
+                .shard_windows_total
+                .with_label_values(&[&shard.to_string()])
+        });
+        ShardEngine {
+            homes: states,
+            slots,
+            ready: Vec::new(),
+            batch_windows: batch_windows.max(1),
+            alarm_cooldown,
+            from,
+            to,
+            telemetry,
+            stats: ShardStats::default(),
+            shard_windows,
+            obs: Vec::new(),
+            bin_scratch: BinarizeScratch::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// Decodes and ingests one packed batch of frames. A frame that fails
+    /// to decode drops the remainder of its batch (the length framing is
+    /// lost) and counts one decode error; the shard keeps serving.
+    pub fn ingest_batch(&mut self, batch: &[u8]) {
+        for result in decode_frames(batch) {
+            match result {
+                Ok(frame) => {
+                    self.stats.frames += 1;
+                    if let Some(rec) = self.telemetry.recorder() {
+                        rec.metrics.fleet.frames_total.inc();
+                    }
+                    self.ingest(frame);
+                }
+                Err(error) => {
+                    self.stats.decode_errors += 1;
+                    if let Some(rec) = self.telemetry.recorder() {
+                        rec.metrics.fleet.decode_errors_total.inc();
+                        rec.events.push("fleet_decode_error", error.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ingests one decoded frame: routes it to its home, closes windows
+    /// the home's stream has passed, and sweeps a batch when enough
+    /// windows are ready. Frames for unregistered homes or outside
+    /// `[from, to)` are dropped.
+    pub fn ingest(&mut self, frame: FleetFrame) {
+        let Some(&slot) = self.slots.get(&frame.home) else {
+            return;
+        };
+        let at = frame.event.at();
+        if at < self.from || at >= self.to {
+            return;
+        }
+        self.stats.events += 1;
+        if let Some(rec) = self.telemetry.recorder() {
+            rec.metrics.fleet.events_total.inc();
+        }
+        let home = &mut self.homes[slot];
+        while at >= home.window_start + home.window {
+            let end = home.window_start + home.window;
+            let events = std::mem::take(&mut home.events);
+            self.ready.push(ReadyWindow {
+                slot,
+                start: home.window_start,
+                end,
+                events,
+            });
+            home.window_start = end;
+        }
+        home.events.push(frame.event);
+        if self.ready.len() >= self.batch_windows {
+            self.sweep();
+        }
+    }
+
+    /// Runs one batched detection sweep over the ready windows: binarize
+    /// and correlation-check each, resolve every violating window's
+    /// candidate scan through one batched scan per distinct model, then
+    /// drive each home's engine in arrival order.
+    fn sweep(&mut self) {
+        let n = self.ready.len();
+        if n == 0 {
+            return;
+        }
+        if self.obs.len() < n {
+            self.obs.resize_with(n, WindowObservation::default);
+        }
+
+        // Binarize + correlation-check every ready window. `exact[i]`
+        // means the window matched a main group and needs no scan.
+        let mut exact = Vec::with_capacity(n);
+        for (i, rw) in self.ready.iter().enumerate() {
+            let model: &DiceModel = &self.homes[rw.slot].model;
+            model.binarizer().binarize_into(
+                rw.start,
+                rw.end,
+                &rw.events,
+                &mut self.bin_scratch,
+                &mut self.obs[i],
+            );
+            exact.push(
+                Detector::new(model)
+                    .correlation_check(&self.obs[i])
+                    .is_some(),
+            );
+        }
+
+        // Group the violating windows by model identity (a linear scan
+        // over the handful of distinct models per shard, in first-seen
+        // order so the sweep stays deterministic).
+        let mut groups: Vec<(*const DiceModel, Vec<usize>)> = Vec::new();
+        for (i, &is_exact) in exact.iter().enumerate() {
+            if is_exact {
+                continue;
+            }
+            let ptr = Arc::as_ptr(&self.homes[self.ready[i].slot].model);
+            match groups.iter_mut().find(|(p, _)| *p == ptr) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((ptr, vec![i])),
+            }
+        }
+
+        // One batched candidate scan per model, with the nearest-group
+        // fallback batched over the slots that came back empty — exactly
+        // what the engine's own per-window scan would have produced.
+        let mut resolved: Vec<Vec<Candidate>> = Vec::new();
+        resolved.resize_with(n, Vec::new);
+        let mut profiles = vec![ScanProfile::default(); n];
+        for (_, idxs) in &groups {
+            let model = Arc::clone(&self.homes[self.ready[idxs[0]].slot].model);
+            let queries: Vec<&dice_core::BitSet> =
+                idxs.iter().map(|&i| &self.obs[i].state).collect();
+            let mut cand_batch = Vec::new();
+            let mut profile = model.scan().candidates_batch_into(
+                &queries,
+                model.candidate_distance(),
+                &mut cand_batch,
+            );
+            let empty: Vec<usize> = (0..idxs.len())
+                .filter(|&j| cand_batch[j].is_empty())
+                .collect();
+            if !empty.is_empty() {
+                let fallback: Vec<&dice_core::BitSet> = empty.iter().map(|&j| queries[j]).collect();
+                let mut near_batch = Vec::new();
+                profile.absorb(model.scan().nearest_batch_into(&fallback, &mut near_batch));
+                for (k, &j) in empty.iter().enumerate() {
+                    cand_batch[j] = std::mem::take(&mut near_batch[k]);
+                }
+            }
+            for (j, &i) in idxs.iter().enumerate() {
+                resolved[i] = std::mem::take(&mut cand_batch[j]);
+            }
+            // Attribute the whole batch's scan work to its first window;
+            // process-level totals stay accurate.
+            profiles[idxs[0]] = profile;
+            self.stats.batched_scans += 1;
+            if let Some(rec) = self.telemetry.recorder() {
+                rec.metrics.fleet.batched_scans_total.inc();
+            }
+        }
+
+        // Drive the engines in arrival order (per-home window order is a
+        // suffix of arrival order, which is what the engines require).
+        let mut ready = std::mem::take(&mut self.ready);
+        for (i, rw) in ready.drain(..).enumerate() {
+            let home = &mut self.homes[rw.slot];
+            let report = if exact[i] {
+                home.engine.process_window(rw.start, rw.end, &rw.events)
+            } else {
+                home.engine.process_window_prescanned(
+                    rw.start,
+                    rw.end,
+                    &rw.events,
+                    WindowPrescan {
+                        candidates: &resolved[i],
+                        profile: profiles[i],
+                    },
+                )
+            };
+            self.stats.windows += 1;
+            if let Some(rec) = self.telemetry.recorder() {
+                rec.metrics.fleet.windows_total.inc();
+            }
+            if let Some(counter) = &self.shard_windows {
+                counter.inc();
+            }
+            if let Some(report) = report {
+                Self::deliver(
+                    home,
+                    report,
+                    self.alarm_cooldown,
+                    &mut self.stats,
+                    &self.telemetry,
+                );
+            }
+        }
+        self.ready = ready;
+    }
+
+    /// Delivers one report through the home's cooldown ledger, mirroring
+    /// the single-home gateway's suppression semantics.
+    fn deliver(
+        home: &mut HomeState,
+        report: FaultReport,
+        cooldown: TimeDelta,
+        stats: &mut ShardStats,
+        telemetry: &Telemetry,
+    ) {
+        let now = report.identified_at;
+        let fresh = report.devices.iter().any(|d| {
+            home.last_alarmed
+                .get(d)
+                .is_none_or(|&at| now - at > cooldown)
+        });
+        if fresh || report.devices.is_empty() {
+            for &d in &report.devices {
+                home.last_alarmed.insert(d, now);
+            }
+            stats.alarms += 1;
+            if let Some(rec) = telemetry.recorder() {
+                rec.metrics.fleet.alarms_total.inc();
+            }
+            home.reports.push(report);
+        } else {
+            stats.suppressed += 1;
+            if let Some(rec) = telemetry.recorder() {
+                rec.metrics.fleet.alarms_suppressed_total.inc();
+            }
+        }
+    }
+
+    /// Closes every home's remaining windows up to `to`, sweeps the final
+    /// batch, flushes the engines, and returns each home's alarm reports
+    /// (ascending by registration slot) plus the shard's counters.
+    pub fn finish(mut self) -> (Vec<(HomeId, Vec<FaultReport>)>, ShardStats) {
+        for slot in 0..self.homes.len() {
+            loop {
+                let home = &mut self.homes[slot];
+                if home.window_start >= self.to {
+                    break;
+                }
+                let end = (home.window_start + home.window).min(self.to);
+                let start = home.window_start;
+                let events = std::mem::take(&mut home.events);
+                home.window_start = end;
+                self.ready.push(ReadyWindow {
+                    slot,
+                    start,
+                    end,
+                    events,
+                });
+                if self.ready.len() >= self.batch_windows {
+                    self.sweep();
+                }
+            }
+        }
+        self.sweep();
+        for slot in 0..self.homes.len() {
+            let home = &mut self.homes[slot];
+            if let Some(report) = home.engine.flush() {
+                Self::deliver(
+                    home,
+                    report,
+                    self.alarm_cooldown,
+                    &mut self.stats,
+                    &self.telemetry,
+                );
+            }
+        }
+        let out = self
+            .homes
+            .into_iter()
+            .map(|h| (h.home, h.reports))
+            .collect();
+        (out, self.stats)
+    }
+}

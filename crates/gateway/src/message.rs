@@ -47,6 +47,14 @@ impl std::error::Error for FrameError {}
 /// is one byte for binary/actuator frames and an `f64` for numeric frames.
 pub fn encode_event(event: &Event) -> Bytes {
     let mut buf = BytesMut::with_capacity(1 + 4 + 8 + 8);
+    encode_event_into(event, &mut buf);
+    buf.freeze()
+}
+
+/// Appends one event's frame bytes to `buf` without allocating a new
+/// buffer, for callers (like the fleet ingestion path) that pack many
+/// frames into one contiguous batch.
+pub fn encode_event_into(event: &Event, buf: &mut BytesMut) {
     match event {
         Event::Sensor(r) => match r.value {
             SensorValue::Binary(b) => {
@@ -69,7 +77,6 @@ pub fn encode_event(event: &Event) -> Bytes {
             buf.put_u8(u8::from(a.active));
         }
     }
-    buf.freeze()
 }
 
 /// Decodes one frame back into an event.
@@ -77,14 +84,26 @@ pub fn encode_event(event: &Event) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`FrameError`] for truncated or malformed frames.
-pub fn decode_event(mut frame: Bytes) -> Result<Event, FrameError> {
+pub fn decode_event(frame: Bytes) -> Result<Event, FrameError> {
+    decode_event_slice(&frame).map(|(event, _)| event)
+}
+
+/// Decodes one event frame from the front of `bytes`, returning the event
+/// and the number of bytes it consumed so callers can walk a packed batch
+/// of frames.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] for truncated or malformed frames.
+pub fn decode_event_slice(bytes: &[u8]) -> Result<(Event, usize), FrameError> {
+    let mut frame = bytes;
     if frame.remaining() < 1 + 4 + 8 {
         return Err(FrameError::Truncated);
     }
     let tag = frame.get_u8();
     let id = frame.get_u32();
     let at = Timestamp::from_secs(frame.get_i64());
-    match tag {
+    let event = match tag {
         TAG_BINARY => {
             if frame.remaining() < 1 {
                 return Err(FrameError::Truncated);
@@ -94,21 +113,17 @@ pub fn decode_event(mut frame: Bytes) -> Result<Event, FrameError> {
                 1 => true,
                 other => return Err(FrameError::BadBool(other)),
             };
-            Ok(Event::Sensor(SensorReading::new(
-                SensorId::new(id),
-                at,
-                b.into(),
-            )))
+            Event::Sensor(SensorReading::new(SensorId::new(id), at, b.into()))
         }
         TAG_NUMERIC => {
             if frame.remaining() < 8 {
                 return Err(FrameError::Truncated);
             }
-            Ok(Event::Sensor(SensorReading::new(
+            Event::Sensor(SensorReading::new(
                 SensorId::new(id),
                 at,
                 frame.get_f64().into(),
-            )))
+            ))
         }
         TAG_ACTUATOR => {
             if frame.remaining() < 1 {
@@ -119,14 +134,11 @@ pub fn decode_event(mut frame: Bytes) -> Result<Event, FrameError> {
                 1 => true,
                 other => return Err(FrameError::BadBool(other)),
             };
-            Ok(Event::Actuator(ActuatorEvent::new(
-                ActuatorId::new(id),
-                at,
-                b,
-            )))
+            Event::Actuator(ActuatorEvent::new(ActuatorId::new(id), at, b))
         }
-        other => Err(FrameError::UnknownTag(other)),
-    }
+        other => return Err(FrameError::UnknownTag(other)),
+    };
+    Ok((event, bytes.len() - frame.remaining()))
 }
 
 #[cfg(test)]
@@ -169,6 +181,38 @@ mod tests {
             Timestamp::from_hours(2),
             true,
         )));
+    }
+
+    #[test]
+    fn slice_decode_walks_packed_frames() {
+        let events = [
+            Event::Sensor(SensorReading::new(
+                SensorId::new(2),
+                Timestamp::from_secs(10),
+                true.into(),
+            )),
+            Event::Sensor(SensorReading::new(
+                SensorId::new(5),
+                Timestamp::from_secs(11),
+                3.5.into(),
+            )),
+            Event::Actuator(ActuatorEvent::new(
+                ActuatorId::new(1),
+                Timestamp::from_secs(12),
+                false,
+            )),
+        ];
+        let mut packed = BytesMut::new();
+        for event in &events {
+            encode_event_into(event, &mut packed);
+        }
+        let mut rest: &[u8] = &packed;
+        for event in &events {
+            let (got, used) = decode_event_slice(rest).unwrap();
+            assert_eq!(&got, event);
+            rest = &rest[used..];
+        }
+        assert!(rest.is_empty());
     }
 
     #[test]

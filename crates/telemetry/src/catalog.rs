@@ -302,6 +302,91 @@ impl GatewayMetrics {
     }
 }
 
+/// Fleet-layer metrics (`dice-fleet`): multi-home ingestion volume,
+/// per-shard load, back-pressure, and model-cache residency.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// Wire frames ingested across all shards.
+    pub frames_total: Arc<Counter>,
+    /// Wire frames (and the remainder of their batch) dropped as
+    /// undecodable.
+    pub decode_errors_total: Arc<Counter>,
+    /// Events accepted into the monitored range.
+    pub events_total: Arc<Counter>,
+    /// Windows closed across all homes.
+    pub windows_total: Arc<Counter>,
+    /// Cross-home batched candidate scans issued by shards.
+    pub batched_scans_total: Arc<Counter>,
+    /// Alarms delivered across all homes.
+    pub alarms_total: Arc<Counter>,
+    /// Alarms suppressed by the per-home cooldown.
+    pub alarms_suppressed_total: Arc<Counter>,
+    /// Sends that found their shard queue at capacity and blocked.
+    pub backpressure_waits_total: Arc<Counter>,
+    /// Homes registered with the fleet service.
+    pub homes: Arc<Gauge>,
+    /// Shards the fleet service is running.
+    pub shards: Arc<Gauge>,
+    /// Distinct `DiceModel` instances resident across all homes.
+    pub models_resident: Arc<Gauge>,
+    /// Windows closed, labeled by shard.
+    pub shard_windows_total: Arc<Family<Counter>>,
+    /// High-water mark of queued frame batches, labeled by shard.
+    pub shard_depth: Arc<Family<Gauge>>,
+}
+
+impl FleetMetrics {
+    fn register(r: &Registry) -> Self {
+        FleetMetrics {
+            frames_total: r.counter("dice_fleet_frames_total", "Wire frames ingested by shards"),
+            decode_errors_total: r.counter(
+                "dice_fleet_decode_errors_total",
+                "Frame batches dropped as undecodable",
+            ),
+            events_total: r.counter(
+                "dice_fleet_events_total",
+                "Events accepted into the monitored range",
+            ),
+            windows_total: r.counter(
+                "dice_fleet_windows_total",
+                "Windows closed across all homes",
+            ),
+            batched_scans_total: r.counter(
+                "dice_fleet_batched_scans_total",
+                "Cross-home batched candidate scans issued",
+            ),
+            alarms_total: r.counter("dice_fleet_alarms_total", "Alarms delivered across homes"),
+            alarms_suppressed_total: r.counter(
+                "dice_fleet_alarms_suppressed_total",
+                "Alarms suppressed by the per-home cooldown",
+            ),
+            backpressure_waits_total: r.counter(
+                "dice_fleet_backpressure_waits_total",
+                "Sends that found their shard queue at capacity",
+            ),
+            homes: r.gauge(
+                "dice_fleet_homes",
+                "Homes registered with the fleet service",
+            ),
+            shards: r.gauge("dice_fleet_shards", "Shards the fleet service is running"),
+            models_resident: r.gauge(
+                "dice_fleet_models_resident",
+                "Distinct DiceModel instances resident across homes",
+            ),
+            shard_windows_total: r.counter_family(
+                "dice_fleet_shard_windows_total",
+                "Windows closed per shard",
+                &["shard"],
+            ),
+            shard_depth: r.gauge_family(
+                "dice_fleet_shard_depth",
+                "High-water mark of queued frame batches per shard",
+                &["shard"],
+            ),
+        }
+    }
+}
+
 /// Eval-layer metrics (`dice-eval`): per-trial durations and parallel
 /// worker utilization.
 #[derive(Debug, Clone)]
@@ -508,6 +593,8 @@ pub struct DiceMetrics {
     pub engine: EngineMetrics,
     /// Gateway-layer metrics.
     pub gateway: GatewayMetrics,
+    /// Fleet-layer metrics.
+    pub fleet: FleetMetrics,
     /// Eval-layer metrics.
     pub eval: EvalMetrics,
     /// Training-layer metrics.
@@ -537,6 +624,7 @@ impl DiceMetrics {
         DiceMetrics {
             engine: EngineMetrics::register(registry),
             gateway: GatewayMetrics::register(registry),
+            fleet: FleetMetrics::register(registry),
             eval: EvalMetrics::register(registry),
             train: TrainMetrics::register(registry),
             trace: TraceMetrics::register(registry),
@@ -569,6 +657,9 @@ mod tests {
         assert!(names.contains(&"dice_gateway_window_ns"));
         assert!(names.contains(&"dice_gateway_home_windows_total"));
         assert!(names.contains(&"dice_gateway_shard_depth"));
+        assert!(names.contains(&"dice_fleet_frames_total"));
+        assert!(names.contains(&"dice_fleet_models_resident"));
+        assert!(names.contains(&"dice_fleet_shard_windows_total"));
         assert!(names.contains(&"dice_health_status"));
         assert!(names.contains(&"dice_timeseries_samples_total"));
         metrics.engine.detection_ns.record(1_000);

@@ -36,9 +36,9 @@ mod timeseries;
 mod trace;
 
 pub use catalog::{
-    catalog_metric_names, DiceMetrics, EngineMetrics, EvalMetrics, GatewayMetrics, HealthMetrics,
-    TimeseriesMetrics, TraceMetrics, TrainMetrics, LATENCY_BOUNDS_NS, TRIAL_BOUNDS_NS,
-    WINDOW_BOUNDS,
+    catalog_metric_names, DiceMetrics, EngineMetrics, EvalMetrics, FleetMetrics, GatewayMetrics,
+    HealthMetrics, TimeseriesMetrics, TraceMetrics, TrainMetrics, LATENCY_BOUNDS_NS,
+    TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
 };
 pub use export::{
     escape_label_value, is_valid_label_name, is_valid_metric_name, snapshot_gauge_json,

@@ -49,6 +49,14 @@ impl From<Vec<u8>> for Bytes {
     }
 }
 
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 /// A growable byte buffer for frame assembly.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BytesMut {
@@ -84,6 +92,14 @@ impl BytesMut {
     }
 }
 
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
 /// Sequential big-endian reads from a buffer.
 pub trait Buf {
     /// Number of unread bytes.
@@ -100,6 +116,11 @@ pub trait Buf {
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
         self.take_array::<1>()[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
     }
 
     /// Reads a big-endian `u32`.
@@ -137,6 +158,20 @@ impl Buf for Bytes {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.remaining() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
 /// Sequential big-endian writes into a buffer.
 pub trait BufMut {
     /// Appends raw bytes.
@@ -145,6 +180,11 @@ pub trait BufMut {
     /// Writes one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Writes a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
     }
 
     /// Writes a big-endian `u32`.

@@ -1,0 +1,294 @@
+//! Fleet-layer guarantees: the wire-frame codec is byte-stable and
+//! panic-free on untrusted input, alarm output is invariant under the
+//! shard count, a single-home fleet matches the single-home gateway, and
+//! fleet model memory scales with distinct floor plans, not homes.
+
+use std::sync::Arc;
+
+use dice_core::{ContextExtractor, DiceConfig, DiceModel};
+use dice_fleet::{
+    decode_frame_slice, decode_frames, encode_frame, Fleet, FleetConfig, FleetRun, ModelCache,
+};
+use dice_gateway::{encode_event, HomeGateway};
+use dice_types::{
+    ActuatorEvent, ActuatorId, DeviceRegistry, Event, EventLog, Room, SensorId, SensorKind,
+    SensorReading, TimeDelta, Timestamp,
+};
+use proptest::prelude::*;
+
+/// Floor plan `extra`: `3 + extra` motion sensors, the first two trained
+/// to fire together (one correlation group) — the gateway test fixture,
+/// widened per plan.
+fn plan_devices(extra: usize) -> (DeviceRegistry, Vec<SensorId>) {
+    let mut registry = DeviceRegistry::new();
+    let sensors = (0..3 + extra)
+        .map(|i| {
+            let room = if i < 2 { Room::Kitchen } else { Room::Bedroom };
+            registry.add_sensor(SensorKind::Motion, format!("s{i}"), room)
+        })
+        .collect();
+    (registry, sensors)
+}
+
+/// Trains floor plan `extra` on the deterministic alternating log.
+fn train_plan(extra: usize) -> DiceModel {
+    let (registry, sensors) = plan_devices(extra);
+    let mut log = EventLog::new();
+    for minute in 0..240 {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+        if minute % 2 == 0 {
+            log.push_sensor(SensorReading::new(sensors[0], at, true.into()));
+            log.push_sensor(SensorReading::new(sensors[1], at, true.into()));
+        } else {
+            let idx = 2 + (minute as usize / 2) % (sensors.len() - 2);
+            log.push_sensor(SensorReading::new(sensors[idx], at, true.into()));
+        }
+    }
+    ContextExtractor::new(DiceConfig::default())
+        .extract(&registry, &mut log)
+        .expect("training log is non-empty")
+}
+
+/// The live schedule for one home over `minutes`: the training pattern,
+/// with sensor 1 fail-stopped when `drop_s1` is set.
+fn live_events(sensors: &[SensorId], minutes: i64, drop_s1: bool) -> Vec<Event> {
+    let mut events = Vec::new();
+    for minute in 0..minutes {
+        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+        if minute % 2 == 0 {
+            events.push(Event::Sensor(SensorReading::new(
+                sensors[0],
+                at,
+                true.into(),
+            )));
+            if !drop_s1 {
+                events.push(Event::Sensor(SensorReading::new(
+                    sensors[1],
+                    at,
+                    true.into(),
+                )));
+            }
+        } else {
+            let idx = 2 + (minute as usize / 2) % (sensors.len() - 2);
+            events.push(Event::Sensor(SensorReading::new(
+                sensors[idx],
+                at,
+                true.into(),
+            )));
+        }
+    }
+    events
+}
+
+/// Streams the same 24-home, 30-minute fleet through `shards` shards.
+/// Homes alternate between two floor plans; every home with id ≡ 1
+/// (mod 5) fail-stops its second sensor.
+fn run_fleet(shards: usize, plans: &[Arc<DiceModel>; 2]) -> FleetRun {
+    const HOMES: u32 = 24;
+    const MINUTES: i64 = 30;
+    let sensors = [plan_devices(0).1, plan_devices(1).1];
+    let mut fleet = Fleet::new(FleetConfig {
+        shards,
+        queue_capacity: 8,
+        frames_per_batch: 16,
+        batch_windows: 16,
+        ..FleetConfig::default()
+    });
+    for h in 0..HOMES {
+        fleet.register_home(h, Arc::clone(&plans[h as usize % 2]));
+    }
+    fleet.run(
+        Timestamp::from_mins(0),
+        Timestamp::from_mins(MINUTES),
+        |sender| {
+            for minute in 0..MINUTES {
+                for h in 0..HOMES {
+                    let plan = &sensors[h as usize % 2];
+                    let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+                    if minute % 2 == 0 {
+                        let lead = SensorReading::new(plan[0], at, true.into());
+                        sender.send(h, &Event::Sensor(lead));
+                        if h % 5 != 1 {
+                            let partner = SensorReading::new(plan[1], at, true.into());
+                            sender.send(h, &Event::Sensor(partner));
+                        }
+                    } else {
+                        let idx = 2 + (minute as usize / 2) % (plan.len() - 2);
+                        let reading = SensorReading::new(plan[idx], at, true.into());
+                        sender.send(h, &Event::Sensor(reading));
+                    }
+                }
+            }
+        },
+    )
+}
+
+#[test]
+fn alarms_are_invariant_under_shard_count() {
+    let plans = [Arc::new(train_plan(0)), Arc::new(train_plan(1))];
+    let one = run_fleet(1, &plans);
+    let two = run_fleet(2, &plans);
+    let eight = run_fleet(8, &plans);
+
+    // The merged per-home alarm reports are bit-identical however the
+    // homes were sharded.
+    assert_eq!(one.alarms, two.alarms);
+    assert_eq!(one.alarms, eight.alarms);
+
+    // And they are the right alarms: exactly the seeded faulty homes.
+    for home in &one.alarms {
+        assert_eq!(
+            !home.reports.is_empty(),
+            home.home % 5 == 1,
+            "home {} alarm state",
+            home.home
+        );
+    }
+
+    // Aggregate counters that don't depend on batching agree too.
+    for other in [&two, &eight] {
+        assert_eq!(one.stats.frames, other.stats.frames);
+        assert_eq!(one.stats.events, other.stats.events);
+        assert_eq!(one.stats.windows, other.stats.windows);
+        assert_eq!(one.stats.alarms, other.stats.alarms);
+        assert_eq!(one.stats.suppressed, other.stats.suppressed);
+        assert_eq!(one.stats.decode_errors, 0);
+    }
+    assert_eq!(one.stats.windows, 24 * 30);
+    assert_eq!(eight.stats.shards, 8);
+}
+
+#[test]
+fn single_home_fleet_matches_the_gateway() {
+    let model = Arc::new(train_plan(0));
+    let sensors = plan_devices(0).1;
+    let events = live_events(&sensors, 120, true);
+    let from = Timestamp::from_mins(0);
+    let to = Timestamp::from_mins(120);
+
+    // The single-home gateway, fed the same stream over one aggregator
+    // channel.
+    let (tx, rx) = crossbeam::channel::unbounded();
+    for event in &events {
+        tx.send(encode_event(event)).unwrap();
+    }
+    drop(tx);
+    let (alarm_tx, alarm_rx) = crossbeam::channel::unbounded();
+    let gateway = HomeGateway::new(Arc::clone(&model));
+    let stats = gateway.run(vec![rx], &alarm_tx, from, to);
+    drop(alarm_tx);
+    let gateway_reports: Vec<_> = alarm_rx.iter().map(|a| a.report).collect();
+    assert!(
+        !gateway_reports.is_empty(),
+        "the fail-stopped sensor must alarm"
+    );
+
+    // A one-home fleet over the wire-frame path.
+    let mut fleet = Fleet::new(FleetConfig {
+        shards: 1,
+        ..FleetConfig::default()
+    });
+    fleet.register_home(0, model);
+    let run = fleet.run(from, to, |sender| {
+        for event in &events {
+            sender.send(0, event);
+        }
+    });
+
+    assert_eq!(run.alarms.len(), 1);
+    assert_eq!(run.alarms[0].home, 0);
+    assert_eq!(run.alarms[0].reports, gateway_reports);
+    assert_eq!(run.stats.windows, stats.windows);
+}
+
+#[test]
+fn fleet_memory_scales_with_distinct_models() {
+    let cache = ModelCache::new();
+    let mut fleet = Fleet::new(FleetConfig::default());
+    for h in 0..100u32 {
+        let plan = h as usize % 3;
+        let model = cache.get_or_train(&format!("plan{plan}"), || train_plan(plan));
+        fleet.register_home(h, model);
+    }
+    assert_eq!(fleet.homes(), 100);
+    assert_eq!(cache.len(), 3);
+    assert_eq!(
+        fleet.models_resident(),
+        3,
+        "100 homes must share 3 model allocations"
+    );
+}
+
+/// An arbitrary event covering all three frame tags. Numeric values stay
+/// finite so decoded equality is well-defined.
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        0u8..3,
+        any::<u32>(),
+        -1_000_000_000i64..1_000_000_000i64,
+        any::<bool>(),
+        -1.0e12f64..1.0e12,
+    )
+        .prop_map(|(tag, id, secs, b, v)| {
+            let at = Timestamp::from_secs(secs);
+            match tag {
+                0 => Event::Sensor(SensorReading::new(SensorId::new(id), at, b.into())),
+                1 => Event::Sensor(SensorReading::new(SensorId::new(id), at, v.into())),
+                _ => Event::Actuator(ActuatorEvent::new(ActuatorId::new(id), at, b)),
+            }
+        })
+}
+
+proptest! {
+    /// Encode → decode → re-encode is the identity on frames: the decoded
+    /// frame equals the input and the re-encoded bytes are byte-identical
+    /// (the wire format has one canonical encoding).
+    #[test]
+    fn frames_round_trip_byte_stably(home in any::<u32>(), event in event_strategy()) {
+        let encoded = encode_frame(home, &event);
+        let (frame, used) = decode_frame_slice(&encoded).expect("own encoding must decode");
+        prop_assert_eq!(used, encoded.len());
+        prop_assert_eq!(frame.home, home);
+        prop_assert_eq!(&frame.event, &event);
+        let again = encode_frame(frame.home, &frame.event);
+        prop_assert_eq!(again.as_slice(), encoded.as_slice());
+    }
+
+    /// Decoding never panics on arbitrary bytes — truncated, corrupt, or
+    /// oversized input returns an error (or a shorter valid frame), and
+    /// the batch iterator terminates.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        data in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let _ = decode_frame_slice(&data);
+        let frames: Vec<_> = decode_frames(&data).collect();
+        // The iterator stops at the first error, so it is finite and any
+        // error is last.
+        for result in &frames[..frames.len().saturating_sub(1)] {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Flipping any single byte of a valid frame either still decodes (the
+    /// flipped byte was payload, id, or timestamp) or returns an error —
+    /// never a panic, and never a frame that re-encodes differently from a
+    /// canonical encoding of itself.
+    #[test]
+    fn corrupted_frames_fail_closed(
+        home in any::<u32>(),
+        event in event_strategy(),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(home, &event).as_slice().to_vec();
+        let at = flip_at % bytes.len();
+        bytes[at] ^= flip_bits;
+        if let Ok((frame, used)) = decode_frame_slice(&bytes) {
+            // Whatever decoded must re-encode to exactly the bytes it was
+            // decoded from (bit-exact even for odd float payloads).
+            let canonical = encode_frame(frame.home, &frame.event);
+            prop_assert_eq!(canonical.as_slice(), &bytes[..used]);
+        }
+    }
+}

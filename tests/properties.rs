@@ -3,8 +3,9 @@
 use dice_core::{
     parse_trace_jsonl, read_model, write_model, write_trace_jsonl, BitSet, ContextExtractor,
     DecisionTrace, DiceConfig, DiceEngine, DiceModel, EngineOptions, FaultReport, GroupTable,
-    ParallelTrainer, ScanBackend, ScanIndex, SlicedScanIndex, TraceHeader, TraceLog, TraceOptions,
-    TracePhase, TraceTransition, TraceVerdict, TransitionCase, TransitionCounts,
+    ParallelTrainer, RoutedScanIndex, ScanBackend, ScanIndex, SlicedScanIndex, TraceHeader,
+    TraceLog, TraceOptions, TracePhase, TraceTransition, TraceVerdict, TransitionCase,
+    TransitionCounts,
 };
 use dice_telemetry::Telemetry;
 use dice_types::{
@@ -264,6 +265,24 @@ proptest! {
             for (q, slots) in batch_queries.iter().zip(&nearest_batch) {
                 prop_assert_eq!(slots, &table.nearest(q));
             }
+        }
+
+        // The crossover-routed index — whichever side of the group-count
+        // threshold this table lands on — stays bit-identical to the naive
+        // scan through every entry point.
+        let routed = RoutedScanIndex::build(&table);
+        prop_assert_eq!(routed.len(), table.len());
+        prop_assert_eq!(&routed.candidates(&query, max_distance), &naive_candidates);
+        prop_assert_eq!(&routed.nearest(&query), &naive_nearest);
+        let mut routed_batch = Vec::new();
+        let _ = routed.candidates_batch_into(&batch_queries, max_distance, &mut routed_batch);
+        for (q, slots) in batch_queries.iter().zip(&routed_batch) {
+            prop_assert_eq!(slots, &table.candidates(q, max_distance));
+        }
+        let mut routed_nearest = Vec::new();
+        let _ = routed.nearest_batch_into(&batch_queries, &mut routed_nearest);
+        for (q, slots) in batch_queries.iter().zip(&routed_nearest) {
+            prop_assert_eq!(slots, &table.nearest(q));
         }
     }
 
