@@ -26,8 +26,8 @@ use crate::identify::{Identifier, IntersectionTracker};
 use crate::model::DiceModel;
 use crate::scan::ScanProfile;
 use crate::trace::{
-    DecisionTrace, FlightRecorder, SharedTraceSink, TraceOptions, TracePhase, TraceTransition,
-    TraceVerdict,
+    DecisionTrace, FlightRecorder, LineageStamp, SharedTraceSink, TraceOptions, TracePhase,
+    TraceTransition, TraceVerdict,
 };
 use crate::weights::DeviceWeights;
 
@@ -79,11 +79,16 @@ pub struct FaultReport {
     /// unless tracing is enabled; diagnostic provenance, not part of the
     /// report's semantic identity (excluded from `PartialEq`).
     pub evidence: Vec<DecisionTrace>,
+    /// Pipeline latency attribution stamped by a fleet shard (where the
+    /// wall-clock went from ingest to this verdict). `None` outside the
+    /// fleet service; diagnostic provenance like `evidence`, excluded
+    /// from `PartialEq`.
+    pub lineage: Option<LineageStamp>,
 }
 
-/// Equality ignores `evidence`: traces are diagnostic provenance, and
-/// trace-enabled and trace-disabled engines must produce equal report
-/// streams on identical input.
+/// Equality ignores `evidence` and `lineage`: both are diagnostic
+/// provenance, and trace- or stamp-enabled engines must produce equal
+/// report streams on identical input.
 impl PartialEq for FaultReport {
     fn eq(&self, other: &Self) -> bool {
         self.detected_at == other.detected_at
@@ -744,6 +749,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                     windows_examined: windows_since_detection,
                     detail,
                     evidence: Vec::new(),
+                    lineage: None,
                 };
                 if let Some(tracer) = self.tracer.as_ref() {
                     report.evidence = tracer.recorder.last_n(tracer.snapshot_last);
@@ -1029,6 +1035,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                                 windows_examined: 2,
                                 detail,
                                 evidence: Vec::new(),
+                                lineage: None,
                             });
                         }
                         self.phase = Phase::Identifying {
@@ -1058,6 +1065,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         windows_examined: 1,
                         detail,
                         evidence: Vec::new(),
+                        lineage: None,
                     });
                 }
                 self.phase = Phase::Identifying {
@@ -1130,6 +1138,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                             windows_examined: windows_since_detection,
                             detail,
                             evidence: Vec::new(),
+                            lineage: None,
                         });
                     }
                 }
@@ -1145,6 +1154,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         windows_examined: windows_since_detection,
                         detail,
                         evidence: Vec::new(),
+                        lineage: None,
                     });
                 }
 
@@ -1159,6 +1169,7 @@ impl<M: Borrow<DiceModel>> DiceEngine<M> {
                         windows_examined: windows_since_detection,
                         detail,
                         evidence: Vec::new(),
+                        lineage: None,
                     });
                 }
 
@@ -1571,6 +1582,7 @@ mod tests {
             windows_examined: 3,
             detail: None,
             evidence: Vec::new(),
+            lineage: None,
         };
         let text = report.to_string();
         assert!(text.contains("S1"));
@@ -1592,6 +1604,7 @@ mod tests {
                 distance: 2,
             }),
             evidence: Vec::new(),
+            lineage: None,
         };
         let text = base.to_string();
         assert!(

@@ -114,9 +114,10 @@ pub use scan_sliced::{
 pub use stats::{ExactSum, MeanAccumulator, RunningMean, WindowStats};
 pub use trace::{
     parse_trace_jsonl, render_explain, write_header_line, write_trace_jsonl, write_trace_line,
-    DecisionTrace, FlightRecorder, JsonlTraceWriter, SharedTraceSink, TraceHeader, TraceLog,
-    TraceOptions, TracePhase, TraceSink, TraceTransition, TraceVerdict, DEFAULT_TRACE_CAPACITY,
-    DEFAULT_TRACE_SNAPSHOT_LAST, DEFAULT_TRACE_TOP_K, TRACE_KIND, TRACE_SCHEMA,
+    DecisionTrace, FlightRecorder, JsonlTraceWriter, LineageStamp, SharedTraceSink, TraceHeader,
+    TraceLog, TraceOptions, TracePhase, TraceSink, TraceTransition, TraceVerdict,
+    DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SNAPSHOT_LAST, DEFAULT_TRACE_TOP_K, TRACE_KIND,
+    TRACE_SCHEMA,
 };
 pub use train_par::{merge_partials, ChunkExtractor, ParallelTrainer, PartialModel};
 pub use transition::{TransitionCounts, TransitionModel};

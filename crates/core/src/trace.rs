@@ -42,6 +42,56 @@ pub const DEFAULT_TRACE_TOP_K: usize = 8;
 /// Default number of recent traces copied into a fault report as evidence.
 pub const DEFAULT_TRACE_SNAPSHOT_LAST: usize = 8;
 
+/// Pipeline latency attribution for one alarm served by a fleet shard:
+/// where the wall-clock went between the producer encoding the frame and
+/// the shard delivering the verdict.
+///
+/// Stamped onto [`FaultReport`](crate::FaultReport)s by `dice-fleet`'s
+/// shard engines (`lineage` is the monotone ingest id of the frame batch
+/// whose sweep produced the verdict) and, like trace evidence, excluded
+/// from report equality: a stamped and an unstamped run must produce
+/// equal report streams on identical input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineageStamp {
+    /// Monotone lineage id of the first frame in the contributing batch.
+    pub lineage: u64,
+    /// The shard that served this home.
+    pub shard: u32,
+    /// Frames in the contributing batch.
+    pub frames: u32,
+    /// Producer time blocked pushing the batch onto the shard queue.
+    pub enqueue_wait_ns: u64,
+    /// Time the batch sat in the shard queue before dequeue.
+    pub queue_wait_ns: u64,
+    /// Frame decode + window ingestion time for the batch (up to the
+    /// sweep that produced this verdict).
+    pub dequeue_ns: u64,
+    /// Batched candidate-scan time of the delivering sweep.
+    pub scan_ns: u64,
+    /// Engine drive time of the delivering sweep (excluding delivery).
+    pub verdict_ns: u64,
+    /// Alarm delivery time of the delivering sweep.
+    pub publish_ns: u64,
+}
+
+impl std::fmt::Display for LineageStamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lineage {} shard {}: enqueue-wait {}us, queue-wait {}us, \
+             dequeue {}us, scan {}us, verdict {}us, publish {}us",
+            self.lineage,
+            self.shard,
+            self.enqueue_wait_ns / 1_000,
+            self.queue_wait_ns / 1_000,
+            self.dequeue_ns / 1_000,
+            self.scan_ns / 1_000,
+            self.verdict_ns / 1_000,
+            self.publish_ns / 1_000,
+        )
+    }
+}
+
 /// Identification state-machine phase, as seen by a trace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum TracePhase {

@@ -25,7 +25,7 @@ use dice_types::{
     SensorReading, TimeDelta, Timestamp,
 };
 
-use super::fleet_bench::{run_fleet_bench, FleetBenchResult, FLOOR_PLANS};
+use super::fleet_bench::{run_fleet_bench, run_fleet_bench_traced, FleetBenchResult, FLOOR_PLANS};
 use crate::runner::{train_scenario, RunnerConfig, TrainedDataset};
 
 /// hh102's state width: 33 binary sensors + 3 bits per numeric sensor.
@@ -258,6 +258,27 @@ impl TimeseriesOverhead {
     }
 }
 
+/// Fleet causal-tracing cost: the same fleet run with per-stage lineage
+/// tracing on vs off. The §5l budget bounds this at 5%.
+#[derive(Debug, Clone, Copy)]
+struct FleetTracingOverhead {
+    homes: usize,
+    shards: usize,
+    minutes: i64,
+    untraced_ms: f64,
+    traced_ms: f64,
+}
+
+impl FleetTracingOverhead {
+    fn overhead_pct(&self) -> f64 {
+        if self.untraced_ms > 0.0 {
+            (self.traced_ms - self.untraced_ms) / self.untraced_ms * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Replays every planned segment through an engine wired to `telemetry`.
 fn replay_segments(td: &TrainedDataset, window: TimeDelta, telemetry: &Telemetry) -> Throughput {
     let mut windows = 0u64;
@@ -416,6 +437,37 @@ fn engine_throughput() -> (Throughput, TelemetryOverhead, TimeseriesOverhead) {
             sampled_ns_per_window: per_window(sampled_ms),
         },
     )
+}
+
+/// Measures the fleet causal-tracing cost with the same paired-difference
+/// discipline as [`engine_throughput`]: each rep runs the untraced and
+/// traced fleet back to back (one warmup rep discarded), the untraced
+/// baseline is the min across reps, and the traced estimate is that
+/// baseline plus the median of per-rep paired differences — drift moves
+/// both sides of a pair together and cancels.
+fn fleet_tracing_overhead() -> FleetTracingOverhead {
+    const HOMES: usize = 256;
+    const SHARDS: usize = 4;
+    const MINUTES: i64 = 30;
+    let cache = dice_fleet::ModelCache::new();
+    let mut untraced_ms = f64::INFINITY;
+    let mut deltas = Vec::new();
+    for rep in 0..26 {
+        let untraced = run_fleet_bench_traced(&cache, HOMES, SHARDS, MINUTES, false);
+        let traced = run_fleet_bench_traced(&cache, HOMES, SHARDS, MINUTES, true);
+        if rep == 0 {
+            continue;
+        }
+        untraced_ms = untraced_ms.min(untraced.elapsed_ms);
+        deltas.push(traced.elapsed_ms - untraced.elapsed_ms);
+    }
+    FleetTracingOverhead {
+        homes: HOMES,
+        shards: SHARDS,
+        minutes: MINUTES,
+        untraced_ms,
+        traced_ms: untraced_ms + median(&mut deltas).max(0.0),
+    }
 }
 
 /// Parallel-training throughput: serial vs chunked extraction of an
@@ -591,6 +643,7 @@ fn analysis_bench(hours: i64) -> AnalysisBench {
 
 /// Renders the benchmark results as a stable, hand-rolled JSON document
 /// (the serde shim does not serialize, so the emitter formats directly).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     rows: &[ScanRow],
     throughput: &Throughput,
@@ -598,6 +651,7 @@ fn render_json(
     analysis: &AnalysisBench,
     overhead: &TelemetryOverhead,
     timeseries: &TimeseriesOverhead,
+    tracing: &FleetTracingOverhead,
     fleet: &[FleetBenchResult],
 ) -> String {
     let mut json = String::new();
@@ -664,6 +718,16 @@ fn render_json(
     );
     let _ = writeln!(
         json,
+        "  \"fleet_tracing_overhead\": {{\"homes\": {}, \"shards\": {}, \"minutes\": {}, \"untraced_ms\": {:.1}, \"traced_ms\": {:.1}, \"overhead_pct\": {:.2}}},",
+        tracing.homes,
+        tracing.shards,
+        tracing.minutes,
+        tracing.untraced_ms,
+        tracing.traced_ms,
+        tracing.overhead_pct()
+    );
+    let _ = writeln!(
+        json,
         "  \"fleet\": {{\n    \"floor_plans\": {FLOOR_PLANS},\n    \"rows\": ["
     );
     for (i, r) in fleet.iter().enumerate() {
@@ -699,6 +763,7 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
     let (throughput, overhead, timeseries) = engine_throughput();
     let training = training_bench(48);
     let analysis = analysis_bench(48);
+    let tracing = fleet_tracing_overhead();
     let fleet = [run_fleet_bench(1000, 0, 60), run_fleet_bench(10_000, 0, 60)];
     let json = render_json(
         &rows,
@@ -707,6 +772,7 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         &analysis,
         &overhead,
         &timeseries,
+        &tracing,
         &fleet,
     );
     std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -773,6 +839,15 @@ pub fn bench_json(path: Option<&str>) -> Result<String, String> {
         "timeseries: sampled {:.0} ns/window ({:+.2}% over noop, one registry sweep per {BENCH_SAMPLE_WINDOWS} windows)",
         timeseries.sampled_ns_per_window,
         timeseries.overhead_pct()
+    );
+    let _ = writeln!(
+        out,
+        "fleet tracing: {} homes / {} shards untraced {:.1} ms, traced {:.1} ms ({:+.2}% overhead, budget <= 5%)",
+        tracing.homes,
+        tracing.shards,
+        tracing.untraced_ms,
+        tracing.traced_ms,
+        tracing.overhead_pct()
     );
     for r in &fleet {
         let _ = writeln!(
@@ -860,6 +935,13 @@ mod tests {
             noop_ns_per_window: 1800.0,
             sampled_ns_per_window: 1857.0,
         };
+        let tracing = FleetTracingOverhead {
+            homes: 256,
+            shards: 4,
+            minutes: 30,
+            untraced_ms: 200.0,
+            traced_ms: 204.0,
+        };
         let fleet = [FleetBenchResult {
             homes: 1000,
             shards: 8,
@@ -874,6 +956,7 @@ mod tests {
             faulty_homes: 63,
             models_resident: 4,
             backpressure_waits: 0,
+            backpressure_wait_ns: 0,
             elapsed_ms: 500.0,
         }];
         let json = render_json(
@@ -883,6 +966,7 @@ mod tests {
             &analysis,
             &overhead,
             &timeseries,
+            &tracing,
             &fleet,
         );
         assert!(json.contains("\"candidate_scan\""));
@@ -906,6 +990,10 @@ mod tests {
         assert!(json.contains("\"routed_ns_per_scan\": 200"));
         assert!(json.contains("\"speedup_routed\": 5.00"));
         assert!(json.contains("\"crossover_groups\""));
+        assert!(json.contains("\"fleet_tracing_overhead\""));
+        assert!(json.contains("\"untraced_ms\": 200.0"));
+        assert!(json.contains("\"traced_ms\": 204.0"));
+        assert!(json.contains("\"overhead_pct\": 2.00"));
         assert!(json.contains("\"fleet\""));
         assert!(json.contains("\"homes\": 1000"));
         assert!(json.contains("\"windows_per_sec\": 120000"));

@@ -29,7 +29,7 @@ pub(crate) const FLOOR_PLANS: usize = 4;
 
 /// Homes with `h % 16 == FAULTY_RESIDUE` fail-stop their second sensor,
 /// so a fixed 1/16 of the fleet raises deterministic alarms.
-const FAULTY_RESIDUE: u32 = 3;
+pub(crate) const FAULTY_RESIDUE: u32 = 3;
 
 /// Training horizon per floor plan, in minutes.
 const TRAINING_MINUTES: i64 = 240;
@@ -64,6 +64,8 @@ pub(crate) struct FleetBenchResult {
     pub models_resident: usize,
     /// Sends that found their shard queue full and blocked.
     pub backpressure_waits: u64,
+    /// Nanoseconds the sender spent blocked on full shard queues.
+    pub backpressure_wait_ns: u64,
     /// Wall time of the serving run (training excluded).
     pub elapsed_ms: f64,
 }
@@ -90,7 +92,7 @@ impl FleetBenchResult {
 
 /// Floor plan `extra`'s registry: `3 + extra` motion sensors, the first
 /// two correlated in the kitchen (mirroring the gateway test fixture).
-fn plan_devices(extra: usize) -> (DeviceRegistry, Vec<SensorId>) {
+pub(crate) fn plan_devices(extra: usize) -> (DeviceRegistry, Vec<SensorId>) {
     let mut registry = DeviceRegistry::new();
     let sensors = (0..3 + extra)
         .map(|i| {
@@ -123,7 +125,7 @@ fn train_plan(extra: usize) -> DiceModel {
 }
 
 /// Builds (or reuses) the shared floor-plan models through `cache`.
-fn plan_models(cache: &ModelCache) -> Vec<Arc<DiceModel>> {
+pub(crate) fn plan_models(cache: &ModelCache) -> Vec<Arc<DiceModel>> {
     (0..FLOOR_PLANS)
         .map(|k| cache.get_or_train(&format!("plan{k}"), || train_plan(k)))
         .collect()
@@ -133,12 +135,26 @@ fn plan_models(cache: &ModelCache) -> Vec<Arc<DiceModel>> {
 /// minutes over `shards` shards (0 = one per core). Fully deterministic
 /// apart from wall time: the event schedule is seeded per home by its id.
 pub(crate) fn run_fleet_bench(homes: usize, shards: usize, minutes: i64) -> FleetBenchResult {
-    let cache = ModelCache::new();
-    let models = plan_models(&cache);
+    run_fleet_bench_traced(&ModelCache::new(), homes, shards, minutes, true)
+}
+
+/// [`run_fleet_bench`] with the causal-tracing instrumentation switchable
+/// and the model cache shared across calls, so paired traced/untraced
+/// reps (the `fleet_tracing_overhead` baseline row) train each floor plan
+/// once instead of once per rep.
+pub(crate) fn run_fleet_bench_traced(
+    cache: &ModelCache,
+    homes: usize,
+    shards: usize,
+    minutes: i64,
+    tracing: bool,
+) -> FleetBenchResult {
+    let models = plan_models(cache);
     let plan_sensors: Vec<Vec<SensorId>> = (0..FLOOR_PLANS).map(|k| plan_devices(k).1).collect();
 
     let mut fleet = Fleet::new(FleetConfig {
         shards,
+        tracing,
         ..FleetConfig::default()
     });
     for h in 0..homes {
@@ -188,6 +204,7 @@ pub(crate) fn run_fleet_bench(homes: usize, shards: usize, minutes: i64) -> Flee
             .count(),
         models_resident: run.stats.models_resident,
         backpressure_waits: run.stats.backpressure_waits,
+        backpressure_wait_ns: run.stats.backpressure_wait_ns,
         elapsed_ms,
     }
 }
@@ -220,8 +237,11 @@ pub fn fleet_bench(homes: usize, shards: usize, minutes: i64) -> Result<String, 
     );
     let _ = writeln!(
         out,
-        "  ingest: {} frames, {} events, {} backpressure waits",
-        r.frames, r.events, r.backpressure_waits
+        "  ingest: {} frames, {} events, {} backpressure waits ({:.1} ms blocked)",
+        r.frames,
+        r.events,
+        r.backpressure_waits,
+        r.backpressure_wait_ns as f64 / 1e6
     );
     let _ = writeln!(
         out,

@@ -13,6 +13,7 @@ mod export;
 mod extended;
 mod fault_ratio;
 mod fleet_bench;
+mod fleet_monitor;
 mod full;
 mod misses;
 mod monitor;
@@ -33,6 +34,7 @@ pub use export::{artifact_set, export_csv, inspect_model, save_model};
 pub use extended::{actuator_faults, multi_fault, param_sensitivity};
 pub use fault_ratio::{aggregate_attribution, fig_5_4};
 pub use fleet_bench::fleet_bench;
+pub use fleet_monitor::fleet_monitor;
 pub use full::{run_all_datasets, run_full, run_full_serial, FullEvaluation};
 pub use misses::misses;
 pub use monitor::monitor;
@@ -85,6 +87,12 @@ pub fn usage() -> String {
        fleet-bench [homes] [shards] [minutes]\n\
                                       sharded multi-home serving throughput\n\
                                       (defaults 1000 homes, 1 shard/core, 60 min)\n\
+       fleet-monitor [flags] [homes] [shards] [minutes]\n\
+                                      fleet causal-tracing frame: per-shard\n\
+                                      latency columns and lineage-stamped\n\
+                                      alarms (defaults 96/4/30); --health adds\n\
+                                      the rule table, --once renders one\n\
+                                      byte-stable deterministic frame\n\
        telemetry-check <path>         validate an exported telemetry snapshot\n\
        trace-check <path>             validate a decision-trace JSONL export\n\
        explain <trace.jsonl> [window] render why a window was flagged\n\
@@ -254,6 +262,7 @@ pub fn run_command(command: &str, args: &[&str]) -> Result<String, String> {
             })?;
             Ok(fleet_bench(homes, shards, minutes)?)
         }
+        "fleet-monitor" => Ok(fleet_monitor(args)?),
         "telemetry-check" => {
             let path = args
                 .first()

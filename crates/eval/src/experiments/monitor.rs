@@ -68,8 +68,9 @@ fn series_max(values: &[f64]) -> f64 {
     max
 }
 
-/// Renders `values` as a unicode sparkline scaled to the series maximum.
-fn sparkline(values: &[f64]) -> String {
+/// Renders `values` as a unicode sparkline scaled to the series maximum
+/// (also reused by `fleet-monitor` for its per-shard load row).
+pub(crate) fn sparkline(values: &[f64]) -> String {
     let tail = &values[values.len().saturating_sub(SPARK_WIDTH)..];
     let max = series_max(tail);
     tail.iter()

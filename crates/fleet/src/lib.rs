@@ -28,6 +28,7 @@ pub mod frame;
 pub mod router;
 pub mod service;
 pub mod shard;
+pub mod trace;
 
 pub use cache::ModelCache;
 pub use frame::{
@@ -36,4 +37,5 @@ pub use frame::{
 };
 pub use router::{default_shards, shard_for_home};
 pub use service::{Fleet, FleetConfig, FleetRun, FleetSender, FleetStats, HomeAlarms};
-pub use shard::{ShardEngine, ShardStats};
+pub use shard::{ShardEngine, ShardStats, LINEAGE_RING_CAPACITY};
+pub use trace::TraceClock;

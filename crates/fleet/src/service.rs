@@ -6,24 +6,36 @@
 //! routes every batch through a bounded channel — the ingestion boundary
 //! is bytes on a queue, exactly what a socket transport would deliver.
 //! Back-pressure is accounted, never dropped: a send that finds its shard
-//! queue full blocks (and counts a wait) rather than shedding frames.
-//! Alarm output is invariant under the shard count because a home's whole
-//! stream flows through exactly one shard in order, and every shard's
-//! state is strictly per home.
+//! queue full blocks (and counts the wait, in occurrences *and*
+//! nanoseconds) rather than shedding frames. Alarm output is invariant
+//! under the shard count because a home's whole stream flows through
+//! exactly one shard in order, and every shard's state is strictly per
+//! home.
+//!
+//! Every flushed batch carries a causal lineage block — a contiguous
+//! range of monotone ids stamped at this boundary — plus its enqueue tick,
+//! so the shard side can attribute wall-clock to pipeline stages (§5l).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 
-use dice_core::{DiceModel, FaultReport};
-use dice_telemetry::Telemetry;
+use dice_core::{DiceModel, FaultReport, LineageStamp};
+use dice_telemetry::{shard_label, Gauge, Telemetry};
 use dice_types::{Event, TimeDelta, Timestamp};
 
 use crate::frame::{encode_frame_into, HomeId, MAX_FRAME_BODY};
 use crate::router::{default_shards, shard_for_home};
 use crate::shard::{ShardEngine, ShardStats};
+use crate::trace::{SenderShardTrace, TraceClock};
+
+/// How long a producer naps between retries on a full shard queue. The
+/// queue is drained by a live thread, so this bounds wait-measurement
+/// granularity, not correctness.
+const BACKPRESSURE_RETRY: Duration = Duration::from_micros(50);
 
 /// Tunables for a fleet run.
 #[derive(Debug, Clone)]
@@ -41,6 +53,17 @@ pub struct FleetConfig {
     pub alarm_cooldown: TimeDelta,
     /// Telemetry sink shared by the shards and their engines.
     pub telemetry: Telemetry,
+    /// Whether to stamp lineage and record per-stage latency sketches
+    /// (§5l). Alarm output is bit-identical either way; the
+    /// `fleet_tracing_overhead` bench row bounds the cost.
+    pub tracing: bool,
+    /// The tick source behind stage measurements. Defaults to wall time;
+    /// tests and byte-stable monitor runs install a manual clock.
+    pub clock: TraceClock,
+    /// Fault-injection hook: stall this shard for this many milliseconds
+    /// before each ingested batch, so saturation and straggler paths can
+    /// be driven through the real pipeline in tests.
+    pub stall: Option<(usize, u64)>,
 }
 
 impl Default for FleetConfig {
@@ -52,6 +75,9 @@ impl Default for FleetConfig {
             batch_windows: 64,
             alarm_cooldown: TimeDelta::from_mins(60),
             telemetry: Telemetry::global(),
+            tracing: true,
+            clock: TraceClock::default(),
+            stall: None,
         }
     }
 }
@@ -90,6 +116,9 @@ pub struct FleetStats {
     pub suppressed: u64,
     /// Sends that found their shard queue at capacity and blocked.
     pub backpressure_waits: u64,
+    /// Nanoseconds producers spent blocked on full shard queues — the
+    /// wait *time* behind `backpressure_waits`.
+    pub backpressure_wait_ns: u64,
 }
 
 /// The result of one fleet run: aggregate counters plus every home's
@@ -100,21 +129,47 @@ pub struct FleetRun {
     pub stats: FleetStats,
     /// Per-home alarm reports, ascending by home id.
     pub alarms: Vec<HomeAlarms>,
+    /// Each shard's retained lineage records (oldest first, bounded ring)
+    /// when tracing was on; empty rings otherwise. Indexed by shard.
+    pub lineage: Vec<Vec<LineageStamp>>,
+}
+
+/// One frame batch on a shard queue, carrying its causal lineage block
+/// and enqueue tick alongside the encoded bytes. The wire format itself
+/// is untouched: lineage never crosses the (simulated) socket.
+#[derive(Debug)]
+pub(crate) struct ShardBatch {
+    /// The packed wire frames.
+    pub bytes: Bytes,
+    /// Lineage id of the batch's first frame; the batch covers
+    /// `lineage .. lineage + frames`.
+    pub lineage: u64,
+    /// Frames in the batch.
+    pub frames: u32,
+    /// Clock tick when the batch entered the queue.
+    pub enqueue_ns: u64,
+    /// Nanoseconds the producer spent blocked getting it in.
+    pub enqueue_wait_ns: u64,
 }
 
 /// The ingestion handle [`Fleet::run`] passes to its feed closure:
 /// encodes events as wire frames, packs them into per-shard batches, and
-/// pushes batches through the bounded shard queues.
+/// pushes batches through the bounded shard queues, stamping each batch
+/// with a contiguous lineage-id block at this boundary.
 #[derive(Debug)]
 pub struct FleetSender<'a> {
-    txs: &'a [Sender<Bytes>],
+    txs: &'a [Sender<ShardBatch>],
     staging: Vec<BytesMut>,
     counts: Vec<usize>,
     frames_per_batch: usize,
-    queue_capacity: usize,
     telemetry: &'a Telemetry,
+    clock: TraceClock,
+    tracing: bool,
+    trace: Vec<Option<SenderShardTrace>>,
+    next_lineage: u64,
     frames: u64,
     backpressure_waits: u64,
+    backpressure_wait_ns: u64,
 }
 
 impl FleetSender<'_> {
@@ -137,23 +192,76 @@ impl FleetSender<'_> {
         }
     }
 
+    /// The next lineage id this sender will assign (ids already handed
+    /// out form the contiguous block `0..lineage_mark`).
+    pub fn lineage_mark(&self) -> u64 {
+        self.next_lineage
+    }
+
     fn flush_shard(&mut self, shard: usize) {
         if self.counts[shard] == 0 {
             return;
         }
         let capacity = self.staging[shard].len().max(MAX_FRAME_BODY);
         let batch = std::mem::replace(&mut self.staging[shard], BytesMut::with_capacity(capacity));
+        let frames = u32::try_from(self.counts[shard]).unwrap_or(u32::MAX);
         self.counts[shard] = 0;
-        if self.txs[shard].len() >= self.queue_capacity {
-            self.backpressure_waits += 1;
-            if let Some(rec) = self.telemetry.recorder() {
-                rec.metrics.fleet.backpressure_waits_total.inc();
+        // The batch's frames take the contiguous id block
+        // `next_lineage .. next_lineage + frames`, in encode order —
+        // globally unique and strictly increasing per shard.
+        let lineage = self.next_lineage;
+        self.next_lineage += u64::from(frames);
+
+        let first_attempt_ns = self.clock.now_ns();
+        let mut item = ShardBatch {
+            bytes: batch.freeze(),
+            lineage,
+            frames,
+            enqueue_ns: first_attempt_ns,
+            enqueue_wait_ns: 0,
+        };
+        let mut blocked = false;
+        loop {
+            match self.txs[shard].try_send(item) {
+                Ok(()) => break,
+                Err(TrySendError::Full(back)) => {
+                    // Back-pressure: retry until the shard drains (never
+                    // shed), re-stamping the ticks so the successful
+                    // attempt carries the true enqueue time and wait.
+                    item = back;
+                    if !blocked {
+                        blocked = true;
+                        self.backpressure_waits += 1;
+                        if let Some(rec) = self.telemetry.recorder() {
+                            rec.metrics.fleet.backpressure_waits_total.inc();
+                        }
+                    }
+                    std::thread::sleep(BACKPRESSURE_RETRY);
+                    let now = self.clock.now_ns();
+                    item.enqueue_ns = now;
+                    item.enqueue_wait_ns = now.saturating_sub(first_attempt_ns);
+                }
+                // The shard only hangs up early if it panicked, in which
+                // case the join in `run` surfaces it.
+                Err(TrySendError::Disconnected(_)) => return,
             }
         }
-        // The queue is bounded; a full queue blocks here until the shard
-        // drains (back-pressure, not loss). The shard only hangs up early
-        // if it panicked, in which case the join below surfaces it.
-        let _ = self.txs[shard].send(batch.freeze());
+        let waited_ns = if blocked {
+            let waited = self.clock.now_ns().saturating_sub(first_attempt_ns);
+            self.backpressure_wait_ns += waited;
+            if let Some(trace) = &self.trace[shard] {
+                trace.waits.inc();
+                trace.wait_ns.add(waited);
+            }
+            waited
+        } else {
+            0
+        };
+        if self.tracing {
+            if let Some(trace) = &self.trace[shard] {
+                trace.enqueue_wait.record(waited_ns);
+            }
+        }
     }
 }
 
@@ -214,6 +322,30 @@ impl Fleet {
         to: Timestamp,
         feed: impl FnOnce(&mut FleetSender<'_>),
     ) -> FleetRun {
+        self.run_inner(from, to, feed, false)
+    }
+
+    /// Like [`Fleet::run`], but buffers the entire feed into unbounded
+    /// queues first and then drains the shards sequentially on the
+    /// calling thread. With a frozen manual [`TraceClock`] the whole run
+    /// — alarms, stats, depth gauges, stage sketches — is deterministic,
+    /// which is what `fleet-monitor --once` needs for byte-stable frames.
+    pub fn run_preloaded(
+        self,
+        from: Timestamp,
+        to: Timestamp,
+        feed: impl FnOnce(&mut FleetSender<'_>),
+    ) -> FleetRun {
+        self.run_inner(from, to, feed, true)
+    }
+
+    fn run_inner(
+        self,
+        from: Timestamp,
+        to: Timestamp,
+        feed: impl FnOnce(&mut FleetSender<'_>),
+        preloaded: bool,
+    ) -> FleetRun {
         let shards = if self.config.shards == 0 {
             default_shards()
         } else {
@@ -245,77 +377,157 @@ impl Fleet {
         let mut txs = Vec::with_capacity(shards);
         let mut rxs = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = bounded::<Bytes>(self.config.queue_capacity.max(1));
+            let (tx, rx) = if preloaded {
+                unbounded::<ShardBatch>()
+            } else {
+                bounded::<ShardBatch>(self.config.queue_capacity.max(1))
+            };
             txs.push(tx);
             rxs.push(rx);
         }
 
-        let mut alarms: Vec<HomeAlarms> = Vec::with_capacity(self.homes.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = rxs
-                .into_iter()
-                .zip(shard_homes)
-                .enumerate()
-                .map(|(shard, (rx, homes))| {
-                    let telemetry = telemetry.clone();
-                    let batch_windows = self.config.batch_windows;
-                    let cooldown = self.config.alarm_cooldown;
-                    scope.spawn(move || {
-                        let depth = telemetry.recorder().map(|rec| {
-                            rec.metrics
-                                .fleet
-                                .shard_depth
-                                .with_label_values(&[&shard.to_string()])
-                        });
-                        let mut engine = ShardEngine::new(
-                            shard,
-                            homes,
-                            batch_windows,
-                            cooldown,
-                            from,
-                            to,
-                            telemetry,
-                        );
-                        while let Ok(batch) = rx.recv() {
-                            if let Some(depth) = &depth {
-                                depth.set_max(rx.len() as i64 + 1);
-                            }
-                            engine.ingest_batch(&batch);
-                        }
-                        engine.finish()
-                    })
-                })
-                .collect();
+        let make_engine = |shard: usize, homes: Vec<(HomeId, Arc<DiceModel>)>| {
+            ShardEngine::new(
+                shard,
+                homes,
+                self.config.batch_windows,
+                self.config.alarm_cooldown,
+                from,
+                to,
+                telemetry.clone(),
+                self.config.tracing,
+                self.config.clock.clone(),
+            )
+        };
 
-            let mut sender = FleetSender {
-                txs: &txs,
-                staging: (0..shards).map(|_| BytesMut::new()).collect(),
-                counts: vec![0; shards],
-                frames_per_batch: self.config.frames_per_batch.max(1),
-                queue_capacity: self.config.queue_capacity.max(1),
-                telemetry,
-                frames: 0,
-                backpressure_waits: 0,
-            };
+        let mut alarms: Vec<HomeAlarms> = Vec::with_capacity(self.homes.len());
+        let mut lineage: Vec<Vec<LineageStamp>> = Vec::with_capacity(shards);
+        if preloaded {
+            let mut sender = new_sender(&self.config, telemetry, &txs);
             feed(&mut sender);
             sender.flush();
             stats.frames = sender.frames;
             stats.backpressure_waits = sender.backpressure_waits;
+            stats.backpressure_wait_ns = sender.backpressure_wait_ns;
             drop(sender);
             drop(txs);
-
-            for handle in handles {
-                let (homes, shard_stats) = handle.join().expect("shard thread panicked");
+            for (shard, (rx, homes)) in rxs.into_iter().zip(shard_homes).enumerate() {
+                let mut engine = make_engine(shard, homes);
+                drain_shard(&mut engine, &rx, telemetry, shard, self.config.stall);
+                let (homes, shard_stats, records) = engine.finish();
                 absorb_shard(&mut stats, &shard_stats);
+                lineage.push(records);
                 alarms.extend(
                     homes
                         .into_iter()
                         .map(|(home, reports)| HomeAlarms { home, reports }),
                 );
             }
-        });
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rxs
+                    .into_iter()
+                    .zip(shard_homes)
+                    .enumerate()
+                    .map(|(shard, (rx, homes))| {
+                        let stall = self.config.stall;
+                        let make_engine = &make_engine;
+                        scope.spawn(move || {
+                            let mut engine = make_engine(shard, homes);
+                            drain_shard(&mut engine, &rx, telemetry, shard, stall);
+                            engine.finish()
+                        })
+                    })
+                    .collect();
+
+                let mut sender = new_sender(&self.config, telemetry, &txs);
+                feed(&mut sender);
+                sender.flush();
+                stats.frames = sender.frames;
+                stats.backpressure_waits = sender.backpressure_waits;
+                stats.backpressure_wait_ns = sender.backpressure_wait_ns;
+                drop(sender);
+                drop(txs);
+
+                for handle in handles {
+                    let (homes, shard_stats, records) =
+                        handle.join().expect("shard thread panicked");
+                    absorb_shard(&mut stats, &shard_stats);
+                    lineage.push(records);
+                    alarms.extend(
+                        homes
+                            .into_iter()
+                            .map(|(home, reports)| HomeAlarms { home, reports }),
+                    );
+                }
+            });
+        }
         alarms.sort_by_key(|a| a.home);
-        FleetRun { stats, alarms }
+        FleetRun {
+            stats,
+            alarms,
+            lineage,
+        }
+    }
+}
+
+/// Builds the ingestion handle over `txs`, with the per-shard wait
+/// handles resolved once up front.
+fn new_sender<'a>(
+    config: &FleetConfig,
+    telemetry: &'a Telemetry,
+    txs: &'a [Sender<ShardBatch>],
+) -> FleetSender<'a> {
+    let shards = txs.len();
+    FleetSender {
+        txs,
+        staging: (0..shards).map(|_| BytesMut::new()).collect(),
+        counts: vec![0; shards],
+        frames_per_batch: config.frames_per_batch.max(1),
+        telemetry,
+        clock: config.clock.clone(),
+        tracing: config.tracing,
+        trace: (0..shards)
+            .map(|shard| SenderShardTrace::resolve(telemetry, shard))
+            .collect(),
+        next_lineage: 0,
+        frames: 0,
+        backpressure_waits: 0,
+        backpressure_wait_ns: 0,
+    }
+}
+
+/// One shard's receive loop: track queue depth, honor the fault-injection
+/// stall, and ingest until every sender is gone and the queue is drained.
+fn drain_shard(
+    engine: &mut ShardEngine,
+    rx: &Receiver<ShardBatch>,
+    telemetry: &Telemetry,
+    shard: usize,
+    stall: Option<(usize, u64)>,
+) {
+    let depth: Option<Arc<Gauge>> = telemetry.recorder().map(|rec| {
+        rec.metrics
+            .fleet
+            .shard_depth
+            .with_label_values(&[&shard_label(shard)])
+    });
+    let stall_ms = match stall {
+        Some((s, ms)) if s == shard => Some(ms),
+        _ => None,
+    };
+    while let Ok(batch) = rx.recv() {
+        if let Some(depth) = &depth {
+            depth.set_max(
+                i64::try_from(rx.len())
+                    .unwrap_or(i64::MAX)
+                    .saturating_add(1),
+            );
+        }
+        if let Some(ms) = stall_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        engine.ingest_wire_batch(&batch);
     }
 }
 

@@ -19,12 +19,27 @@ use std::sync::Arc;
 
 use dice_core::{
     BinarizeScratch, Candidate, Detector, DiceEngine, DiceModel, EngineOptions, FaultReport,
-    ScanProfile, WindowObservation, WindowPrescan,
+    LineageStamp, ScanProfile, WindowObservation, WindowPrescan,
 };
-use dice_telemetry::Telemetry;
+use dice_telemetry::{shard_label, SlotRing, Telemetry};
 use dice_types::{DeviceId, Event, TimeDelta, Timestamp};
 
 use crate::frame::{decode_frames, FleetFrame, HomeId};
+use crate::service::ShardBatch;
+use crate::trace::{StageSketches, TraceClock};
+
+/// Stage-annotated lineage records a shard retains (flight-recorder
+/// discipline: bounded ring, slots reused in place).
+pub const LINEAGE_RING_CAPACITY: usize = 128;
+
+/// What a finished shard hands back: each home's alarm reports (ascending
+/// by registration slot), the shard's counters, and the retained lineage
+/// records (oldest first).
+pub type ShardFinish = (
+    Vec<(HomeId, Vec<FaultReport>)>,
+    ShardStats,
+    Vec<LineageStamp>,
+);
 
 /// Counters one shard accumulates over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -99,11 +114,32 @@ pub struct ShardEngine {
     // Batch scratch, reused across sweeps.
     obs: Vec<WindowObservation>,
     bin_scratch: BinarizeScratch,
+    // §5l causal tracing state.
+    shard: u32,
+    tracing: bool,
+    clock: TraceClock,
+    /// Per-shard stage-sketch children, resolved once; `None` when
+    /// telemetry is disabled or tracing is off.
+    stages: Option<StageSketches>,
+    /// Stage-annotated lineage records, oldest-first bounded ring.
+    ring: SlotRing<LineageStamp>,
+    /// The in-flight batch's partial stamp (lineage block, queue wait).
+    pending: LineageStamp,
+    /// Clock tick when the in-flight batch's ingest started.
+    batch_start_ns: u64,
+    /// Sweep time already spent inside the in-flight batch's ingest, so
+    /// the dequeue stage excludes detection work.
+    sweep_ns_in_batch: u64,
+    /// Scratch: slots whose homes received reports in the current sweep.
+    stamp_slots: Vec<usize>,
 }
 
 impl ShardEngine {
     /// Creates shard `shard` serving `homes` over `[from, to)`. Homes
-    /// sharing a model hand in clones of the same `Arc`.
+    /// sharing a model hand in clones of the same `Arc`. With `tracing`
+    /// on, stage latencies are recorded against `clock` and lineage
+    /// records retained (§5l).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         shard: usize,
         homes: Vec<(HomeId, Arc<DiceModel>)>,
@@ -112,6 +148,8 @@ impl ShardEngine {
         from: Timestamp,
         to: Timestamp,
         telemetry: Telemetry,
+        tracing: bool,
+        clock: TraceClock,
     ) -> Self {
         let mut states = Vec::with_capacity(homes.len());
         let mut slots = BTreeMap::new();
@@ -140,8 +178,13 @@ impl ShardEngine {
             rec.metrics
                 .fleet
                 .shard_windows_total
-                .with_label_values(&[&shard.to_string()])
+                .with_label_values(&[&shard_label(shard)])
         });
+        let stages = if tracing {
+            StageSketches::resolve(&telemetry, shard)
+        } else {
+            None
+        };
         ShardEngine {
             homes: states,
             slots,
@@ -155,6 +198,15 @@ impl ShardEngine {
             shard_windows,
             obs: Vec::new(),
             bin_scratch: BinarizeScratch::default(),
+            shard: u32::try_from(shard).unwrap_or(u32::MAX),
+            tracing,
+            clock,
+            stages,
+            ring: SlotRing::new(LINEAGE_RING_CAPACITY),
+            pending: LineageStamp::default(),
+            batch_start_ns: 0,
+            sweep_ns_in_batch: 0,
+            stamp_slots: Vec::new(),
         }
     }
 
@@ -185,6 +237,48 @@ impl ShardEngine {
                 }
             }
         }
+    }
+
+    /// Ingests one lineage-stamped batch off the shard queue, attributing
+    /// its wall-clock to the `queue_wait` (enqueue tick to now) and
+    /// `dequeue` (decode + window ingestion, excluding any sweeps that
+    /// fire mid-batch) stages.
+    pub(crate) fn ingest_wire_batch(&mut self, batch: &ShardBatch) {
+        if !self.tracing {
+            self.ingest_batch(&batch.bytes);
+            return;
+        }
+        let t0 = self.clock.now_ns();
+        let queue_wait_ns = t0.saturating_sub(batch.enqueue_ns);
+        if let Some(stages) = &self.stages {
+            stages.queue_wait.record(queue_wait_ns);
+        }
+        self.pending = LineageStamp {
+            lineage: batch.lineage,
+            shard: self.shard,
+            frames: batch.frames,
+            enqueue_wait_ns: batch.enqueue_wait_ns,
+            queue_wait_ns,
+            ..LineageStamp::default()
+        };
+        self.batch_start_ns = t0;
+        self.sweep_ns_in_batch = 0;
+        self.ingest_batch(&batch.bytes);
+        let dequeue_ns = self
+            .clock
+            .now_ns()
+            .saturating_sub(self.batch_start_ns)
+            .saturating_sub(self.sweep_ns_in_batch);
+        self.pending.dequeue_ns = dequeue_ns;
+        if let Some(stages) = &self.stages {
+            stages.dequeue.record(dequeue_ns);
+        }
+    }
+
+    /// The shard's retained lineage records, oldest first, plus how many
+    /// older records the bounded ring evicted.
+    pub fn lineage_log(&self) -> (Vec<LineageStamp>, u64) {
+        (self.ring.iter().copied().collect(), self.ring.dropped())
     }
 
     /// Ingests one decoded frame: routes it to its home, closes windows
@@ -230,6 +324,7 @@ impl ShardEngine {
         if n == 0 {
             return;
         }
+        let sweep_start_ns = if self.tracing { self.clock.now_ns() } else { 0 };
         if self.obs.len() < n {
             self.obs.resize_with(n, WindowObservation::default);
         }
@@ -307,8 +402,17 @@ impl ShardEngine {
             }
         }
 
+        // The scan stage covers everything from sweep entry through the
+        // batched candidate resolution above.
+        let scan_end_ns = if self.tracing { self.clock.now_ns() } else { 0 };
+        let scan_ns = scan_end_ns.saturating_sub(sweep_start_ns);
+        if let Some(stages) = &self.stages {
+            stages.scan.record(scan_ns);
+        }
+
         // Drive the engines in arrival order (per-home window order is a
         // suffix of arrival order, which is what the engines require).
+        let mut publish_ns = 0u64;
         let mut ready = std::mem::take(&mut self.ready);
         for (i, rw) in ready.drain(..).enumerate() {
             let home = &mut self.homes[rw.slot];
@@ -333,27 +437,80 @@ impl ShardEngine {
                 counter.inc();
             }
             if let Some(report) = report {
-                Self::deliver(
+                let publish_start_ns = if self.tracing { self.clock.now_ns() } else { 0 };
+                let delivered = Self::deliver(
                     home,
                     report,
                     self.alarm_cooldown,
                     &mut self.stats,
                     &self.telemetry,
                 );
+                if self.tracing {
+                    let d = self.clock.now_ns().saturating_sub(publish_start_ns);
+                    publish_ns += d;
+                    if let Some(stages) = &self.stages {
+                        stages.publish.record(d);
+                    }
+                    if delivered {
+                        self.stamp_slots.push(rw.slot);
+                    }
+                }
             }
         }
         self.ready = ready;
+
+        if self.tracing {
+            let verdict_end_ns = self.clock.now_ns();
+            let verdict_ns = verdict_end_ns
+                .saturating_sub(scan_end_ns)
+                .saturating_sub(publish_ns);
+            if let Some(stages) = &self.stages {
+                stages.verdict.record(verdict_ns);
+            }
+            // The completed stage picture for this sweep, against the
+            // batch whose ingest triggered it. `dequeue_ns` is the batch's
+            // ingest time up to this sweep (the batch may still be
+            // mid-decode).
+            let stamp = LineageStamp {
+                dequeue_ns: sweep_start_ns
+                    .saturating_sub(self.batch_start_ns)
+                    .saturating_sub(self.sweep_ns_in_batch),
+                scan_ns,
+                verdict_ns,
+                publish_ns,
+                ..self.pending
+            };
+            self.ring.push_with(|_, slot| *slot = stamp);
+            // Stamp the reports this sweep delivered (every unstamped
+            // report of a touched home is from this sweep; earlier sweeps
+            // stamped theirs).
+            while let Some(slot) = self.stamp_slots.pop() {
+                let home = &mut self.homes[slot];
+                for report in home.reports.iter_mut().rev() {
+                    if report.lineage.is_some() {
+                        break;
+                    }
+                    report.lineage = Some(stamp);
+                    if let Some(rec) = self.telemetry.recorder() {
+                        rec.events
+                            .push("fleet_alarm_lineage", format!("home {} {stamp}", home.home));
+                    }
+                }
+            }
+            self.sweep_ns_in_batch += verdict_end_ns.saturating_sub(sweep_start_ns);
+        }
     }
 
     /// Delivers one report through the home's cooldown ledger, mirroring
-    /// the single-home gateway's suppression semantics.
+    /// the single-home gateway's suppression semantics. Returns whether
+    /// the report was delivered (vs suppressed).
     fn deliver(
         home: &mut HomeState,
         report: FaultReport,
         cooldown: TimeDelta,
         stats: &mut ShardStats,
         telemetry: &Telemetry,
-    ) {
+    ) -> bool {
         let now = report.identified_at;
         let fresh = report.devices.iter().any(|d| {
             home.last_alarmed
@@ -369,18 +526,21 @@ impl ShardEngine {
                 rec.metrics.fleet.alarms_total.inc();
             }
             home.reports.push(report);
+            true
         } else {
             stats.suppressed += 1;
             if let Some(rec) = telemetry.recorder() {
                 rec.metrics.fleet.alarms_suppressed_total.inc();
             }
+            false
         }
     }
 
     /// Closes every home's remaining windows up to `to`, sweeps the final
     /// batch, flushes the engines, and returns each home's alarm reports
-    /// (ascending by registration slot) plus the shard's counters.
-    pub fn finish(mut self) -> (Vec<(HomeId, Vec<FaultReport>)>, ShardStats) {
+    /// (ascending by registration slot), the shard's counters, and the
+    /// retained lineage records (oldest first).
+    pub fn finish(mut self) -> ShardFinish {
         for slot in 0..self.homes.len() {
             loop {
                 let home = &mut self.homes[slot];
@@ -415,11 +575,12 @@ impl ShardEngine {
                 );
             }
         }
+        let records = self.ring.iter().copied().collect();
         let out = self
             .homes
             .into_iter()
             .map(|h| (h.home, h.reports))
             .collect();
-        (out, self.stats)
+        (out, self.stats, records)
     }
 }

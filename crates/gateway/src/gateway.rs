@@ -271,7 +271,7 @@ impl<M: Borrow<DiceModel>> HomeGateway<M> {
                         rec.metrics
                             .gateway
                             .shard_depth
-                            .with_label_values(&[&shard.to_string()])
+                            .with_label_values(&[&dice_telemetry::shard_label(shard)])
                     })
                     .collect()
             })
@@ -620,7 +620,7 @@ mod tests {
         let (count, _) = snapshot.sketch("dice_gateway_window_ns").unwrap();
         assert_eq!(count, stats.windows);
         assert!(snapshot
-            .family_value("dice_gateway_shard_depth", &["0"])
+            .family_value("dice_gateway_shard_depth", &["s0"])
             .is_some());
     }
 

@@ -44,6 +44,22 @@ pub const TRIAL_BOUNDS_NS: [u64; 9] = [
 /// Identification-convergence bucket bounds, in windows.
 pub const WINDOW_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
+/// Cardinality cap for per-shard metric labels. Shards below the cap get
+/// their own `shard="s<n>"` child; anything beyond shares one overflow
+/// child (`shard="s64+"`), so a misconfigured shard count can never blow
+/// up the label space of the per-shard families.
+pub const MAX_SHARD_LABELS: usize = 64;
+
+/// The metric label value for shard `shard`: `"s0"`, `"s1"`, ... up to
+/// [`MAX_SHARD_LABELS`], then the shared overflow value `"s64+"`.
+pub fn shard_label(shard: usize) -> String {
+    if shard < MAX_SHARD_LABELS {
+        format!("s{shard}")
+    } else {
+        format!("s{MAX_SHARD_LABELS}+")
+    }
+}
+
 /// Engine-layer metrics (`dice-core`): per-window check outcomes, scan
 /// prefilter effectiveness, and the Figure 5.3 latency split.
 #[derive(Debug, Clone)]
@@ -333,6 +349,26 @@ pub struct FleetMetrics {
     pub shard_windows_total: Arc<Family<Counter>>,
     /// High-water mark of queued frame batches, labeled by shard.
     pub shard_depth: Arc<Family<Gauge>>,
+    /// Sends that found the shard queue at capacity, labeled by shard.
+    pub shard_backpressure_waits: Arc<Family<Counter>>,
+    /// Nanoseconds senders spent blocked on a full shard queue, labeled by
+    /// shard.
+    pub shard_backpressure_wait_ns: Arc<Family<Counter>>,
+    /// Sender-side enqueue latency (the blocking send itself), labeled by
+    /// destination shard.
+    pub stage_enqueue_wait_ns: Arc<Family<QuantileSketch>>,
+    /// Time a frame batch sat in its shard queue before being dequeued.
+    pub stage_queue_wait_ns: Arc<Family<QuantileSketch>>,
+    /// Dequeue-to-scan time per batch: frame decode and window assembly.
+    pub stage_dequeue_ns: Arc<Family<QuantileSketch>>,
+    /// Batched candidate-scan time per detection sweep.
+    pub stage_scan_ns: Arc<Family<QuantileSketch>>,
+    /// Engine verdict time per detection sweep (exact hits and prescanned
+    /// windows driven to a decision).
+    pub stage_verdict_ns: Arc<Family<QuantileSketch>>,
+    /// Alarm publish time per detection sweep (cooldown bookkeeping and
+    /// report delivery).
+    pub stage_publish_ns: Arc<Family<QuantileSketch>>,
 }
 
 impl FleetMetrics {
@@ -381,6 +417,52 @@ impl FleetMetrics {
             shard_depth: r.gauge_family(
                 "dice_fleet_shard_depth",
                 "High-water mark of queued frame batches per shard",
+                &["shard"],
+            ),
+            shard_backpressure_waits: r.counter_family(
+                "dice_fleet_shard_backpressure_waits_total",
+                "Sends that found the shard queue at capacity, per shard",
+                &["shard"],
+            ),
+            shard_backpressure_wait_ns: r.counter_family(
+                "dice_fleet_shard_backpressure_wait_ns_total",
+                "Nanoseconds senders spent blocked on a full shard queue",
+                &["shard"],
+            ),
+            stage_enqueue_wait_ns: r.sketch_family(
+                "dice_fleet_stage_enqueue_wait_ns",
+                "Sender-side blocking enqueue latency per shard",
+                "ns",
+                &["shard"],
+            ),
+            stage_queue_wait_ns: r.sketch_family(
+                "dice_fleet_stage_queue_wait_ns",
+                "Time a frame batch sat in its shard queue",
+                "ns",
+                &["shard"],
+            ),
+            stage_dequeue_ns: r.sketch_family(
+                "dice_fleet_stage_dequeue_ns",
+                "Dequeue-to-scan time per batch (decode + window assembly)",
+                "ns",
+                &["shard"],
+            ),
+            stage_scan_ns: r.sketch_family(
+                "dice_fleet_stage_scan_ns",
+                "Batched candidate-scan time per detection sweep",
+                "ns",
+                &["shard"],
+            ),
+            stage_verdict_ns: r.sketch_family(
+                "dice_fleet_stage_verdict_ns",
+                "Engine verdict time per detection sweep",
+                "ns",
+                &["shard"],
+            ),
+            stage_publish_ns: r.sketch_family(
+                "dice_fleet_stage_publish_ns",
+                "Alarm publish time per detection sweep",
+                "ns",
                 &["shard"],
             ),
         }
@@ -660,6 +742,9 @@ mod tests {
         assert!(names.contains(&"dice_fleet_frames_total"));
         assert!(names.contains(&"dice_fleet_models_resident"));
         assert!(names.contains(&"dice_fleet_shard_windows_total"));
+        assert!(names.contains(&"dice_fleet_stage_queue_wait_ns"));
+        assert!(names.contains(&"dice_fleet_stage_scan_ns"));
+        assert!(names.contains(&"dice_fleet_shard_backpressure_wait_ns_total"));
         assert!(names.contains(&"dice_health_status"));
         assert!(names.contains(&"dice_timeseries_samples_total"));
         metrics.engine.detection_ns.record(1_000);
@@ -670,6 +755,15 @@ mod tests {
             .inc();
         assert_eq!(metrics.engine.detection_ns.count(), 1);
         assert_eq!(metrics.gateway.home_windows_total.len(), 1);
+    }
+
+    #[test]
+    fn shard_labels_cap_their_cardinality() {
+        assert_eq!(shard_label(0), "s0");
+        assert_eq!(shard_label(7), "s7");
+        assert_eq!(shard_label(63), "s63");
+        assert_eq!(shard_label(64), "s64+");
+        assert_eq!(shard_label(10_000), "s64+");
     }
 
     #[test]

@@ -10,8 +10,9 @@ use crate::registry::{MetricKind, Registry};
 use crate::ring::{EventRing, TelemetryEvent};
 
 /// The JSON snapshot schema version. Bump when keys change shape.
-/// Schema 2 added the `sketches` and `families` sections.
-pub const SNAPSHOT_SCHEMA: u32 = 2;
+/// Schema 2 added the `sketches` and `families` sections; schema 3 added
+/// `sketch_families`.
+pub const SNAPSHOT_SCHEMA: u32 = 3;
 
 /// Whether `name` is a valid Prometheus metric name
 /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
@@ -62,6 +63,7 @@ pub struct Snapshot {
     histograms: Vec<HistogramRow>,
     sketches: Vec<SketchRow>,
     families: Vec<FamilyRow>,
+    sketch_families: Vec<SketchFamilyRow>,
     events: Vec<TelemetryEvent>,
     dropped_events: u64,
 }
@@ -117,6 +119,33 @@ struct FamilyRow {
     series: Vec<(Vec<String>, i128)>,
 }
 
+#[derive(Debug, Clone)]
+struct SketchFamilyRow {
+    name: &'static str,
+    help: &'static str,
+    unit: &'static str,
+    labels: Vec<&'static str>,
+    series: Vec<SketchFamilyChild>,
+}
+
+/// One child of a labeled quantile-sketch family in a snapshot: its label
+/// values and distribution summary.
+#[derive(Debug, Clone)]
+pub struct SketchFamilyChild {
+    /// Label values in label order.
+    pub values: Vec<String>,
+    /// Samples recorded into this child.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// p50 estimate; 0 when the child is empty.
+    pub p50: u64,
+    /// p95 estimate; 0 when the child is empty.
+    pub p95: u64,
+    /// p99 estimate; 0 when the child is empty.
+    pub p99: u64,
+}
+
 impl Snapshot {
     /// Captures every metric in `registry` and the retained `events`.
     pub fn collect(registry: &Registry, events: &EventRing) -> Self {
@@ -125,6 +154,7 @@ impl Snapshot {
         let mut histograms = Vec::new();
         let mut sketches = Vec::new();
         let mut families = Vec::new();
+        let mut sketch_families = Vec::new();
         for entry in registry.entries() {
             match entry.kind() {
                 MetricKind::Counter => {
@@ -204,6 +234,30 @@ impl Snapshot {
                             .collect(),
                     });
                 }
+                MetricKind::SketchFamily => {
+                    let family = entry.as_sketch_family().expect("kind checked");
+                    sketch_families.push(SketchFamilyRow {
+                        name: entry.name,
+                        help: entry.help,
+                        unit: entry.unit,
+                        labels: family.label_names().to_vec(),
+                        series: family
+                            .children()
+                            .into_iter()
+                            .map(|(values, child)| {
+                                let (p50, p95, p99) = child.percentiles().unwrap_or((0, 0, 0));
+                                SketchFamilyChild {
+                                    values,
+                                    count: child.count(),
+                                    sum: child.sum(),
+                                    p50,
+                                    p95,
+                                    p99,
+                                }
+                            })
+                            .collect(),
+                    });
+                }
             }
         }
         Snapshot {
@@ -212,6 +266,7 @@ impl Snapshot {
             histograms,
             sketches,
             families,
+            sketch_families,
             events: events.snapshot(),
             dropped_events: events.dropped(),
         }
@@ -268,6 +323,24 @@ impl Snapshot {
                 })
                 .map(|&(_, value)| value)
         })
+    }
+
+    /// Every child of one family by name — label values and value per
+    /// child, in sorted label order. `None` when the family is absent.
+    pub fn family_series(&self, name: &str) -> Option<&[(Vec<String>, i128)]> {
+        self.families
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.series.as_slice())
+    }
+
+    /// Every child of one quantile-sketch family by name, in sorted label
+    /// order. `None` when the family is absent.
+    pub fn sketch_family(&self, name: &str) -> Option<&[SketchFamilyChild]> {
+        self.sketch_families
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.series.as_slice())
     }
 
     /// Retained events captured with the snapshot.
@@ -378,6 +451,45 @@ impl Snapshot {
             let _ = writeln!(out, "    }}{comma}");
         }
         out.push_str("  },\n");
+        out.push_str("  \"sketch_families\": {\n");
+        for (i, row) in self.sketch_families.iter().enumerate() {
+            let _ = writeln!(out, "    \"{}\": {{", row.name);
+            let _ = writeln!(out, "      \"unit\": \"{}\",", json::escape(row.unit));
+            out.push_str("      \"labels\": [");
+            for (j, label) in row.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", json::escape(label));
+            }
+            out.push_str("],\n");
+            out.push_str("      \"series\": [");
+            for (j, child) in row.series.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"values\": [");
+                for (k, v) in child.values.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{}\"", json::escape(v));
+                }
+                let _ = write!(
+                    out,
+                    "], \"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    child.count, child.sum, child.p50, child.p95, child.p99
+                );
+            }
+            out.push_str("]\n");
+            let comma = if i + 1 < self.sketch_families.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  },\n");
         let _ = writeln!(out, "  \"dropped_events\": {},", self.dropped_events);
         out.push_str("  \"events\": [\n");
         for (i, event) in self.events.iter().enumerate() {
@@ -446,6 +558,26 @@ impl Snapshot {
                 let _ = writeln!(out, "}} {value}");
             }
         }
+        for row in &self.sketch_families {
+            let _ = writeln!(out, "# HELP {} {}", row.name, row.help);
+            let _ = writeln!(out, "# TYPE {} summary", row.name);
+            for child in &row.series {
+                let mut label_pairs = String::new();
+                for (i, (label, v)) in row.labels.iter().zip(&child.values).enumerate() {
+                    if i > 0 {
+                        label_pairs.push(',');
+                    }
+                    let _ = write!(label_pairs, "{label}=\"{}\"", escape_label_value(v));
+                }
+                if child.count > 0 {
+                    for (q, v) in [("0.5", child.p50), ("0.95", child.p95), ("0.99", child.p99)] {
+                        let _ = writeln!(out, "{}{{{label_pairs},quantile=\"{q}\"}} {v}", row.name);
+                    }
+                }
+                let _ = writeln!(out, "{}_sum{{{label_pairs}}} {}", row.name, child.sum);
+                let _ = writeln!(out, "{}_count{{{label_pairs}}} {}", row.name, child.count);
+            }
+        }
         out
     }
 }
@@ -482,6 +614,7 @@ pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
     let histograms = section(root, "histograms")?;
     let sketches = section(root, "sketches")?;
     let families = section(root, "families")?;
+    let sketch_families = section(root, "sketch_families")?;
     root.get("events")
         .and_then(Value::as_arr)
         .ok_or("missing \"events\" array")?;
@@ -499,6 +632,7 @@ pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
             MetricKind::Histogram => (histograms, "histograms"),
             MetricKind::Sketch => (sketches, "sketches"),
             MetricKind::CounterFamily | MetricKind::GaugeFamily => (families, "families"),
+            MetricKind::SketchFamily => (sketch_families, "sketch_families"),
         };
         if !map.contains_key(entry.name) {
             return Err(format!(
@@ -545,6 +679,34 @@ pub fn validate_snapshot_json(document: &str) -> Result<(), String> {
                 .get("value")
                 .and_then(Value::as_num)
                 .ok_or_else(|| format!("family {name:?} child missing value"))?;
+        }
+    }
+    for (name, family) in sketch_families {
+        let labels = family
+            .get("labels")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("sketch family {name:?} missing labels"))?;
+        let series = family
+            .get("series")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("sketch family {name:?} missing series"))?;
+        for child in series {
+            let values = child
+                .get("values")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("sketch family {name:?} child missing values"))?;
+            if values.len() != labels.len() {
+                return Err(format!(
+                    "sketch family {name:?} child has {} label value(s), want {}",
+                    values.len(),
+                    labels.len()
+                ));
+            }
+            for key in ["count", "sum", "p50", "p95", "p99"] {
+                child.get(key).and_then(Value::as_num).ok_or_else(|| {
+                    format!("sketch family {name:?} child missing numeric {key:?}")
+                })?;
+            }
         }
     }
 
@@ -640,6 +802,13 @@ mod tests {
             .shard_depth
             .with_label_values(&["0"])
             .set_max(5);
+        for v in [2_000u64, 3_000, 40_000] {
+            metrics
+                .fleet
+                .stage_scan_ns
+                .with_label_values(&["s0"])
+                .record(v);
+        }
         let events = EventRing::new(8);
         events.push("fault_report", "devices {3} window 17 \"quoted\"");
         (registry, events)
@@ -704,6 +873,14 @@ mod tests {
         assert_eq!(family.get("kind").unwrap().as_str(), Some("counter"));
         let child = &family.get("series").unwrap().as_arr().unwrap()[0];
         assert_eq!(child.get("value").unwrap().as_num(), Some(7.0));
+        let stage = parsed
+            .get("sketch_families")
+            .unwrap()
+            .get("dice_fleet_stage_scan_ns")
+            .unwrap();
+        let child = &stage.get("series").unwrap().as_arr().unwrap()[0];
+        assert_eq!(child.get("count").unwrap().as_num(), Some(3.0));
+        assert!(child.get("p99").unwrap().as_num().unwrap() >= 40_000.0);
     }
 
     #[test]
@@ -724,6 +901,9 @@ mod tests {
         assert!(text.contains("# TYPE dice_gateway_home_windows_total counter"));
         assert!(text.contains("dice_gateway_home_windows_total{home=\"h0\"} 7"));
         assert!(text.contains("dice_gateway_shard_depth{shard=\"0\"} 5"));
+        assert!(text.contains("# TYPE dice_fleet_stage_scan_ns summary"));
+        assert!(text.contains("dice_fleet_stage_scan_ns{shard=\"s0\",quantile=\"0.5\"}"));
+        assert!(text.contains("dice_fleet_stage_scan_ns_count{shard=\"s0\"} 3"));
         // Empty sketches still expose their _sum/_count pair.
         assert!(text.contains("dice_gateway_window_ns_count 0"));
     }
@@ -779,7 +959,7 @@ mod tests {
         let missing_metric = format!(
             "{{\"schema\": {SNAPSHOT_SCHEMA}, \"kind\": \"{SNAPSHOT_KIND}\", \"counters\": {{}}, \
              \"gauges\": {{}}, \"histograms\": {{}}, \"sketches\": {{}}, \"families\": {{}}, \
-             \"events\": [], \"dropped_events\": 0}}"
+             \"sketch_families\": {{}}, \"events\": [], \"dropped_events\": 0}}"
         );
         let err = validate_snapshot_json(&missing_metric).unwrap_err();
         assert!(err.contains("missing from"), "{err}");

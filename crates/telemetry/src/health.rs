@@ -91,6 +91,34 @@ pub enum RuleCheck {
         /// Crit at or above this p99.
         crit: u64,
     },
+    /// The straggler detector over a quantile-sketch family: any child
+    /// whose p99 strays past `ratio_*` times the **median** p99 of its
+    /// siblings (a slow shard shows up against the fleet, not against an
+    /// absolute bound that would mis-grade every deployment differently).
+    SketchFamilyStragglerP99 {
+        /// The sketch-family name.
+        name: &'static str,
+        /// Warn at or above this multiple of the median p99.
+        ratio_warn: f64,
+        /// Crit at or above this multiple of the median p99.
+        ratio_crit: f64,
+        /// Children with fewer samples than this are not judged.
+        min_count: u64,
+    },
+    /// The straggler detector over a gauge family: any child rising past
+    /// `ratio_*` times the median of its siblings, once the median itself
+    /// clears an absolute floor (idle fleets with near-zero medians are
+    /// never judged).
+    GaugeFamilyStragglerAbove {
+        /// The gauge-family name.
+        name: &'static str,
+        /// Warn at or above this multiple of the median.
+        ratio_warn: f64,
+        /// Crit at or above this multiple of the median.
+        ratio_crit: f64,
+        /// Below this median the rule reports Ok instead of judging noise.
+        min_median: f64,
+    },
 }
 
 /// One named health rule.
@@ -184,6 +212,28 @@ pub fn standard_rules() -> Vec<HealthRule> {
                 crit: 50_000_000,
             },
         },
+        HealthRule {
+            id: "fleet_stage_straggler",
+            help: "one shard's queue-wait p99 far above the fleet median",
+            deterministic: false,
+            check: RuleCheck::SketchFamilyStragglerP99 {
+                name: "dice_fleet_stage_queue_wait_ns",
+                ratio_warn: 4.0,
+                ratio_crit: 16.0,
+                min_count: 8,
+            },
+        },
+        HealthRule {
+            id: "fleet_shard_depth_straggler",
+            help: "one shard's queue depth far above the fleet median",
+            deterministic: false,
+            check: RuleCheck::GaugeFamilyStragglerAbove {
+                name: "dice_fleet_shard_depth",
+                ratio_warn: 4.0,
+                ratio_crit: 8.0,
+                min_median: 2.0,
+            },
+        },
     ]
 }
 
@@ -204,6 +254,21 @@ fn grade_below_f64(value: f64, warn: f64, crit: f64) -> HealthStatus {
         HealthStatus::Warn
     } else {
         HealthStatus::Ok
+    }
+}
+
+/// The median of `values` (mean of the middle pair for even sizes).
+/// Returns 0 for an empty slice.
+fn median_f64(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        f64::midpoint(values[mid - 1], values[mid])
     }
 }
 
@@ -264,6 +329,78 @@ fn check_rule(check: &RuleCheck, snapshot: &Snapshot) -> (HealthStatus, String) 
                 )
             }
         },
+        RuleCheck::SketchFamilyStragglerP99 {
+            name,
+            ratio_warn,
+            ratio_crit,
+            min_count,
+        } => {
+            #[allow(clippy::cast_precision_loss)]
+            let judged: Vec<(String, f64)> = snapshot
+                .sketch_family(name)
+                .unwrap_or(&[])
+                .iter()
+                .filter(|c| c.count >= *min_count)
+                .map(|c| (c.values.join(","), c.p99 as f64))
+                .collect();
+            if judged.len() < 2 {
+                return (
+                    HealthStatus::Ok,
+                    format!("insufficient data ({} shard(s))", judged.len()),
+                );
+            }
+            let mut p99s: Vec<f64> = judged.iter().map(|(_, p99)| *p99).collect();
+            let median = median_f64(&mut p99s);
+            if median <= 0.0 {
+                return (HealthStatus::Ok, "median p99 0".to_string());
+            }
+            let (worst, worst_p99) = judged
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("judged is non-empty");
+            let ratio = worst_p99 / median;
+            (
+                grade_above_f64(ratio, *ratio_warn, *ratio_crit),
+                format!("{worst} p99 {worst_p99:.0} at {ratio:.1}x median {median:.0}"),
+            )
+        }
+        RuleCheck::GaugeFamilyStragglerAbove {
+            name,
+            ratio_warn,
+            ratio_crit,
+            min_median,
+        } => {
+            #[allow(clippy::cast_precision_loss)]
+            let judged: Vec<(String, f64)> = snapshot
+                .family_series(name)
+                .unwrap_or(&[])
+                .iter()
+                .map(|(values, value)| (values.join(","), *value as f64))
+                .collect();
+            if judged.len() < 2 {
+                return (
+                    HealthStatus::Ok,
+                    format!("insufficient data ({} shard(s))", judged.len()),
+                );
+            }
+            let mut values: Vec<f64> = judged.iter().map(|(_, v)| *v).collect();
+            let median = median_f64(&mut values);
+            if median < *min_median {
+                return (
+                    HealthStatus::Ok,
+                    format!("median {median:.1} below floor {min_median:.1}"),
+                );
+            }
+            let (worst, worst_value) = judged
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("judged is non-empty");
+            let ratio = worst_value / median;
+            (
+                grade_above_f64(ratio, *ratio_warn, *ratio_crit),
+                format!("{worst} depth {worst_value:.0} at {ratio:.1}x median {median:.1}"),
+            )
+        }
     }
 }
 
@@ -413,9 +550,59 @@ mod tests {
             vec![
                 "channel_depth_high_water",
                 "detection_p99",
-                "telemetry_overhead"
+                "telemetry_overhead",
+                "fleet_stage_straggler",
+                "fleet_shard_depth_straggler"
             ]
         );
+    }
+
+    #[test]
+    fn stragglers_grade_against_the_fleet_median() {
+        let telemetry = Telemetry::recording();
+        let recorder = telemetry.recorder().unwrap();
+        let queue_wait = &recorder.metrics.fleet.stage_queue_wait_ns;
+        // Three healthy shards and one straggler, with enough samples for
+        // every child to clear min_count.
+        for _ in 0..20 {
+            for shard in ["s0", "s1", "s2"] {
+                queue_wait.with_label_values(&[shard]).record(1_000);
+            }
+            queue_wait.with_label_values(&["s3"]).record(1_000_000);
+        }
+        let report = evaluate(&standard_rules(), &telemetry.snapshot().unwrap(), false);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "fleet_stage_straggler")
+            .unwrap();
+        assert_eq!(row.status, Some(HealthStatus::Crit), "{}", row.observed);
+        assert!(row.observed.contains("s3"), "{}", row.observed);
+
+        // Depth straggler: median must clear the floor before judging.
+        let depth = &recorder.metrics.fleet.shard_depth;
+        for shard in ["s0", "s1", "s2"] {
+            depth.with_label_values(&[shard]).set(1);
+        }
+        depth.with_label_values(&["s3"]).set(60);
+        let report = evaluate(&standard_rules(), &telemetry.snapshot().unwrap(), false);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "fleet_shard_depth_straggler")
+            .unwrap();
+        assert_eq!(row.status, Some(HealthStatus::Ok), "{}", row.observed);
+        assert!(row.observed.contains("below floor"), "{}", row.observed);
+        for shard in ["s0", "s1", "s2"] {
+            depth.with_label_values(&[shard]).set(4);
+        }
+        let report = evaluate(&standard_rules(), &telemetry.snapshot().unwrap(), false);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.id == "fleet_shard_depth_straggler")
+            .unwrap();
+        assert_eq!(row.status, Some(HealthStatus::Crit), "{}", row.observed);
     }
 
     #[test]

@@ -36,13 +36,13 @@ mod timeseries;
 mod trace;
 
 pub use catalog::{
-    catalog_metric_names, DiceMetrics, EngineMetrics, EvalMetrics, FleetMetrics, GatewayMetrics,
-    HealthMetrics, TimeseriesMetrics, TraceMetrics, TrainMetrics, LATENCY_BOUNDS_NS,
-    TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
+    catalog_metric_names, shard_label, DiceMetrics, EngineMetrics, EvalMetrics, FleetMetrics,
+    GatewayMetrics, HealthMetrics, TimeseriesMetrics, TraceMetrics, TrainMetrics,
+    LATENCY_BOUNDS_NS, MAX_SHARD_LABELS, TRIAL_BOUNDS_NS, WINDOW_BOUNDS,
 };
 pub use export::{
     escape_label_value, is_valid_label_name, is_valid_metric_name, snapshot_gauge_json,
-    validate_snapshot_json, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA,
+    validate_snapshot_json, SketchFamilyChild, Snapshot, SNAPSHOT_KIND, SNAPSHOT_SCHEMA,
 };
 pub use family::Family;
 pub use health::{

@@ -247,6 +247,8 @@ pub enum MetricKind {
     CounterFamily,
     /// A labeled family of gauges.
     GaugeFamily,
+    /// A labeled family of quantile sketches.
+    SketchFamily,
 }
 
 /// The typed handle behind a registry entry. Crate-visible so the
@@ -261,6 +263,7 @@ pub(crate) enum Metric {
     Sketch(Arc<QuantileSketch>),
     CounterFamily(Arc<Family<Counter>>),
     GaugeFamily(Arc<Family<Gauge>>),
+    SketchFamily(Arc<Family<QuantileSketch>>),
 }
 
 /// One registered metric, read back during a snapshot.
@@ -290,6 +293,7 @@ impl MetricEntry {
             Metric::Sketch(_) => MetricKind::Sketch,
             Metric::CounterFamily(_) => MetricKind::CounterFamily,
             Metric::GaugeFamily(_) => MetricKind::GaugeFamily,
+            Metric::SketchFamily(_) => MetricKind::SketchFamily,
         }
     }
 
@@ -337,6 +341,14 @@ impl MetricEntry {
     pub fn as_gauge_family(&self) -> Option<&Family<Gauge>> {
         match &self.metric {
             Metric::GaugeFamily(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The sketch family behind this entry, if it is one.
+    pub fn as_sketch_family(&self) -> Option<&Family<QuantileSketch>> {
+        match &self.metric {
+            Metric::SketchFamily(f) => Some(f),
             _ => None,
         }
     }
@@ -475,6 +487,23 @@ impl Registry {
         family
     }
 
+    /// Registers a labeled quantile-sketch family and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered or any label name is invalid.
+    pub fn sketch_family(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        unit: &'static str,
+        label_names: &'static [&'static str],
+    ) -> Arc<Family<QuantileSketch>> {
+        let family = Arc::new(Family::new(label_names));
+        self.insert(name, help, unit, Metric::SketchFamily(Arc::clone(&family)));
+        family
+    }
+
     /// A point-in-time copy of every registered metric, sorted by name.
     pub fn entries(&self) -> Vec<MetricEntry> {
         let mut entries = self.entries.lock().clone();
@@ -565,17 +594,24 @@ mod tests {
         let sketch = registry.sketch("s_ns", "a sketch", "ns");
         let counters = registry.counter_family("f_total", "a family", &["home"]);
         let gauges = registry.gauge_family("d", "depths", &["shard"]);
+        let sketches = registry.sketch_family("lat_ns", "latencies", "ns", &["shard"]);
         sketch.record(7);
         counters.with_label_values(&["h0"]).inc();
         gauges.with_label_values(&["0"]).set(3);
+        sketches.with_label_values(&["s0"]).record(11);
         let entries = registry.entries();
         let kind = |name: &str| entries.iter().find(|e| e.name == name).unwrap().kind();
         assert_eq!(kind("s_ns"), MetricKind::Sketch);
         assert_eq!(kind("f_total"), MetricKind::CounterFamily);
         assert_eq!(kind("d"), MetricKind::GaugeFamily);
+        assert_eq!(kind("lat_ns"), MetricKind::SketchFamily);
         let entry = entries.iter().find(|e| e.name == "s_ns").unwrap();
         assert_eq!(entry.as_sketch().unwrap().count(), 1);
         assert!(entry.as_counter().is_none());
+        let entry = entries.iter().find(|e| e.name == "lat_ns").unwrap();
+        let family = entry.as_sketch_family().unwrap();
+        assert_eq!(family.with_label_values(&["s0"]).count(), 1);
+        assert!(entry.as_gauge_family().is_none());
     }
 
     #[test]

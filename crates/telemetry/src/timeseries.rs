@@ -234,6 +234,16 @@ impl TimeSeriesRecorder {
                     entry.prev = (count, sum);
                     scratch.distributions.push((entry.name, delta));
                 }
+                Metric::SketchFamily(family) => {
+                    let (count, sum) = family
+                        .fold_values((0u64, 0u64), |acc, s| (acc.0 + s.count(), acc.1 + s.sum()));
+                    let delta = (
+                        count.saturating_sub(entry.prev.0),
+                        sum.saturating_sub(entry.prev.1),
+                    );
+                    entry.prev = (count, sum);
+                    scratch.distributions.push((entry.name, delta));
+                }
             }
         }
         if !baseline_only {

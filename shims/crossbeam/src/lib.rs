@@ -23,6 +23,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the value comes back either
+    /// because a bounded channel is at capacity or because every receiver
+    /// is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and full.
+        Full(T),
+        /// All receivers have disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -77,12 +97,41 @@ pub mod channel {
         ///
         /// Returns the value back if the receiver has disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Count the message before it becomes visible: a receiver may
+            // otherwise consume (and decrement for) it ahead of a late
+            // post-send increment, underflowing the depth counter.
+            self.depth.fetch_add(1, Ordering::Relaxed);
             let sent = match &self.kind {
                 SenderKind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
                 SenderKind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
             };
-            if sent.is_ok() {
-                self.depth.fetch_add(1, Ordering::Relaxed);
+            if sent.is_err() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            sent
+        }
+
+        /// Sends `value` without ever blocking.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back as [`TrySendError::Full`] when a bounded
+        /// channel is at capacity (an unbounded channel is never full) or
+        /// as [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            // Pre-increment for the same reason as `send`.
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            let sent = match &self.kind {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            };
+            if sent.is_err() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
             }
             sent
         }
@@ -242,6 +291,25 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(tx);
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            use super::TrySendError;
+            let (tx, rx) = super::bounded(1);
+            assert!(tx.try_send(1).is_ok());
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            assert!(tx.try_send(3).is_ok());
+            drop(rx);
+            // The queued value is lost with the receiver; further sends
+            // report disconnection.
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+            let (tx, rx) = super::unbounded::<u8>();
+            assert!(tx.try_send(9).is_ok());
+            assert_eq!(rx.recv(), Ok(9));
+            drop(rx);
+            assert_eq!(tx.try_send(10), Err(TrySendError::Disconnected(10)));
         }
 
         #[test]

@@ -8,8 +8,10 @@ use std::sync::Arc;
 use dice_core::{ContextExtractor, DiceConfig, DiceModel};
 use dice_fleet::{
     decode_frame_slice, decode_frames, encode_frame, Fleet, FleetConfig, FleetRun, ModelCache,
+    TraceClock,
 };
 use dice_gateway::{encode_event, HomeGateway};
+use dice_telemetry::{evaluate_health, standard_rules, HealthStatus, Telemetry};
 use dice_types::{
     ActuatorEvent, ActuatorId, DeviceRegistry, Event, EventLog, Room, SensorId, SensorKind,
     SensorReading, TimeDelta, Timestamp,
@@ -84,16 +86,24 @@ fn live_events(sensors: &[SensorId], minutes: i64, drop_s1: bool) -> Vec<Event> 
 /// Homes alternate between two floor plans; every home with id ≡ 1
 /// (mod 5) fail-stops its second sensor.
 fn run_fleet(shards: usize, plans: &[Arc<DiceModel>; 2]) -> FleetRun {
+    run_fleet_with(
+        FleetConfig {
+            shards,
+            queue_capacity: 8,
+            frames_per_batch: 16,
+            batch_windows: 16,
+            ..FleetConfig::default()
+        },
+        plans,
+    )
+}
+
+/// The 24-home fixture stream under an arbitrary `config`.
+fn run_fleet_with(config: FleetConfig, plans: &[Arc<DiceModel>; 2]) -> FleetRun {
     const HOMES: u32 = 24;
     const MINUTES: i64 = 30;
     let sensors = [plan_devices(0).1, plan_devices(1).1];
-    let mut fleet = Fleet::new(FleetConfig {
-        shards,
-        queue_capacity: 8,
-        frames_per_batch: 16,
-        batch_windows: 16,
-        ..FleetConfig::default()
-    });
+    let mut fleet = Fleet::new(config);
     for h in 0..HOMES {
         fleet.register_home(h, Arc::clone(&plans[h as usize % 2]));
     }
@@ -156,6 +166,202 @@ fn alarms_are_invariant_under_shard_count() {
     }
     assert_eq!(one.stats.windows, 24 * 30);
     assert_eq!(eight.stats.shards, 8);
+}
+
+#[test]
+fn lineage_ids_are_monotone_per_shard_with_frozen_stage_deltas() {
+    let plans = [Arc::new(train_plan(0)), Arc::new(train_plan(1))];
+    for shards in [1usize, 2, 8] {
+        // A frozen manual clock: every stage delta must come out exactly
+        // zero (deltas are computed on one monotone clock, never from
+        // mixed time sources), while lineage blocks stay monotone.
+        let (clock, _ticks) = TraceClock::manual();
+        let run = run_fleet_with(
+            FleetConfig {
+                shards,
+                queue_capacity: 8,
+                frames_per_batch: 16,
+                batch_windows: 16,
+                clock,
+                ..FleetConfig::default()
+            },
+            &plans,
+        );
+        assert_eq!(run.lineage.len(), shards);
+        assert!(run.lineage.iter().any(|records| !records.is_empty()));
+        for (shard, records) in run.lineage.iter().enumerate() {
+            // Consecutive sweeps of one batch share its lineage block;
+            // whenever the block advances it must clear the previous one.
+            for pair in records.windows(2) {
+                assert!(
+                    pair[1].lineage == pair[0].lineage
+                        || pair[0].lineage + u64::from(pair[0].frames) <= pair[1].lineage,
+                    "shard {shard}: lineage blocks must be monotone and disjoint"
+                );
+            }
+            for record in records {
+                assert!(record.frames > 0);
+                assert_eq!(record.shard as usize, shard);
+                let stages = [
+                    record.enqueue_wait_ns,
+                    record.queue_wait_ns,
+                    record.dequeue_ns,
+                    record.scan_ns,
+                    record.verdict_ns,
+                    record.publish_ns,
+                ];
+                assert_eq!(stages, [0; 6], "frozen clock must yield zero deltas");
+            }
+        }
+        // Delivered alarms carry the lineage stamp of their sweep, and
+        // the stamp names the shard that served the home.
+        let stamped: Vec<_> = run
+            .alarms
+            .iter()
+            .flat_map(|h| {
+                h.reports
+                    .iter()
+                    .filter_map(|r| r.lineage.map(|s| (h.home, s)))
+            })
+            .collect();
+        assert!(
+            !stamped.is_empty(),
+            "fleet alarms must carry lineage stamps"
+        );
+        for (home, stamp) in stamped {
+            assert_eq!(
+                stamp.shard as usize,
+                dice_fleet::shard_for_home(home, shards),
+                "stamp must name the serving shard"
+            );
+        }
+    }
+}
+
+#[test]
+fn preloaded_runs_are_reproducible_and_match_threaded_alarms() {
+    let plans = [Arc::new(train_plan(0)), Arc::new(train_plan(1))];
+    let config = |clock: TraceClock| FleetConfig {
+        shards: 4,
+        frames_per_batch: 16,
+        batch_windows: 16,
+        clock,
+        ..FleetConfig::default()
+    };
+    const HOMES: u32 = 24;
+    const MINUTES: i64 = 30;
+    let sensors = [plan_devices(0).1, plan_devices(1).1];
+    let preload = |clock: TraceClock| {
+        let mut fleet = Fleet::new(config(clock));
+        for h in 0..HOMES {
+            fleet.register_home(h, Arc::clone(&plans[h as usize % 2]));
+        }
+        fleet.run_preloaded(
+            Timestamp::from_mins(0),
+            Timestamp::from_mins(MINUTES),
+            |sender| {
+                for minute in 0..MINUTES {
+                    for h in 0..HOMES {
+                        let plan = &sensors[h as usize % 2];
+                        let at = Timestamp::from_mins(minute) + TimeDelta::from_secs(5);
+                        if minute % 2 == 0 {
+                            let lead = SensorReading::new(plan[0], at, true.into());
+                            sender.send(h, &Event::Sensor(lead));
+                            if h % 5 != 1 {
+                                let partner = SensorReading::new(plan[1], at, true.into());
+                                sender.send(h, &Event::Sensor(partner));
+                            }
+                        } else {
+                            let idx = 2 + (minute as usize / 2) % (plan.len() - 2);
+                            let reading = SensorReading::new(plan[idx], at, true.into());
+                            sender.send(h, &Event::Sensor(reading));
+                        }
+                    }
+                }
+            },
+        )
+    };
+    let a = preload(TraceClock::manual().0);
+    let b = preload(TraceClock::manual().0);
+    // With a frozen manual clock the whole run — stats, alarms, lineage
+    // records — is deterministic, which is what byte-stable fleet-monitor
+    // frames build on.
+    assert_eq!(a, b);
+    let threaded = run_fleet_with(config(TraceClock::manual().0), &plans);
+    assert_eq!(a.alarms, threaded.alarms);
+    assert_eq!(a.stats.windows, threaded.stats.windows);
+}
+
+#[test]
+fn stalled_shard_grows_queue_waits_and_trips_the_straggler_rule() {
+    let plans = [Arc::new(train_plan(0)), Arc::new(train_plan(1))];
+    let telemetry = Telemetry::recording();
+    // Shard 0 sleeps 3ms per batch behind a 2-deep queue: its queue-wait
+    // sketch must grow and the producer must block (counted in
+    // occurrences and nanoseconds), while the other shards stay prompt —
+    // exactly the straggler shape the health rule grades.
+    let run = run_fleet_with(
+        FleetConfig {
+            shards: 4,
+            queue_capacity: 2,
+            frames_per_batch: 4,
+            batch_windows: 16,
+            telemetry: telemetry.clone(),
+            stall: Some((0, 3)),
+            ..FleetConfig::default()
+        },
+        &plans,
+    );
+    assert!(run.stats.backpressure_waits > 0, "sender must have blocked");
+    assert!(
+        run.stats.backpressure_wait_ns > 0,
+        "blocked time must be measured, not just counted"
+    );
+
+    let snapshot = telemetry.snapshot().unwrap();
+    let children = snapshot
+        .sketch_family("dice_fleet_stage_queue_wait_ns")
+        .unwrap();
+    let stalled = children
+        .iter()
+        .find(|c| c.values == ["s0"])
+        .expect("stalled shard records queue waits");
+    assert!(stalled.count > 0);
+    let best_other = children
+        .iter()
+        .filter(|c| c.values != ["s0"])
+        .map(|c| c.p99)
+        .max()
+        .expect("other shards record too");
+    assert!(
+        stalled.p99 > best_other.saturating_mul(4),
+        "stalled shard p99 {} must dwarf the others' {best_other}",
+        stalled.p99
+    );
+
+    // The injected slow shard drives the straggler rule to warn/crit.
+    let report = evaluate_health(&standard_rules(), &snapshot, false);
+    let row = report
+        .rows
+        .iter()
+        .find(|r| r.id == "fleet_stage_straggler")
+        .expect("straggler rule is a standard rule");
+    assert!(
+        matches!(row.status, Some(HealthStatus::Warn | HealthStatus::Crit)),
+        "straggler rule must fire, got {:?} ({})",
+        row.status,
+        row.observed
+    );
+
+    // Per-shard back-pressure families point at the stalled shard.
+    let waits = snapshot
+        .family_series("dice_fleet_shard_backpressure_waits_total")
+        .unwrap();
+    let wait_ns = snapshot
+        .family_series("dice_fleet_shard_backpressure_wait_ns_total")
+        .unwrap();
+    assert!(waits.iter().any(|(v, n)| v == &["s0"] && *n > 0));
+    assert!(wait_ns.iter().any(|(v, n)| v == &["s0"] && *n > 0));
 }
 
 #[test]
